@@ -1,0 +1,139 @@
+// Command analyze characterizes a previously recorded trace file and
+// prints the selected sections of the paper reproduction report.
+//
+// Usage:
+//
+//	analyze [-only SECTION] trace-file
+//
+// SECTION is one of: summary, table1, table2, table3, fig1..fig11, fits,
+// all (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+var sections = map[string]func(io.Writer, *core.Characterization) error{
+	"summary": report.RenderSummary,
+	"table1":  report.RenderTable1,
+	"table2":  report.RenderTable2,
+	"table3":  report.RenderTable3,
+	"fig1":    report.RenderFigure1,
+	"fig2":    report.RenderFigure2,
+	"fig3":    report.RenderFigure3,
+	"fig4":    report.RenderFigure4,
+	"fig5":    report.RenderFigure5,
+	"fig6":    report.RenderFigure6,
+	"fig7":    report.RenderFigure7,
+	"fig8":    report.RenderFigure8,
+	"fig9":    report.RenderFigure9,
+	"fig10":   report.RenderFigure10,
+	"fig11":   report.RenderFigure11,
+	"fits":    report.RenderFits,
+	"all":     report.RenderAll,
+}
+
+func main() {
+	only := flag.String("only", "all", "section to print (summary, table1..3, fig1..fig11, fits, all)")
+	csvDir := flag.String("csv", "", "optional directory for CSV exports of the distribution figures")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: analyze [-only SECTION] trace-file")
+		os.Exit(2)
+	}
+	render, ok := sections[*only]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown section %q\n", *only)
+		os.Exit(2)
+	}
+	tr, err := trace.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reading trace: %v\n", err)
+		os.Exit(1)
+	}
+	c := core.Characterize(tr)
+	if err := render(os.Stdout, c); err != nil {
+		fmt.Fprintf(os.Stderr, "rendering: %v\n", err)
+		os.Exit(1)
+	}
+	if *csvDir != "" {
+		if err := exportCSV(*csvDir, c); err != nil {
+			fmt.Fprintf(os.Stderr, "csv export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "CSV series written to %s\n", *csvDir)
+	}
+}
+
+// exportCSV writes the per-region CCDF series of Figures 5–9 and the
+// Figure 11 popularity pmf as long-format CSV files for external plotting.
+func exportCSV(dir string, c *core.Characterization) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	regionSeries := func(samples map[geo.Region]*stats.Sample, grid []float64) []report.Series {
+		var out []report.Series
+		for _, r := range []geo.Region{geo.NorthAmerica, geo.Europe, geo.Asia} {
+			sample := samples[r]
+			if sample == nil || sample.Len() == 0 {
+				continue
+			}
+			pts := sample.CCDFSeries(grid)
+			s := report.Series{Name: r.Short()}
+			for _, p := range pts {
+				s.X = append(s.X, p.X)
+				s.Y = append(s.Y, p.Y)
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	files := map[string][]report.Series{
+		"fig5_passive_duration_ccdf.csv":    regionSeries(c.Figure5.ByRegion, stats.LogSpace(60, 600000, 120)),
+		"fig6_queries_per_session_ccdf.csv": regionSeries(c.Figure6.ByRegion, stats.LogSpace(1, 1000, 80)),
+		"fig7_first_query_ccdf.csv":         regionSeries(c.Figure7.ByRegion, stats.LogSpace(1, 100000, 120)),
+		"fig8_interarrival_ccdf.csv":        regionSeries(c.Figure8.ByRegion, stats.LogSpace(1, 10000, 100)),
+		"fig9_after_last_ccdf.csv":          regionSeries(c.Figure9.ByRegion, stats.LogSpace(1, 100000, 120)),
+	}
+	var pop []report.Series
+	for class, name := range map[analysis.PopularityClass]string{
+		analysis.ClassNAOnly: "NA-only",
+		analysis.ClassEUOnly: "EU-only",
+		analysis.ClassNAEU:   "NA-EU",
+	} {
+		s := report.Series{Name: name}
+		for i, f := range c.Figure11.Freq[class] {
+			if f > 0 {
+				s.X = append(s.X, float64(i+1))
+				s.Y = append(s.Y, f)
+			}
+		}
+		pop = append(pop, s)
+	}
+	files["fig11_popularity_pmf.csv"] = pop
+	for name, series := range files {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := report.CSV(f, series); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

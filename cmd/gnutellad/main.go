@@ -1,0 +1,130 @@
+// Command gnutellad runs a live Gnutella ultrapeer over TCP — the
+// measurement node as a network service. It accepts v0.6 handshakes,
+// routes messages with the same overlay engine the simulator uses, logs
+// handshake metadata and hop-1 queries to stderr, and serves query hits
+// from an optional shared-file list.
+//
+// It pairs with examples/livecapture, which connects synthetic clients
+// and runs the filter pipeline on what the daemon observed.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"log"
+	"net/netip"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/guid"
+	"repro/internal/overlay"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:6346", "listen address")
+	library := flag.String("library", "", "optional file with one shared file name per line")
+	flag.Parse()
+
+	var files []overlay.SharedFile
+	if *library != "" {
+		f, err := os.Open(*library)
+		if err != nil {
+			log.Fatalf("library: %v", err)
+		}
+		sc := bufio.NewScanner(f)
+		for i := 0; sc.Scan(); i++ {
+			name := strings.TrimSpace(sc.Text())
+			if name != "" {
+				files = append(files, overlay.SharedFile{Index: uint32(i), Name: name, SizeKB: 1024})
+			}
+		}
+		f.Close()
+	}
+
+	d := newDaemon(files)
+	l, err := transport.Listen(*listen, transport.Options{
+		UserAgent: "repro-gnutellad/1.0",
+		Ultrapeer: true,
+	})
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("gnutellad listening on %s (%d shared files)", l.Addr(), len(files))
+	for {
+		peer, err := l.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			continue
+		}
+		go d.serve(peer)
+	}
+}
+
+// daemon serializes the single overlay node across connection goroutines.
+type daemon struct {
+	mu     sync.Mutex
+	node   *overlay.Node
+	peers  map[int]*transport.Peer
+	nextID int
+	start  time.Time
+}
+
+func newDaemon(files []overlay.SharedFile) *daemon {
+	d := &daemon{peers: make(map[int]*transport.Peer), start: time.Now()}
+	d.node = overlay.New(overlay.Config{
+		Self:      guid.NewSource(uint64(time.Now().UnixNano()), 1).Next(),
+		Ultrapeer: true,
+		Addr:      netip.MustParseAddr("127.0.0.1"),
+		Port:      6346,
+		Library:   files,
+		Now:       func() time.Duration { return time.Since(d.start) },
+		Send: func(conn int, env wire.Envelope) {
+			if p, ok := d.peers[conn]; ok {
+				if err := p.Send(env); err != nil {
+					log.Printf("send to %d: %v", conn, err)
+				}
+			}
+		},
+		OnMessage: func(conn int, env wire.Envelope) {
+			if q, ok := env.Payload.(*wire.Query); ok && env.Header.Hops == 1 {
+				log.Printf("conn %d query %q (sha1=%v)", conn, q.SearchText, q.HasSHA1())
+			}
+		},
+		GUIDs: guid.NewSource(uint64(time.Now().UnixNano()), 2),
+	})
+	return d
+}
+
+func (d *daemon) serve(peer *transport.Peer) {
+	d.mu.Lock()
+	id := d.nextID
+	d.nextID++
+	d.peers[id] = peer
+	d.node.AddConn(id, peer.Info().Ultrapeer)
+	d.mu.Unlock()
+	log.Printf("conn %d from %s (%s, ultrapeer=%v)",
+		id, peer.RemoteAddr(), peer.Info().UserAgent, peer.Info().Ultrapeer)
+
+	defer func() {
+		d.mu.Lock()
+		d.node.RemoveConn(id)
+		delete(d.peers, id)
+		d.mu.Unlock()
+		peer.Close()
+		log.Printf("conn %d closed", id)
+	}()
+
+	for {
+		env, err := peer.Recv()
+		if err != nil {
+			return
+		}
+		d.mu.Lock()
+		d.node.Receive(id, env)
+		d.mu.Unlock()
+	}
+}

@@ -1,0 +1,53 @@
+// Command tracegen runs the measurement simulation and writes the raw
+// trace to a file for later analysis (cmd/analyze) or external tooling
+// (-jsonl exports the connection and query records as JSON lines).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/capture"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2004, "simulation seed")
+	scale := flag.Float64("scale", 0.05, "fraction of the paper's connection volume")
+	days := flag.Int("days", 40, "measurement period in days")
+	out := flag.String("o", "gnutella.trace", "output trace file")
+	jsonl := flag.String("jsonl", "", "optional JSONL export path")
+	flag.Parse()
+
+	cfg := capture.DefaultConfig(*seed, *scale)
+	cfg.Workload.Days = *days
+
+	start := time.Now()
+	tr := capture.New(cfg).Run()
+	fmt.Printf("simulated %d connections / %d messages in %v\n",
+		len(tr.Conns), tr.Counts.Total(), time.Since(start).Round(time.Millisecond))
+
+	if err := tr.WriteFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace written to %s\n", *out)
+
+	if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *jsonl, err)
+			os.Exit(1)
+		}
+		if err := tr.ExportJSONL(f); err != nil {
+			fmt.Fprintf(os.Stderr, "exporting: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "closing: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("JSONL export written to %s\n", *jsonl)
+	}
+}

@@ -1,0 +1,41 @@
+// Package p2pquery reproduces Klemm, Lindemann, Vernon and Waldhorst,
+// "Characterizing the Query Behavior in Peer-to-Peer File Sharing
+// Systems" (IMC 2004), as a complete, runnable system.
+//
+// The paper measured the Gnutella network for 40 days from a passive
+// ultrapeer, filtered out client-software automation, and characterized
+// user query behavior as conditional distributions for synthetic workload
+// generation. This module rebuilds the entire apparatus:
+//
+//   - a Gnutella v0.6 protocol stack (wire codec, handshake, overlay
+//     routing) that runs both under a discrete-event simulator and over
+//     real TCP;
+//   - a synthetic peer population driven by the paper's published model
+//     (the generative ground truth);
+//   - the measurement node with the paper's exact observation rules;
+//   - the Section 3.3 filter pipeline and the full Section 4 analysis,
+//     regenerating every table and figure;
+//   - the Figure 12 synthetic workload generator for evaluating new P2P
+//     designs.
+//
+// # Quickstart
+//
+// Simulate a scaled-down 40-day measurement, characterize it, and print
+// the paper's tables and figures:
+//
+//	cfg := p2pquery.DefaultSimulation(42, 0.02) // 2% of paper scale
+//	tr := p2pquery.Simulate(cfg)
+//	c := p2pquery.Characterize(tr)
+//	p2pquery.WriteReport(os.Stdout, c)
+//
+// Generate a synthetic workload (the paper's Figure 12 algorithm) to
+// drive a P2P system evaluation:
+//
+//	gen := p2pquery.NewWorkload(p2pquery.DefaultWorkload(7, 0.1))
+//	for s := gen.Next(); s != nil; s = gen.Next() {
+//		feed(s) // region, passive/active, query schedule, query strings
+//	}
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package p2pquery

@@ -1,0 +1,236 @@
+// Livecapture exercises the full protocol stack over real TCP: it starts
+// an in-process measurement ultrapeer (the same overlay engine cmd/gnutellad
+// runs), connects a handful of synthetic Gnutella clients that play
+// behavior-generated session scripts — handshake, keyword queries, SHA1
+// source hunts, automated re-queries — over loopback sockets with
+// time compressed, then reconstructs a trace from what the node observed
+// and runs the Section 3.3 filter on it.
+//
+// Everything the offline pipeline computes works identically on this
+// socket-fed trace; that is the point.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/behavior"
+	"repro/internal/filter"
+	"repro/internal/guid"
+	"repro/internal/overlay"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// node is the live measurement ultrapeer.
+type node struct {
+	mu      sync.Mutex
+	overlay *overlay.Node
+	peers   map[int]*transport.Peer
+	nextID  int
+	start   time.Time
+
+	// observed trace being assembled
+	conns   []trace.Conn
+	queries []trace.Query
+	counts  trace.MessageCounts
+}
+
+func newNode() *node {
+	n := &node{peers: make(map[int]*transport.Peer), start: time.Now()}
+	n.overlay = overlay.New(overlay.Config{
+		Self:      guid.NewSource(42, 1).Next(),
+		Ultrapeer: true,
+		Addr:      netip.MustParseAddr("127.0.0.1"),
+		Port:      6346,
+		Now:       func() time.Duration { return time.Since(n.start) },
+		Send: func(conn int, env wire.Envelope) {
+			if p, ok := n.peers[conn]; ok {
+				_ = p.Send(env)
+			}
+		},
+		OnMessage: n.record,
+		GUIDs:     guid.NewSource(42, 2),
+	})
+	return n
+}
+
+func (n *node) record(conn int, env wire.Envelope) {
+	now := time.Since(n.start)
+	switch m := env.Payload.(type) {
+	case *wire.Ping:
+		n.counts.Ping++
+	case *wire.Pong:
+		n.counts.Pong++
+	case *wire.Query:
+		n.counts.Query++
+		if env.Header.Hops == 1 {
+			n.counts.QueryHop1++
+			n.queries = append(n.queries, trace.Query{
+				ConnID: uint64(conn), At: now,
+				Text: m.SearchText, SHA1: m.HasSHA1(),
+				TTL: env.Header.TTL, Hops: env.Header.Hops,
+			})
+		}
+	case *wire.QueryHit:
+		n.counts.QueryHit++
+	case *wire.Bye:
+		n.counts.Bye++
+	}
+}
+
+func (n *node) serve(peer *transport.Peer) {
+	n.mu.Lock()
+	id := n.nextID
+	n.nextID++
+	n.peers[id] = peer
+	n.overlay.AddConn(id, peer.Info().Ultrapeer)
+	start := time.Since(n.start)
+	addr := netip.MustParseAddr("127.0.0.1")
+	if ap, err := netip.ParseAddrPort(peer.RemoteAddr().String()); err == nil {
+		addr = ap.Addr()
+	}
+	n.conns = append(n.conns, trace.Conn{
+		ID: uint64(id), Start: start, Addr: addr,
+		Ultrapeer: peer.Info().Ultrapeer, UserAgent: peer.Info().UserAgent,
+	})
+	n.mu.Unlock()
+
+	for {
+		env, err := peer.Recv()
+		if err != nil {
+			break
+		}
+		n.mu.Lock()
+		n.overlay.Receive(id, env)
+		n.mu.Unlock()
+	}
+	n.mu.Lock()
+	n.overlay.RemoveConn(id)
+	delete(n.peers, id)
+	n.conns[id].End = time.Since(n.start)
+	n.mu.Unlock()
+}
+
+// playClient connects one synthetic client and replays its session script
+// with time compressed by the given factor.
+func playClient(addr string, sess *behavior.Session, compress float64) error {
+	peer, err := transport.Dial(addr, transport.Options{
+		UserAgent: sess.UserAgent,
+		Ultrapeer: sess.Ultrapeer,
+	})
+	if err != nil {
+		return err
+	}
+	defer peer.Close()
+	guids := guid.NewSource(uint64(sess.Start), 9)
+	scale := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d) / compress)
+	}
+	elapsed := time.Duration(0)
+	for _, q := range sess.Queries {
+		if wait := scale(q.Offset) - elapsed; wait > 0 {
+			time.Sleep(wait)
+			elapsed += wait
+		}
+		wq := &wire.Query{SearchText: q.Text}
+		if q.SHA1 {
+			wq.Extensions = []string{"urn:sha1:PLSTHIPQGSSZTS5FJUPAKUZWUGYQYPFB"}
+		}
+		// The hops counter is incremented before each transmission, so a
+		// query arrives at a direct neighbor with hops = 1.
+		env := wire.Envelope{
+			Header:  wire.Header{GUID: guids.Next(), Type: wire.TypeQuery, TTL: 6, Hops: 1},
+			Payload: wq,
+		}
+		if err := peer.Send(env); err != nil {
+			return err
+		}
+	}
+	if wait := scale(sess.Duration) - elapsed; wait > 0 {
+		time.Sleep(wait)
+	}
+	return peer.Send(wire.NewEnvelope(guids.Next(), 1, &wire.Bye{Code: 200, Reason: "done"}))
+}
+
+func main() {
+	n := newNode()
+	l, err := transport.Listen("127.0.0.1:0", transport.Options{
+		UserAgent: "repro-livecapture/1.0",
+		Ultrapeer: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			peer, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go n.serve(peer)
+		}
+	}()
+	fmt.Printf("measurement node listening on %s\n", l.Addr())
+
+	// Generate a handful of non-quick client sessions and play them with
+	// time compressed 600× (a 10-minute session takes one second).
+	cfg := workload.DefaultConfig(7, 0.002)
+	cfg.Days = 1
+	gen := behavior.NewGenerator(cfg)
+	var sessions []*behavior.Session
+	for s := gen.Next(); s != nil && len(sessions) < 8; s = gen.Next() {
+		if !s.Quick && len(s.Queries) > 0 && s.Duration < 4*time.Hour {
+			sessions = append(sessions, s)
+		}
+	}
+	fmt.Printf("replaying %d active client sessions over TCP (600× compressed)...\n", len(sessions))
+	var wg sync.WaitGroup
+	for _, s := range sessions {
+		wg.Add(1)
+		go func(s *behavior.Session) {
+			defer wg.Done()
+			if err := playClient(l.Addr().String(), s, 600); err != nil {
+				log.Printf("client: %v", err)
+			}
+		}(s)
+	}
+	wg.Wait()
+	time.Sleep(200 * time.Millisecond) // let the node drain closes
+
+	n.mu.Lock()
+	tr := &trace.Trace{Days: 1, Conns: n.conns, Queries: n.queries, Counts: n.counts}
+	// Undo the 600× compression so the filter sees protocol-scale times.
+	for i := range tr.Conns {
+		tr.Conns[i].Start *= 600
+		if tr.Conns[i].End == 0 {
+			tr.Conns[i].End = time.Since(n.start)
+		}
+		tr.Conns[i].End *= 600
+	}
+	for i := range tr.Queries {
+		tr.Queries[i].At *= 600
+	}
+	n.mu.Unlock()
+
+	fmt.Printf("\nnode observed: %d connections, %d hop-1 queries (%d QUERY, %d BYE)\n",
+		len(tr.Conns), len(tr.Queries), tr.Counts.Query, tr.Counts.Bye)
+	res := filter.Apply(tr)
+	fmt.Printf("filter pipeline: rule1=%d rule2=%d rule3(sessions)=%d final=%d queries / %d sessions\n",
+		res.Rule1SHA1, res.Rule2Duplicates, res.Rule3Sessions, res.FinalQueries, res.FinalSessions)
+	for i := range res.Sessions {
+		s := &res.Sessions[i]
+		fmt.Printf("  conn %d (%s): %d user queries",
+			s.Conn.ID, s.Conn.UserAgent, s.NumUserQueries())
+		if first, ok := s.FirstQueryTime(); ok {
+			fmt.Printf(", first after %v", first.Round(time.Second))
+		}
+		fmt.Println()
+	}
+}

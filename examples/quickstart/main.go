@@ -1,0 +1,85 @@
+// Quickstart: generate one simulated day of the paper's synthetic
+// workload and print the headline statistics of what came out —
+// region mix, passive share, queries per active session, and the five
+// most popular query strings per region.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	p2pquery "repro"
+)
+
+func main() {
+	// One day at 2% of the paper's scale: about 2,200 sessions.
+	gen := p2pquery.NewWorkload(workloadConfig())
+
+	type regionStats struct {
+		sessions, passive, queries int
+	}
+	perRegion := map[p2pquery.Region]*regionStats{}
+	popularity := map[p2pquery.Region]map[string]int{}
+
+	for s := gen.Next(); s != nil; s = gen.Next() {
+		rs := perRegion[s.Region]
+		if rs == nil {
+			rs = &regionStats{}
+			perRegion[s.Region] = rs
+			popularity[s.Region] = map[string]int{}
+		}
+		rs.sessions++
+		if s.Passive {
+			rs.passive++
+			continue
+		}
+		rs.queries += len(s.Queries)
+		for _, q := range s.Queries {
+			popularity[s.Region][q.Text]++
+		}
+	}
+
+	fmt.Println("One simulated day of Gnutella user behavior (Figure 12 generator)")
+	fmt.Println()
+	regions := make([]p2pquery.Region, 0, len(perRegion))
+	for r := range perRegion {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool {
+		return perRegion[regions[i]].sessions > perRegion[regions[j]].sessions
+	})
+	for _, r := range regions {
+		rs := perRegion[r]
+		active := rs.sessions - rs.passive
+		fmt.Printf("%-14s %5d sessions, %4.1f%% passive", r, rs.sessions,
+			100*float64(rs.passive)/float64(rs.sessions))
+		if active > 0 {
+			fmt.Printf(", %.2f queries per active session", float64(rs.queries)/float64(active))
+		}
+		fmt.Println()
+
+		type kv struct {
+			text string
+			n    int
+		}
+		var top []kv
+		for text, n := range popularity[r] {
+			top = append(top, kv{text, n})
+		}
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].n != top[j].n {
+				return top[i].n > top[j].n
+			}
+			return top[i].text < top[j].text
+		})
+		for i := 0; i < 5 && i < len(top); i++ {
+			fmt.Printf("    #%d %-28q ×%d\n", i+1, top[i].text, top[i].n)
+		}
+	}
+}
+
+func workloadConfig() p2pquery.WorkloadConfig {
+	cfg := p2pquery.DefaultWorkload(2004, 0.02)
+	cfg.Days = 1
+	return cfg
+}

@@ -1,0 +1,428 @@
+package analysis
+
+import (
+	"repro/internal/geo"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// GeoDistribution is Figure 1: the hourly geographic mix of one-hop peers
+// (direct connections) versus all peers (addresses observed in remote
+// PONG and QUERYHIT traffic).
+type GeoDistribution struct {
+	// OneHop[region][hour] and AllPeers[region][hour] are average shares.
+	OneHop   map[geo.Region][]float64
+	AllPeers map[geo.Region][]float64
+}
+
+// ComputeFigure1 measures the geographic mix from the raw trace.
+func ComputeFigure1(tr *trace.Trace) GeoDistribution {
+	reg := geo.Default()
+	regionsAll := []geo.Region{geo.NorthAmerica, geo.Europe, geo.Asia, geo.Other, geo.Unknown}
+	oneHop := make(map[geo.Region]*stats.DayBinMatrix)
+	all := make(map[geo.Region]*stats.DayBinMatrix)
+	for _, r := range regionsAll {
+		oneHop[r] = stats.NewDayBinMatrix(24)
+		all[r] = stats.NewDayBinMatrix(24)
+	}
+	for i := range tr.Conns {
+		c := &tr.Conns[i]
+		oneHop[reg.Lookup(c.Addr)].Add(simtime.DayIndex(c.Start), simtime.HourOfDay(c.Start), 1)
+	}
+	for i := range tr.Pongs {
+		p := &tr.Pongs[i]
+		if p.Hops == 1 {
+			continue // direct peers are the one-hop series
+		}
+		all[reg.Lookup(p.Addr)].Add(simtime.DayIndex(p.At), simtime.HourOfDay(p.At), 1)
+	}
+	for i := range tr.Hits {
+		h := &tr.Hits[i]
+		if h.Hops == 1 {
+			continue
+		}
+		all[reg.Lookup(h.Addr)].Add(simtime.DayIndex(h.At), simtime.HourOfDay(h.At), 1)
+	}
+	out := GeoDistribution{
+		OneHop:   make(map[geo.Region][]float64),
+		AllPeers: make(map[geo.Region][]float64),
+	}
+	oneHopAll := []*stats.DayBinMatrix{}
+	allAll := []*stats.DayBinMatrix{}
+	for _, r := range regionsAll {
+		oneHopAll = append(oneHopAll, oneHop[r])
+		allAll = append(allAll, all[r])
+	}
+	for _, r := range regionsAll {
+		out.OneHop[r] = stats.AvgShare(oneHop[r], oneHopAll)
+		out.AllPeers[r] = stats.AvgShare(all[r], allAll)
+	}
+	return out
+}
+
+// SharedFiles is Figure 2: the distribution of reported shared-library
+// sizes for one-hop peers versus all peers, over 0..MaxFiles files.
+type SharedFiles struct {
+	MaxFiles int
+	OneHop   []float64
+	All      []float64
+}
+
+// ComputeFigure2 measures shared-file distributions from PONG reports.
+func ComputeFigure2(tr *trace.Trace) SharedFiles {
+	const maxFiles = 100
+	oneHop := stats.NewHistogram(maxFiles + 1)
+	all := stats.NewHistogram(maxFiles + 1)
+	for i := range tr.Pongs {
+		p := &tr.Pongs[i]
+		if p.Hops == 1 {
+			oneHop.Add(int(p.SharedFiles))
+		} else {
+			all.Add(int(p.SharedFiles))
+		}
+	}
+	return SharedFiles{
+		MaxFiles: maxFiles,
+		OneHop:   oneHop.Fractions(),
+		All:      all.Fractions(),
+	}
+}
+
+// LoadByTime is Figure 3: user queries received per 30-minute bin, per
+// region, summarized min/avg/max across trace days.
+type LoadByTime struct {
+	PerRegion map[geo.Region]stats.BinSeries
+}
+
+// ComputeFigure3 bins the retained user queries by receive time.
+func ComputeFigure3(sessions []Session) LoadByTime {
+	mats := map[geo.Region]*stats.DayBinMatrix{}
+	for _, r := range continental {
+		mats[r] = stats.NewDayBinMatrix(48)
+	}
+	for i := range sessions {
+		s := &sessions[i]
+		m, ok := mats[s.Region]
+		if !ok {
+			continue
+		}
+		for j := range s.Queries {
+			q := &s.Queries[j]
+			if q.Rule5 {
+				continue
+			}
+			m.Add(simtime.DayIndex(q.At), simtime.HalfHourOfDay(q.At), 1)
+		}
+	}
+	out := LoadByTime{PerRegion: make(map[geo.Region]stats.BinSeries)}
+	for _, r := range continental {
+		out.PerRegion[r] = mats[r].MinAvgMax()
+	}
+	return out
+}
+
+// PassiveFraction is Figure 4: the fraction of sessions starting in each
+// hour that issue no queries, per region, min/avg/max across days.
+type PassiveFraction struct {
+	PerRegion map[geo.Region]stats.BinSeries
+}
+
+// ComputeFigure4 measures the passive share by session start hour.
+func ComputeFigure4(sessions []Session) PassiveFraction {
+	passive := map[geo.Region]*stats.DayBinMatrix{}
+	total := map[geo.Region]*stats.DayBinMatrix{}
+	for _, r := range continental {
+		passive[r] = stats.NewDayBinMatrix(24)
+		total[r] = stats.NewDayBinMatrix(24)
+	}
+	for i := range sessions {
+		s := &sessions[i]
+		if _, ok := passive[s.Region]; !ok {
+			continue
+		}
+		total[s.Region].Add(s.StartDay, s.StartHour, 1)
+		if s.Passive() {
+			passive[s.Region].Add(s.StartDay, s.StartHour, 1)
+		}
+	}
+	out := PassiveFraction{PerRegion: make(map[geo.Region]stats.BinSeries)}
+	for _, r := range continental {
+		out.PerRegion[r] = stats.RatioMinAvgMax(passive[r], total[r])
+	}
+	return out
+}
+
+// PassiveDurations is Figure 5: connected-session durations of passive
+// peers, in seconds, by region and (per region) by key start period.
+type PassiveDurations struct {
+	ByRegion map[geo.Region]*stats.Sample
+	// ByPeriod[region][startHour] holds durations of sessions starting in
+	// each key one-hour window.
+	ByPeriod map[geo.Region]map[int]*stats.Sample
+}
+
+// ComputeFigure5 collects passive session durations.
+func ComputeFigure5(sessions []Session) PassiveDurations {
+	out := PassiveDurations{
+		ByRegion: map[geo.Region]*stats.Sample{},
+		ByPeriod: map[geo.Region]map[int]*stats.Sample{},
+	}
+	for _, r := range continental {
+		out.ByRegion[r] = &stats.Sample{}
+		out.ByPeriod[r] = map[int]*stats.Sample{}
+		for _, h := range KeyPeriods {
+			out.ByPeriod[r][h] = &stats.Sample{}
+		}
+	}
+	for i := range sessions {
+		s := &sessions[i]
+		if !s.Passive() {
+			continue
+		}
+		sample, ok := out.ByRegion[s.Region]
+		if !ok {
+			continue
+		}
+		d := secondsOf(s.Conn.Duration())
+		sample.Add(d)
+		if ps, ok := out.ByPeriod[s.Region][s.StartHour]; ok {
+			ps.Add(d)
+		}
+	}
+	return out
+}
+
+// QueriesPerSession is Figure 6: the number of queries per active
+// session — with rules 4–5 applied (ByRegion, ByPeriodEU) and without
+// (Unfiltered).
+type QueriesPerSession struct {
+	ByRegion   map[geo.Region]*stats.Sample
+	ByPeriodEU map[int]*stats.Sample
+	Unfiltered map[geo.Region]*stats.Sample
+}
+
+// ComputeFigure6 collects per-session query counts.
+func ComputeFigure6(sessions []Session) QueriesPerSession {
+	out := QueriesPerSession{
+		ByRegion:   map[geo.Region]*stats.Sample{},
+		ByPeriodEU: map[int]*stats.Sample{},
+		Unfiltered: map[geo.Region]*stats.Sample{},
+	}
+	for _, r := range continental {
+		out.ByRegion[r] = &stats.Sample{}
+		out.Unfiltered[r] = &stats.Sample{}
+	}
+	for _, h := range KeyPeriods {
+		out.ByPeriodEU[h] = &stats.Sample{}
+	}
+	for i := range sessions {
+		s := &sessions[i]
+		if s.NumAllQueries() == 0 {
+			continue
+		}
+		if _, ok := out.ByRegion[s.Region]; !ok {
+			continue
+		}
+		if s.UserQueries > 0 {
+			out.ByRegion[s.Region].Add(float64(s.UserQueries))
+			if s.Region == geo.Europe {
+				if ps, ok := out.ByPeriodEU[s.StartHour]; ok {
+					ps.Add(float64(s.UserQueries))
+				}
+			}
+		}
+		out.Unfiltered[s.Region].Add(float64(s.NumAllQueries()))
+	}
+	return out
+}
+
+// FirstQueryTimes is Figure 7: seconds from session start to the first
+// user query, by region, by session query-count bucket (North America),
+// and by key start period (Europe).
+type FirstQueryTimes struct {
+	ByRegion map[geo.Region]*stats.Sample
+	// ByBucketNA is keyed by the Table A.3 bucket: 0 (<3), 1 (=3), 2 (>3).
+	ByBucketNA map[int]*stats.Sample
+	ByPeriodEU map[int]*stats.Sample
+}
+
+// ComputeFigure7 collects time-to-first-query samples.
+func ComputeFigure7(sessions []Session) FirstQueryTimes {
+	out := FirstQueryTimes{
+		ByRegion:   map[geo.Region]*stats.Sample{},
+		ByBucketNA: map[int]*stats.Sample{},
+		ByPeriodEU: map[int]*stats.Sample{},
+	}
+	for _, r := range continental {
+		out.ByRegion[r] = &stats.Sample{}
+	}
+	for b := 0; b < 3; b++ {
+		out.ByBucketNA[b] = &stats.Sample{}
+	}
+	for _, h := range KeyPeriods {
+		out.ByPeriodEU[h] = &stats.Sample{}
+	}
+	for i := range sessions {
+		s := &sessions[i]
+		first, ok := s.FirstQueryTime()
+		if !ok {
+			continue
+		}
+		v := secondsOf(first)
+		if sample, ok := out.ByRegion[s.Region]; ok {
+			sample.Add(v)
+		}
+		if s.Region == geo.NorthAmerica {
+			out.ByBucketNA[bucketA3(s.UserQueries)].Add(v)
+		}
+		if s.Region == geo.Europe {
+			if ps, ok := out.ByPeriodEU[s.StartHour]; ok {
+				ps.Add(v)
+			}
+		}
+	}
+	return out
+}
+
+// Interarrivals is Figure 8: query interarrival times in seconds, by
+// region, by query-count bucket (Europe), and by key period (Europe).
+type Interarrivals struct {
+	ByRegion map[geo.Region]*stats.Sample
+	// ByBucketEU keys: 0 (=2 queries), 1 (3–7), 2 (>7).
+	ByBucketEU map[int]*stats.Sample
+	ByPeriodEU map[int]*stats.Sample
+}
+
+// ComputeFigure8 collects the valid interarrival times.
+func ComputeFigure8(sessions []Session) Interarrivals {
+	out := Interarrivals{
+		ByRegion:   map[geo.Region]*stats.Sample{},
+		ByBucketEU: map[int]*stats.Sample{},
+		ByPeriodEU: map[int]*stats.Sample{},
+	}
+	for _, r := range continental {
+		out.ByRegion[r] = &stats.Sample{}
+	}
+	for b := 0; b < 3; b++ {
+		out.ByBucketEU[b] = &stats.Sample{}
+	}
+	for _, h := range KeyPeriods {
+		out.ByPeriodEU[h] = &stats.Sample{}
+	}
+	for i := range sessions {
+		s := &sessions[i]
+		iats := s.Interarrivals()
+		if len(iats) == 0 {
+			continue
+		}
+		sample, ok := out.ByRegion[s.Region]
+		if !ok {
+			continue
+		}
+		for _, iat := range iats {
+			v := secondsOf(iat)
+			sample.Add(v)
+			if s.Region == geo.Europe {
+				out.ByBucketEU[bucketIAT(s.UserQueries)].Add(v)
+				if ps, ok := out.ByPeriodEU[s.StartHour]; ok {
+					ps.Add(v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AfterLastTimes is Figure 9: seconds from the last user query to the
+// session end, by region, by Table A.5 bucket (North America), and by the
+// hour of the last query (Europe).
+type AfterLastTimes struct {
+	ByRegion map[geo.Region]*stats.Sample
+	// ByBucketNA keys: 0 (1 query), 1 (2–7), 2 (>7).
+	ByBucketNA map[int]*stats.Sample
+	ByPeriodEU map[int]*stats.Sample
+}
+
+// ComputeFigure9 collects time-after-last-query samples.
+func ComputeFigure9(sessions []Session) AfterLastTimes {
+	out := AfterLastTimes{
+		ByRegion:   map[geo.Region]*stats.Sample{},
+		ByBucketNA: map[int]*stats.Sample{},
+		ByPeriodEU: map[int]*stats.Sample{},
+	}
+	for _, r := range continental {
+		out.ByRegion[r] = &stats.Sample{}
+	}
+	for b := 0; b < 3; b++ {
+		out.ByBucketNA[b] = &stats.Sample{}
+	}
+	for _, h := range KeyPeriods {
+		out.ByPeriodEU[h] = &stats.Sample{}
+	}
+	for i := range sessions {
+		s := &sessions[i]
+		gap, ok := s.LastQueryGap()
+		if !ok {
+			continue
+		}
+		v := secondsOf(gap)
+		if sample, ok := out.ByRegion[s.Region]; ok {
+			sample.Add(v)
+		}
+		if s.Region == geo.NorthAmerica {
+			out.ByBucketNA[bucketA5(s.UserQueries)].Add(v)
+		}
+		if s.Region == geo.Europe {
+			lastHour := lastQueryHour(s)
+			if ps, ok := out.ByPeriodEU[lastHour]; ok {
+				ps.Add(v)
+			}
+		}
+	}
+	return out
+}
+
+func lastQueryHour(s *Session) int {
+	for i := len(s.Queries) - 1; i >= 0; i-- {
+		if !s.Queries[i].Rule5 {
+			return simtime.HourOfDay(s.Queries[i].At)
+		}
+	}
+	return -1
+}
+
+// bucketA3 mirrors model.QueryBucketA3 without importing ground truth
+// into measurement code paths.
+func bucketA3(n int) int {
+	switch {
+	case n < 3:
+		return 0
+	case n == 3:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func bucketA5(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n <= 7:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func bucketIAT(n int) int {
+	switch {
+	case n <= 2:
+		return 0
+	case n <= 7:
+		return 1
+	default:
+		return 2
+	}
+}

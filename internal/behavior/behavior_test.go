@@ -1,0 +1,266 @@
+package behavior
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func testGen(seed uint64, scale float64, days int) *Generator {
+	cfg := workload.DefaultConfig(seed, scale)
+	cfg.Days = days
+	return NewGenerator(cfg)
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := testGen(9, 0.002, 2)
+	b := testGen(9, 0.002, 2)
+	for i := 0; i < 100; i++ {
+		sa, sb := a.Next(), b.Next()
+		if (sa == nil) != (sb == nil) {
+			t.Fatal("stream lengths differ")
+		}
+		if sa == nil {
+			break
+		}
+		if sa.Start != sb.Start || sa.UserAgent != sb.UserAgent ||
+			len(sa.Queries) != len(sb.Queries) || sa.Quick != sb.Quick {
+			t.Fatalf("session %d differs", i)
+		}
+	}
+}
+
+func TestQuickFraction(t *testing.T) {
+	g := testGen(1, 0.01, 3)
+	total, quick := 0, 0
+	for s := g.Next(); s != nil; s = g.Next() {
+		total++
+		if s.Quick {
+			quick++
+			if s.Duration >= 64*time.Second {
+				t.Fatalf("quick session lasted %v", s.Duration)
+			}
+		}
+	}
+	frac := float64(quick) / float64(total)
+	if math.Abs(frac-model.QuickDisconnectFraction) > 0.02 {
+		t.Errorf("quick fraction = %v over %d sessions, want ≈0.70", frac, total)
+	}
+}
+
+func TestQueriesSortedAndInSession(t *testing.T) {
+	g := testGen(3, 0.005, 2)
+	for s := g.Next(); s != nil; s = g.Next() {
+		for i, q := range s.Queries {
+			if q.Offset < 0 || q.Offset > s.Duration {
+				t.Fatalf("query at %v outside session duration %v (kind %v)", q.Offset, s.Duration, q.Kind)
+			}
+			if i > 0 && q.Offset < s.Queries[i-1].Offset {
+				t.Fatal("queries not sorted")
+			}
+		}
+	}
+}
+
+func TestAutomationRatios(t *testing.T) {
+	// Table 2 proportions: re-queries ≈ 4–5× and SHA1 ≈ 2–2.5× the user
+	// queries (for retained, non-quick sessions).
+	g := testGen(5, 0.02, 4)
+	counts := map[QueryKind]int{}
+	for s := g.Next(); s != nil; s = g.Next() {
+		if s.Quick {
+			continue
+		}
+		for _, q := range s.Queries {
+			counts[q.Kind]++
+		}
+	}
+	user := float64(counts[KindUser] + counts[KindBurst]) // both are user intent
+	if user == 0 {
+		t.Fatal("no user queries generated")
+	}
+	requeryRatio := float64(counts[KindRequery]) / user
+	sha1Ratio := float64(counts[KindSHA1]) / user
+	if requeryRatio < 2.5 || requeryRatio > 6.5 {
+		t.Errorf("requery ratio = %v, want ≈4–5", requeryRatio)
+	}
+	if sha1Ratio < 1.5 || sha1Ratio > 3.5 {
+		t.Errorf("sha1 ratio = %v, want ≈2–2.5", sha1Ratio)
+	}
+}
+
+func TestSHA1QueriesMarked(t *testing.T) {
+	g := testGen(7, 0.01, 2)
+	for s := g.Next(); s != nil; s = g.Next() {
+		for _, q := range s.Queries {
+			if (q.Kind == KindSHA1) != q.SHA1 {
+				t.Fatalf("kind %v with SHA1=%v", q.Kind, q.SHA1)
+			}
+			if q.SHA1 && q.Text != "" {
+				t.Fatal("SHA1 hunt should carry no keywords")
+			}
+		}
+	}
+}
+
+func TestBurstTiming(t *testing.T) {
+	// Rule-4 bursts: sub-second interarrivals right after connect.
+	g := testGen(11, 0.02, 3)
+	bursts := 0
+	for s := g.Next(); s != nil; s = g.Next() {
+		var prev time.Duration
+		first := true
+		for _, q := range s.Queries {
+			if q.Kind != KindBurst {
+				continue
+			}
+			if q.Offset > 5*time.Second {
+				t.Fatalf("burst query at %v", q.Offset)
+			}
+			if !first {
+				iat := q.Offset - prev
+				if iat <= 0 || iat >= time.Second {
+					t.Fatalf("burst interarrival %v, want < 1 s", iat)
+				}
+			}
+			prev, first = q.Offset, false
+			bursts++
+		}
+	}
+	if bursts == 0 {
+		t.Fatal("no burst queries generated")
+	}
+}
+
+func TestIntervalRunsExactPeriod(t *testing.T) {
+	g := testGen(13, 0.03, 3)
+	runs := 0
+	for s := g.Next(); s != nil; s = g.Next() {
+		var offs []time.Duration
+		for _, q := range s.Queries {
+			if q.Kind == KindInterval {
+				offs = append(offs, q.Offset)
+			}
+		}
+		if len(offs) < 3 {
+			continue
+		}
+		runs++
+		iat := offs[1] - offs[0]
+		for i := 2; i < len(offs); i++ {
+			if offs[i]-offs[i-1] != iat {
+				t.Fatalf("interval run not periodic: %v vs %v", offs[i]-offs[i-1], iat)
+			}
+		}
+		if iat < time.Second {
+			t.Fatalf("interval period %v would collide with rule 4", iat)
+		}
+	}
+	if runs == 0 {
+		t.Fatal("no interval runs generated")
+	}
+}
+
+func TestAsiaHeavyUnfilteredTail(t *testing.T) {
+	// Figure 6(c) counts queries after rules 1–3 but without rules 4–5:
+	// distinct non-SHA1 strings per session. Under that metric ≈4% of
+	// Asian sessions exceed 100 queries — far more than North American
+	// ones (whose unfiltered tail stays near 1%).
+	g := testGen(17, 0.15, 6)
+	over100 := map[geo.Region]int{}
+	active := map[geo.Region]int{}
+	for s := g.Next(); s != nil; s = g.Next() {
+		if s.Quick || len(s.Queries) == 0 {
+			continue
+		}
+		distinct := map[string]bool{}
+		for _, q := range s.Queries {
+			if !q.SHA1 {
+				distinct[q.Text] = true
+			}
+		}
+		if len(distinct) == 0 {
+			continue
+		}
+		active[s.Region]++
+		if len(distinct) > 100 {
+			over100[s.Region]++
+		}
+	}
+	asFrac := float64(over100[geo.Asia]) / float64(active[geo.Asia])
+	naFrac := float64(over100[geo.NorthAmerica]) / float64(active[geo.NorthAmerica])
+	if asFrac < 0.015 || asFrac > 0.09 {
+		t.Errorf("Asia >100-query fraction = %v, want ≈0.04", asFrac)
+	}
+	if naFrac >= asFrac {
+		t.Errorf("NA fraction %v should be below Asia %v", naFrac, asFrac)
+	}
+}
+
+func TestUserAgentAssigned(t *testing.T) {
+	g := testGen(19, 0.005, 2)
+	seen := map[string]bool{}
+	for s := g.Next(); s != nil; s = g.Next() {
+		if s.UserAgent == "" {
+			t.Fatal("session without user agent")
+		}
+		seen[s.UserAgent] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("only %d distinct user agents seen", len(seen))
+	}
+}
+
+func TestQuickSessionQueryRate(t *testing.T) {
+	g := testGen(23, 0.02, 4)
+	quick, withQueries := 0, 0
+	for s := g.Next(); s != nil; s = g.Next() {
+		if !s.Quick {
+			continue
+		}
+		quick++
+		if len(s.Queries) > 0 {
+			withQueries++
+		}
+	}
+	frac := float64(withQueries) / float64(quick)
+	if math.Abs(frac-model.QuickSessionQueryFraction) > 0.02 {
+		t.Errorf("quick sessions with queries = %v, want ≈%v", frac, model.QuickSessionQueryFraction)
+	}
+}
+
+func TestGeomMean(t *testing.T) {
+	sh := NewShaper(1, nil, model.Default())
+	for _, mean := range []float64{0.5, 2, 5} {
+		var sum float64
+		const n = 200000
+		for i := 0; i < n; i++ {
+			sum += float64(sh.geom(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean)/mean > 0.05 {
+			t.Errorf("geom(%v) mean = %v", mean, got)
+		}
+	}
+	if sh.geom(0) != 0 || sh.geom(-1) != 0 {
+		t.Error("non-positive mean must yield 0")
+	}
+}
+
+func TestAddrAndEnd(t *testing.T) {
+	g := testGen(29, 0.002, 1)
+	s := g.Next()
+	if s == nil {
+		t.Fatal("no session")
+	}
+	if !s.Addr().Is4() {
+		t.Error("address not IPv4")
+	}
+	if s.End() != s.Start+s.Duration {
+		t.Error("End mismatch")
+	}
+}

@@ -1,0 +1,297 @@
+package capture
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// smallTrace runs a short, small-scale capture once per test binary.
+func smallTrace(t *testing.T, seed uint64, scale float64, days int) *trace.Trace {
+	t.Helper()
+	cfg := DefaultConfig(seed, scale)
+	cfg.Workload.Days = days
+	return New(cfg).Run()
+}
+
+func TestDeterminism(t *testing.T) {
+	a := smallTrace(t, 42, 0.002, 1)
+	b := smallTrace(t, 42, 0.002, 1)
+	if len(a.Conns) != len(b.Conns) || len(a.Queries) != len(b.Queries) {
+		t.Fatalf("sizes differ: %d/%d conns, %d/%d queries",
+			len(a.Conns), len(b.Conns), len(a.Queries), len(b.Queries))
+	}
+	if a.Counts != b.Counts {
+		t.Fatalf("counts differ: %+v vs %+v", a.Counts, b.Counts)
+	}
+	for i := range a.Conns {
+		if a.Conns[i] != b.Conns[i] {
+			t.Fatalf("conn %d differs", i)
+		}
+	}
+}
+
+func TestConnectionVolume(t *testing.T) {
+	tr := smallTrace(t, 1, 0.005, 2)
+	want := 4361965.0 * 0.005 * 2 / 40
+	got := float64(len(tr.Conns))
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("connections = %v, want ≈%v", got, want)
+	}
+}
+
+func TestAllConnectionsClosed(t *testing.T) {
+	tr := smallTrace(t, 2, 0.003, 1)
+	for i := range tr.Conns {
+		c := &tr.Conns[i]
+		if c.End <= c.Start {
+			t.Fatalf("conn %d: end %v ≤ start %v", c.ID, c.End, c.Start)
+		}
+	}
+}
+
+func TestQuickDisconnectShare(t *testing.T) {
+	// ~70% of recorded sessions must be under 64 s (rule 3's motivation).
+	tr := smallTrace(t, 3, 0.005, 2)
+	short := 0
+	for i := range tr.Conns {
+		if tr.Conns[i].Duration() < 64*time.Second {
+			short++
+		}
+	}
+	frac := float64(short) / float64(len(tr.Conns))
+	// Silent quick closes get the +30 s overestimate and escape the 64 s
+	// bucket, but those are only ~5% of quick sessions.
+	if frac < 0.60 || frac > 0.75 {
+		t.Errorf("short-session fraction = %v, want ≈0.66–0.70", frac)
+	}
+}
+
+func TestSilentCloseOverestimate(t *testing.T) {
+	// Silently closed sessions end after their last message by up to the
+	// probe cadence plus the probe timeout.
+	tr := smallTrace(t, 4, 0.003, 1)
+	nSilent := 0
+	for i := range tr.Conns {
+		if tr.Conns[i].SilentClose {
+			nSilent++
+		}
+	}
+	if nSilent == 0 {
+		t.Fatal("no silent closes observed")
+	}
+	// 5% of sessions are silent (crashes, NAT timeouts, network drops;
+	// a BYE-less client exit still produces an observable TCP FIN).
+	frac := float64(nSilent) / float64(len(tr.Conns))
+	if frac < 0.02 || frac > 0.09 {
+		t.Errorf("silent-close fraction = %v", frac)
+	}
+}
+
+func TestUltrapeerShare(t *testing.T) {
+	tr := smallTrace(t, 5, 0.005, 2)
+	up := 0
+	for i := range tr.Conns {
+		if tr.Conns[i].Ultrapeer {
+			up++
+		}
+	}
+	frac := float64(up) / float64(len(tr.Conns))
+	if math.Abs(frac-model.UltrapeerFraction) > 0.03 {
+		t.Errorf("ultrapeer share = %v, want ≈0.40", frac)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	// The message-count ordering of Table 1: QUERY > PING > PONG ≫
+	// QUERYHIT, and hop-1 queries a small share of all queries.
+	tr := smallTrace(t, 6, 0.01, 2)
+	c := tr.Counts
+	// Paper ratios: QUERY:PING:PONG:HIT ≈ 25.7:20.3:13.3:1. Automation
+	// burstiness and the pre-steady-state background (the heavy-tailed
+	// session durations need days to fill the slot pool) give this short
+	// run ≈±30% ratio noise, so the band checks ordering and rough
+	// magnitude only; cmd/repro at 40 days reproduces the composition.
+	if !(c.Query > c.Ping && c.Ping > c.Pong && c.Pong > 3*c.QueryHit) {
+		t.Errorf("count ordering violated: %+v", c)
+	}
+	hop1Share := float64(c.QueryHop1) / float64(c.Query)
+	if hop1Share < 0.01 || hop1Share > 0.25 {
+		t.Errorf("hop-1 query share = %v, want small (paper: ≈5%%)", hop1Share)
+	}
+	if uint64(len(tr.Queries)) != c.QueryHop1 {
+		t.Errorf("recorded queries %d != hop-1 count %d", len(tr.Queries), c.QueryHop1)
+	}
+}
+
+func TestQueriesAttributable(t *testing.T) {
+	tr := smallTrace(t, 7, 0.005, 1)
+	if len(tr.Queries) == 0 {
+		t.Fatal("no hop-1 queries recorded")
+	}
+	for i := range tr.Queries {
+		q := &tr.Queries[i]
+		if q.Hops != 1 {
+			t.Fatalf("recorded query with hops %d", q.Hops)
+		}
+		if q.ConnID >= uint64(len(tr.Conns)) {
+			t.Fatalf("query references unknown conn %d", q.ConnID)
+		}
+		c := &tr.Conns[q.ConnID]
+		if q.At < c.Start || q.At > c.End {
+			t.Fatalf("query at %v outside its session [%v, %v]", q.At, c.Start, c.End)
+		}
+	}
+}
+
+func TestPongRecords(t *testing.T) {
+	tr := smallTrace(t, 8, 0.005, 1)
+	var hop1, remote int
+	reg := geo.Default()
+	for i := range tr.Pongs {
+		p := &tr.Pongs[i]
+		if p.Hops == 1 {
+			hop1++
+		} else {
+			remote++
+		}
+		if reg.Lookup(p.Addr) == geo.Unknown {
+			t.Fatalf("pong from unassigned address %v", p.Addr)
+		}
+	}
+	if hop1 == 0 || remote == 0 {
+		t.Fatalf("pongs: hop1=%d remote=%d, want both present", hop1, remote)
+	}
+	// At most one hop-1 pong per connection.
+	if hop1 > len(tr.Conns) {
+		t.Errorf("hop-1 pongs %d exceed connections %d", hop1, len(tr.Conns))
+	}
+}
+
+func TestHitsSampled(t *testing.T) {
+	tr := smallTrace(t, 9, 0.005, 1)
+	if tr.Counts.QueryHit == 0 {
+		t.Fatal("no query hits observed")
+	}
+	// Sampled records should be roughly SampleRate × count.
+	want := float64(tr.Counts.QueryHit) * tr.HitSampleRate
+	got := float64(len(tr.Hits))
+	if want > 20 && math.Abs(got-want)/want > 0.5 {
+		t.Errorf("sampled hits = %v, want ≈%v", got, want)
+	}
+}
+
+func TestRegionMixOfConnections(t *testing.T) {
+	tr := smallTrace(t, 10, 0.01, 2)
+	reg := geo.Default()
+	counts := map[geo.Region]int{}
+	for i := range tr.Conns {
+		counts[reg.Lookup(tr.Conns[i].Addr)]++
+	}
+	na := float64(counts[geo.NorthAmerica]) / float64(len(tr.Conns))
+	if na < 0.55 || na > 0.85 {
+		t.Errorf("NA share of connections = %v", na)
+	}
+	if counts[geo.Unknown] > 0 {
+		t.Error("connections from unassigned address space")
+	}
+}
+
+func TestMaxConnsRespected(t *testing.T) {
+	cfg := DefaultConfig(11, 0.02)
+	cfg.Workload.Days = 1
+	cfg.MaxConns = 5 // tiny cap forces rejections
+	sim := New(cfg)
+	tr := sim.Run()
+	if sim.Rejected == 0 {
+		t.Error("expected rejections with a 5-connection cap")
+	}
+	// Verify concurrency never exceeded the cap: count overlaps.
+	type ev struct {
+		at    simtime.Time
+		delta int
+	}
+	var evs []ev
+	for i := range tr.Conns {
+		evs = append(evs, ev{tr.Conns[i].Start, 1}, ev{tr.Conns[i].End, -1})
+	}
+	// Sort by time, closes before opens at equal instants.
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && (evs[j].at < evs[j-1].at ||
+			(evs[j].at == evs[j-1].at && evs[j].delta < evs[j-1].delta)); j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+	cur, peak := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	if peak > cfg.MaxConns {
+		t.Errorf("peak concurrency %d exceeds cap %d", peak, cfg.MaxConns)
+	}
+}
+
+func TestUserAgentsRecorded(t *testing.T) {
+	tr := smallTrace(t, 12, 0.003, 1)
+	agents := map[string]int{}
+	for i := range tr.Conns {
+		if tr.Conns[i].UserAgent == "" {
+			t.Fatal("connection without user agent")
+		}
+		agents[tr.Conns[i].UserAgent]++
+	}
+	if len(agents) < 4 {
+		t.Errorf("only %d user agents", len(agents))
+	}
+}
+
+func TestSHA1QueriesPresent(t *testing.T) {
+	tr := smallTrace(t, 13, 0.01, 2)
+	sha1 := 0
+	for i := range tr.Queries {
+		if tr.Queries[i].SHA1 {
+			sha1++
+		}
+	}
+	frac := float64(sha1) / float64(len(tr.Queries))
+	// Table 2: rule 1 removes ≈24% of hop-1 queries.
+	if frac < 0.10 || frac > 0.45 {
+		t.Errorf("SHA1 share of hop-1 queries = %v, want ≈0.2–0.3", frac)
+	}
+}
+
+func TestTraceSerializationSurvives(t *testing.T) {
+	tr := smallTrace(t, 14, 0.002, 1)
+	cfgDir := t.TempDir()
+	path := cfgDir + "/x.trace"
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Counts != tr.Counts || len(back.Conns) != len(tr.Conns) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestScaledWorkloadConfig(t *testing.T) {
+	cfg := DefaultConfig(1, 0.5)
+	if cfg.Workload.Scale != 0.5 || cfg.MaxConns != 200 {
+		t.Errorf("config defaults wrong: %+v", cfg)
+	}
+	if cfg.ProbeIdle != 15*time.Second || cfg.ProbeTimeout != 15*time.Second {
+		t.Error("probe timings must match the paper")
+	}
+	_ = workload.DefaultConfig(1, 1)
+}

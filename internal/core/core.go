@@ -1,0 +1,378 @@
+// Package core implements the paper's primary contribution as a reusable
+// pipeline: given a measurement trace, it applies the Section 3.3 filter,
+// runs every Section 4 analysis, and fits the Appendix model
+// distributions (Tables A.1–A.5), producing a complete workload
+// characterization from which synthetic workloads can be generated.
+//
+// The package deliberately depends only on measurement-side packages
+// (trace, filter, analysis, dist) — it never sees generator ground truth,
+// which is what makes the repository's closed-loop validation meaningful:
+// internal/model generates behavior, internal/capture records it, and
+// this package must recover the model from the recording.
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/dist"
+	"repro/internal/filter"
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// Period indexes the peak/off-peak conditioning of the appendix tables.
+type Period int
+
+// Period values.
+const (
+	Peak Period = iota
+	OffPeak
+)
+
+func (p Period) String() string {
+	if p == Peak {
+		return "peak"
+	}
+	return "off-peak"
+}
+
+// Characterization is the full output of the pipeline: every table and
+// figure of the paper, computed from one trace.
+type Characterization struct {
+	// Table1 summarizes the raw trace.
+	Table1 analysis.Table1
+	// Table2 is the filter result with per-rule accounting.
+	Table2 *filter.Result
+	// Sessions is the enriched retained-session view.
+	Sessions []analysis.Session
+
+	Figure1 analysis.GeoDistribution
+	Figure2 analysis.SharedFiles
+	Figure3 analysis.LoadByTime
+	Figure4 analysis.PassiveFraction
+	Figure5 analysis.PassiveDurations
+	Figure6 analysis.QueriesPerSession
+	Figure7 analysis.FirstQueryTimes
+	Figure8 analysis.Interarrivals
+	Figure9 analysis.AfterLastTimes
+
+	Figure10 analysis.HotSetDrift
+	Figure11 analysis.Popularity
+	Table3   analysis.QueryClasses
+
+	// HitRates is the query hit-rate extension (the paper's future work).
+	HitRates analysis.HitRates
+
+	// Fits holds the recovered appendix models.
+	Fits Fits
+}
+
+// Fits collects the fitted model distributions of Tables A.1–A.5.
+// Missing combinations (not enough data) are left as zero values with the
+// corresponding OK flag unset.
+type Fits struct {
+	// PassiveDuration is Table A.1: body/tail lognormal mixture of the
+	// passive connected-session duration, per region and period.
+	PassiveDuration map[geo.Region][2]BodyTailFit
+	// NumQueries is Table A.2: lognormal fit of queries per active
+	// session, per region.
+	NumQueries map[geo.Region]LognormalFit
+	// FirstQuery is Table A.3: Weibull body + lognormal tail of the time
+	// until the first query, per region, period and A.3 bucket.
+	FirstQuery map[geo.Region][2][3]BodyTailFit
+	// Interarrival is Table A.4: lognormal body + Pareto tail of the
+	// query interarrival time, per region and period.
+	Interarrival map[geo.Region][2]BodyTailFit
+	// AfterLast is Table A.5: lognormal fit of the time after the last
+	// query, per region, period and A.5 bucket.
+	AfterLast map[geo.Region][2][3]LognormalFit
+}
+
+// LognormalFit is a fitted lognormal with sample context.
+type LognormalFit struct {
+	OK    bool
+	N     int
+	Model dist.Lognormal
+	KS    float64 // Kolmogorov–Smirnov distance of the fit on its data
+}
+
+// BodyTailFit is a fitted two-component mixture with sample context.
+type BodyTailFit struct {
+	OK  bool
+	N   int
+	Fit dist.BodyTailFit
+	KS  float64
+}
+
+// Splits used by the appendix fits, from the paper's tables.
+const (
+	// passiveBodyLo and passiveSplit bound Table A.1's 1–2 minute body.
+	passiveBodyLo = 64.0
+	passiveSplit  = 120.0
+	// firstQuerySplitPeak / OffPeak bound Table A.3's bodies.
+	firstQuerySplitPeak    = 45.0
+	firstQuerySplitOffPeak = 120.0
+	// iatSplit is Table A.4's body/tail boundary (β of the Pareto tail).
+	iatSplit = 103.0
+)
+
+// minFitSamples is the smallest sample size worth fitting.
+const minFitSamples = 30
+
+// Characterize runs the complete pipeline over a trace.
+func Characterize(tr *trace.Trace) *Characterization {
+	res := filter.Apply(tr)
+	sessions := analysis.Enrich(res)
+	c := &Characterization{
+		Table1:   analysis.ComputeTable1(tr),
+		Table2:   res,
+		Sessions: sessions,
+		Figure1:  analysis.ComputeFigure1(tr),
+		Figure2:  analysis.ComputeFigure2(tr),
+		Figure3:  analysis.ComputeFigure3(sessions),
+		Figure4:  analysis.ComputeFigure4(sessions),
+		Figure5:  analysis.ComputeFigure5(sessions),
+		Figure6:  analysis.ComputeFigure6(sessions),
+		Figure7:  analysis.ComputeFigure7(sessions),
+		Figure8:  analysis.ComputeFigure8(sessions),
+		Figure9:  analysis.ComputeFigure9(sessions),
+		Figure10: analysis.ComputeFigure10(sessions, tr.Days, geo.NorthAmerica),
+		Table3:   analysis.ComputeTable3(sessions, tr.Days),
+		HitRates: analysis.ComputeHitRates(tr),
+	}
+	c.Figure11, _ = analysis.ComputeFigure11(sessions, tr.Days)
+	c.Fits = fitAll(sessions)
+	return c
+}
+
+// fitAll computes the appendix fits from conditioned samples.
+func fitAll(sessions []analysis.Session) Fits {
+	f := Fits{
+		PassiveDuration: map[geo.Region][2]BodyTailFit{},
+		NumQueries:      map[geo.Region]LognormalFit{},
+		FirstQuery:      map[geo.Region][2][3]BodyTailFit{},
+		Interarrival:    map[geo.Region][2]BodyTailFit{},
+		AfterLast:       map[geo.Region][2][3]LognormalFit{},
+	}
+
+	type key struct {
+		region geo.Region
+		peak   bool
+		bucket int
+	}
+	passive := map[key][]float64{}
+	numQ := map[geo.Region][]float64{}
+	firstQ := map[key][]float64{}
+	iat := map[key][]float64{}
+	afterLast := map[key][]float64{}
+
+	for i := range sessions {
+		s := &sessions[i]
+		r := s.Region
+		if r != geo.NorthAmerica && r != geo.Europe && r != geo.Asia {
+			continue
+		}
+		if s.Passive() {
+			// Sessions closed by probe timeout carry the measurement
+			// node's detection delay; the recorded end overestimates the
+			// true end, so the duration fits use cleanly closed sessions
+			// only (the trace marks which is which).
+			if !s.Conn.SilentClose {
+				k := key{r, s.Peak, 0}
+				passive[k] = append(passive[k], s.Conn.Duration().Seconds())
+			}
+			continue
+		}
+		n := s.UserQueries
+		if n < 1 {
+			continue
+		}
+		numQ[r] = append(numQ[r], float64(n))
+		if first, ok := s.FirstQueryTime(); ok && first > 0 {
+			k := key{r, s.Peak, bucketA3(n)}
+			firstQ[k] = append(firstQ[k], first.Seconds())
+		}
+		for _, d := range s.Interarrivals() {
+			if d > 0 {
+				k := key{r, s.Peak, 0}
+				iat[k] = append(iat[k], d.Seconds())
+			}
+		}
+		if gap, ok := s.LastQueryGap(); ok && gap > 0 {
+			k := key{r, s.Peak, bucketA5(n)}
+			afterLast[k] = append(afterLast[k], gap.Seconds())
+		}
+	}
+
+	for _, r := range []geo.Region{geo.NorthAmerica, geo.Europe, geo.Asia} {
+		// A.1 — passive durations.
+		var pd [2]BodyTailFit
+		for p := 0; p < 2; p++ {
+			xs := passive[key{r, p == 0, 0}]
+			pd[p] = fitBodyTail(xs, func(v []float64) (dist.BodyTailFit, error) {
+				return dist.FitBimodalLognormal(v, passiveBodyLo, passiveSplit)
+			})
+		}
+		f.PassiveDuration[r] = pd
+
+		// A.2 — queries per session: counts are rounded-and-floored, so
+		// the interval-censored fitter recovers the continuous lognormal.
+		f.NumQueries[r] = fitLognormalCounts(numQ[r])
+
+		// A.3 — time until first query.
+		var fq [2][3]BodyTailFit
+		for p := 0; p < 2; p++ {
+			split := firstQuerySplitPeak
+			if Period(p) == OffPeak {
+				split = firstQuerySplitOffPeak
+			}
+			for b := 0; b < 3; b++ {
+				xs := firstQ[key{r, p == 0, b}]
+				fq[p][b] = fitBodyTail(xs, func(v []float64) (dist.BodyTailFit, error) {
+					return dist.FitWeibullLognormal(v, 0, split)
+				})
+			}
+		}
+		f.FirstQuery[r] = fq
+
+		// A.4 — interarrival times.
+		var ia [2]BodyTailFit
+		for p := 0; p < 2; p++ {
+			xs := iat[key{r, p == 0, 0}]
+			ia[p] = fitBodyTail(xs, func(v []float64) (dist.BodyTailFit, error) {
+				return dist.FitLognormalPareto(v, 0, iatSplit)
+			})
+		}
+		f.Interarrival[r] = ia
+
+		// A.5 — time after last query.
+		var al [2][3]LognormalFit
+		for p := 0; p < 2; p++ {
+			for b := 0; b < 3; b++ {
+				al[p][b] = fitLognormal(afterLast[key{r, p == 0, b}])
+			}
+		}
+		f.AfterLast[r] = al
+	}
+	return f
+}
+
+func fitLognormalCounts(xs []float64) LognormalFit {
+	if len(xs) < minFitSamples {
+		return LognormalFit{N: len(xs)}
+	}
+	m, err := dist.FitLognormalCounts(xs)
+	if err != nil {
+		return LognormalFit{N: len(xs)}
+	}
+	return LognormalFit{OK: true, N: len(xs), Model: m, KS: dist.KS(xs, m)}
+}
+
+func fitLognormal(xs []float64) LognormalFit {
+	if len(xs) < minFitSamples {
+		return LognormalFit{N: len(xs)}
+	}
+	m, err := dist.FitLognormal(xs)
+	if err != nil {
+		return LognormalFit{N: len(xs)}
+	}
+	return LognormalFit{OK: true, N: len(xs), Model: m, KS: dist.KS(xs, m)}
+}
+
+func fitBodyTail(xs []float64, fit func([]float64) (dist.BodyTailFit, error)) BodyTailFit {
+	if len(xs) < minFitSamples {
+		return BodyTailFit{N: len(xs)}
+	}
+	bt, err := fit(xs)
+	if err != nil {
+		return BodyTailFit{N: len(xs)}
+	}
+	return BodyTailFit{OK: true, N: len(xs), Fit: bt, KS: dist.KS(xs, bt.Mixture())}
+}
+
+func bucketA3(n int) int {
+	switch {
+	case n < 3:
+		return 0
+	case n == 3:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func bucketA5(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n <= 7:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// SyntheticDists converts the characterization's fits into sampleable
+// distributions mirroring the shape of internal/model — the "use the
+// measured characterization to generate a synthetic workload" step of the
+// paper's Section 4.7. It returns false when the trace was too small to
+// fit the requested combination.
+func (c *Characterization) SyntheticDists(r geo.Region, p Period) (passive, firstQ, iat dist.Dist, ok bool) {
+	pd := c.Fits.PassiveDuration[r][p]
+	fq := c.Fits.FirstQuery[r][p][0]
+	ia := c.Fits.Interarrival[r][p]
+	if !pd.OK || !fq.OK || !ia.OK {
+		return nil, nil, nil, false
+	}
+	return pd.Fit.Mixture(), fq.Fit.Mixture(), ia.Fit.Mixture(), true
+}
+
+// PassiveShare returns the measured overall passive-session share, the
+// headline Figure 4 number.
+func (c *Characterization) PassiveShare() float64 {
+	if len(c.Sessions) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for i := range c.Sessions {
+		if c.Sessions[i].Passive() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.Sessions))
+}
+
+// MedianSessionDuration returns the median recorded duration of retained
+// sessions.
+func (c *Characterization) MedianSessionDuration() time.Duration {
+	if len(c.Sessions) == 0 {
+		return 0
+	}
+	ds := make([]float64, 0, len(c.Sessions))
+	for i := range c.Sessions {
+		ds = append(ds, c.Sessions[i].Conn.Duration().Seconds())
+	}
+	var sample sampleSorter = ds
+	return time.Duration(sample.median() * float64(time.Second))
+}
+
+type sampleSorter []float64
+
+func (s sampleSorter) median() float64 {
+	// Selection by partial sort: n is small enough that a full sort is
+	// fine, but avoid mutating the caller's order anyway.
+	cp := make([]float64, len(s))
+	copy(cp, s)
+	// insertion-free: use sort package
+	sortFloats(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+func sortFloats(xs []float64) { sort.Float64s(xs) }

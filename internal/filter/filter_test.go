@@ -1,0 +1,352 @@
+package filter
+
+import (
+	"math/rand/v2"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// build constructs a trace with one connection and the given queries.
+func build(dur time.Duration, queries ...trace.Query) *trace.Trace {
+	tr := &trace.Trace{
+		Conns: []trace.Conn{{
+			ID: 0, Start: 0, End: dur,
+			Addr: netip.MustParseAddr("66.0.0.1"),
+		}},
+	}
+	for i := range queries {
+		queries[i].ConnID = 0
+		queries[i].Hops = 1
+		tr.Queries = append(tr.Queries, queries[i])
+	}
+	return tr
+}
+
+func at(sec float64) trace.Time { return trace.Time(sec * float64(time.Second)) }
+
+func TestRule1SHA1Discarded(t *testing.T) {
+	tr := build(5*time.Minute,
+		trace.Query{At: at(10), Text: "real query"},
+		trace.Query{At: at(20), SHA1: true},
+		trace.Query{At: at(30), Text: ""},
+	)
+	res := Apply(tr)
+	if res.Rule1SHA1 != 2 {
+		t.Errorf("rule 1 = %d, want 2", res.Rule1SHA1)
+	}
+	if res.FinalQueries != 1 {
+		t.Errorf("final queries = %d", res.FinalQueries)
+	}
+}
+
+func TestRule2DuplicatesWithinSession(t *testing.T) {
+	tr := build(5*time.Minute,
+		trace.Query{At: at(10), Text: "blue mountain"},
+		trace.Query{At: at(70), Text: "mountain blue"}, // same keyword set
+		trace.Query{At: at(130), Text: "BLUE MOUNTAIN"},
+		trace.Query{At: at(190), Text: "other thing"},
+	)
+	res := Apply(tr)
+	if res.Rule2Duplicates != 2 {
+		t.Errorf("rule 2 = %d, want 2", res.Rule2Duplicates)
+	}
+	if res.FinalQueries != 2 {
+		t.Errorf("final queries = %d", res.FinalQueries)
+	}
+}
+
+func TestRule2ScopedPerSession(t *testing.T) {
+	// The same keyword set from two different sessions is not a duplicate.
+	tr := &trace.Trace{
+		Conns: []trace.Conn{
+			{ID: 0, Start: 0, End: 2 * time.Minute, Addr: netip.MustParseAddr("66.0.0.1")},
+			{ID: 1, Start: 0, End: 2 * time.Minute, Addr: netip.MustParseAddr("66.0.0.2")},
+		},
+		Queries: []trace.Query{
+			{ConnID: 0, At: at(10), Text: "same thing", Hops: 1},
+			{ConnID: 1, At: at(10), Text: "same thing", Hops: 1},
+		},
+	}
+	res := Apply(tr)
+	if res.Rule2Duplicates != 0 {
+		t.Errorf("rule 2 = %d, want 0", res.Rule2Duplicates)
+	}
+	if res.FinalQueries != 2 {
+		t.Errorf("final = %d", res.FinalQueries)
+	}
+}
+
+func TestRule3ShortSessions(t *testing.T) {
+	tr := &trace.Trace{
+		Conns: []trace.Conn{
+			{ID: 0, Start: 0, End: 30 * time.Second, Addr: netip.MustParseAddr("66.0.0.1")},
+			{ID: 1, Start: 0, End: 63*time.Second + 999*time.Millisecond, Addr: netip.MustParseAddr("66.0.0.2")},
+			{ID: 2, Start: 0, End: 64 * time.Second, Addr: netip.MustParseAddr("66.0.0.3")},
+		},
+		Queries: []trace.Query{
+			{ConnID: 0, At: at(5), Text: "gone with session", Hops: 1},
+			{ConnID: 2, At: at(5), Text: "kept", Hops: 1},
+		},
+	}
+	res := Apply(tr)
+	if res.Rule3Sessions != 2 {
+		t.Errorf("rule 3 sessions = %d, want 2", res.Rule3Sessions)
+	}
+	if res.Rule3Queries != 1 {
+		t.Errorf("rule 3 queries = %d, want 1", res.Rule3Queries)
+	}
+	if res.FinalSessions != 1 || res.FinalQueries != 1 {
+		t.Errorf("final = %d sessions / %d queries", res.FinalSessions, res.FinalQueries)
+	}
+}
+
+func TestRule4SubSecond(t *testing.T) {
+	tr := build(5*time.Minute,
+		trace.Query{At: at(1.0), Text: "a"},
+		trace.Query{At: at(1.5), Text: "b"}, // 0.5 s after a
+		trace.Query{At: at(2.2), Text: "c"}, // 0.7 s after b
+		trace.Query{At: at(60), Text: "d"},
+	)
+	res := Apply(tr)
+	if res.Rule4SubSecond != 2 {
+		t.Errorf("rule 4 = %d, want 2", res.Rule4SubSecond)
+	}
+	// Queries a and d survive for the IAT measure; d contributes one IAT.
+	if res.IATQueries != 1 {
+		t.Errorf("IAT-eligible = %d, want 1", res.IATQueries)
+	}
+	s := res.Sessions[0]
+	iats := s.Interarrivals()
+	if len(iats) != 1 || iats[0] != 59*time.Second {
+		t.Errorf("interarrivals = %v", iats)
+	}
+}
+
+func TestRule5FixedIntervals(t *testing.T) {
+	tr := build(10*time.Minute,
+		trace.Query{At: at(5), Text: "user one"},
+		trace.Query{At: at(100), Text: "auto a"},
+		trace.Query{At: at(110), Text: "auto b"},
+		trace.Query{At: at(120), Text: "auto c"},
+		trace.Query{At: at(130), Text: "auto d"},
+	)
+	res := Apply(tr)
+	// The 10-second run: b, c, d flagged plus a (run membership).
+	if res.Rule5FixedInterval != 4 {
+		t.Errorf("rule 5 = %d, want 4", res.Rule5FixedInterval)
+	}
+	s := res.Sessions[0]
+	if s.NumUserQueries() != 1 {
+		t.Errorf("user queries = %d, want 1", s.NumUserQueries())
+	}
+	if s.NumAllQueries() != 5 {
+		t.Errorf("all queries = %d, want 5", s.NumAllQueries())
+	}
+}
+
+func TestRule5RequiresThreeInARow(t *testing.T) {
+	// Two equal IATs by chance (a-b and b-c different) must not flag.
+	tr := build(10*time.Minute,
+		trace.Query{At: at(10), Text: "a"},
+		trace.Query{At: at(40), Text: "b"},
+		trace.Query{At: at(90), Text: "c"},
+	)
+	res := Apply(tr)
+	if res.Rule5FixedInterval != 0 {
+		t.Errorf("rule 5 = %d, want 0", res.Rule5FixedInterval)
+	}
+	if res.IATQueries != 2 {
+		t.Errorf("IAT queries = %d, want 2", res.IATQueries)
+	}
+}
+
+func TestPassiveSessions(t *testing.T) {
+	tr := &trace.Trace{
+		Conns: []trace.Conn{
+			{ID: 0, Start: 0, End: 2 * time.Minute, Addr: netip.MustParseAddr("66.0.0.1")},
+		},
+	}
+	res := Apply(tr)
+	if res.FinalSessions != 1 {
+		t.Fatalf("final sessions = %d", res.FinalSessions)
+	}
+	s := res.Sessions[0]
+	if !s.Passive() {
+		t.Error("session should be passive")
+	}
+	if _, ok := s.FirstQueryTime(); ok {
+		t.Error("passive session has no first query")
+	}
+	if _, ok := s.LastQueryGap(); ok {
+		t.Error("passive session has no last query")
+	}
+}
+
+func TestFirstAndLastQueryTimes(t *testing.T) {
+	tr := build(10*time.Minute,
+		trace.Query{At: at(30), Text: "first"},
+		trace.Query{At: at(300), Text: "last"},
+	)
+	res := Apply(tr)
+	s := res.Sessions[0]
+	first, ok := s.FirstQueryTime()
+	if !ok || first != 30*time.Second {
+		t.Errorf("first = %v ok=%v", first, ok)
+	}
+	gap, ok := s.LastQueryGap()
+	if !ok || gap != 5*time.Minute {
+		t.Errorf("last gap = %v ok=%v", gap, ok)
+	}
+}
+
+func TestFirstQuerySkipsRule5(t *testing.T) {
+	// A session whose earliest messages are interval automation: the
+	// user's first query is the first non-rule-5 one.
+	tr := build(10*time.Minute,
+		trace.Query{At: at(2), Text: "auto a"},
+		trace.Query{At: at(12), Text: "auto b"},
+		trace.Query{At: at(22), Text: "auto c"},
+		trace.Query{At: at(100), Text: "real"},
+	)
+	res := Apply(tr)
+	s := res.Sessions[0]
+	first, ok := s.FirstQueryTime()
+	if !ok || first != 100*time.Second {
+		t.Errorf("first = %v (ok=%v), want 100 s", first, ok)
+	}
+}
+
+func TestTable2Accounting(t *testing.T) {
+	// The identity: total = rule1 + rule2 + rule3 + final.
+	tr := build(5*time.Minute,
+		trace.Query{At: at(1), Text: "a"},
+		trace.Query{At: at(2), SHA1: true},
+		trace.Query{At: at(3), Text: "a"},
+		trace.Query{At: at(65), Text: "b"},
+	)
+	tr.Conns = append(tr.Conns, trace.Conn{
+		ID: 1, Start: 0, End: 10 * time.Second, Addr: netip.MustParseAddr("80.0.0.1"),
+	})
+	tr.Queries = append(tr.Queries, trace.Query{ConnID: 1, At: at(3), Text: "short session q", Hops: 1})
+	res := Apply(tr)
+	total := res.Rule1SHA1 + res.Rule2Duplicates + res.Rule3Queries + res.FinalQueries
+	if total != res.TotalHop1Queries {
+		t.Errorf("accounting broken: %d+%d+%d+%d != %d",
+			res.Rule1SHA1, res.Rule2Duplicates, res.Rule3Queries, res.FinalQueries, res.TotalHop1Queries)
+	}
+	if res.TotalSessions != res.Rule3Sessions+res.FinalSessions {
+		t.Error("session accounting broken")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	res := Apply(&trace.Trace{})
+	if res.TotalSessions != 0 || res.FinalQueries != 0 || len(res.Sessions) != 0 {
+		t.Error("empty trace should produce empty result")
+	}
+}
+
+func TestRule4FlagsSubSecondFirstQuery(t *testing.T) {
+	// A query within a second of connection establishment is the head of a
+	// pre-connection re-issue burst; its timing is system-determined.
+	tr := build(5*time.Minute,
+		trace.Query{At: at(0.3), Text: "burst head"},
+		trace.Query{At: at(0.8), Text: "burst second"},
+		trace.Query{At: at(90), Text: "real"},
+	)
+	res := Apply(tr)
+	if res.Rule4SubSecond != 2 {
+		t.Fatalf("rule 4 = %d, want 2 (head + second)", res.Rule4SubSecond)
+	}
+	first, ok := res.Sessions[0].FirstQueryTime()
+	if !ok || first != 90*time.Second {
+		t.Fatalf("first user-timed query = %v (ok=%v), want 90 s", first, ok)
+	}
+}
+
+func TestFirstQueryTimeAllFlagged(t *testing.T) {
+	// A session whose every query is system-timed has no user-timed first
+	// query.
+	tr := build(5*time.Minute,
+		trace.Query{At: at(0.2), Text: "a"},
+		trace.Query{At: at(0.7), Text: "b"},
+	)
+	res := Apply(tr)
+	if _, ok := res.Sessions[0].FirstQueryTime(); ok {
+		t.Fatal("all-flagged session should have no first-query sample")
+	}
+	if res.Sessions[0].Passive() {
+		t.Fatal("session still counts as active (queries survive rules 1-2)")
+	}
+}
+
+// Property: the Table 2 accounting identity holds for arbitrary traces.
+func TestPropertyAccountingIdentity(t *testing.T) {
+	f := func(seed uint64, rawConns uint8, rawQueries uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		nConns := int(rawConns)%20 + 1
+		tr := &trace.Trace{}
+		for i := 0; i < nConns; i++ {
+			dur := time.Duration(rng.IntN(300)) * time.Second
+			tr.Conns = append(tr.Conns, trace.Conn{
+				ID: uint64(i), Start: 0, End: dur,
+				Addr: netip.AddrFrom4([4]byte{66, 0, 0, byte(i + 1)}),
+			})
+		}
+		nQueries := int(rawQueries) % 60
+		words := []string{"a", "b", "c", "d", "e"}
+		for i := 0; i < nQueries; i++ {
+			conn := rng.IntN(nConns)
+			q := trace.Query{
+				ConnID: uint64(conn),
+				At:     time.Duration(rng.IntN(280)) * time.Second,
+				Hops:   1,
+			}
+			switch rng.IntN(4) {
+			case 0:
+				q.SHA1 = true
+			default:
+				q.Text = words[rng.IntN(len(words))] + " " + words[rng.IntN(len(words))]
+			}
+			tr.Queries = append(tr.Queries, q)
+		}
+		res := Apply(tr)
+		queriesOK := res.Rule1SHA1+res.Rule2Duplicates+res.Rule3Queries+res.FinalQueries == res.TotalHop1Queries
+		sessionsOK := res.Rule3Sessions+res.FinalSessions == res.TotalSessions
+		flaggedOK := res.Rule4SubSecond+res.Rule5FixedInterval+res.IATQueries <= res.FinalQueries+res.FinalSessions
+		return queriesOK && sessionsOK && flaggedOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Apply is deterministic and idempotent in its accounting.
+func TestPropertyApplyDeterministic(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		tr := &trace.Trace{}
+		for i := 0; i < 10; i++ {
+			tr.Conns = append(tr.Conns, trace.Conn{
+				ID: uint64(i), End: time.Duration(rng.IntN(200)) * time.Second,
+				Addr: netip.AddrFrom4([4]byte{80, 0, 0, byte(i + 1)}),
+			})
+			tr.Queries = append(tr.Queries, trace.Query{
+				ConnID: uint64(i), At: time.Duration(rng.IntN(200)) * time.Second,
+				Text: "q", Hops: 1,
+			})
+		}
+		a, b := Apply(tr), Apply(tr)
+		return a.FinalQueries == b.FinalQueries &&
+			a.Rule4SubSecond == b.Rule4SubSecond &&
+			a.Rule5FixedInterval == b.Rule5FixedInterval &&
+			len(a.Sessions) == len(b.Sessions)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

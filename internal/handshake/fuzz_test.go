@@ -1,0 +1,34 @@
+package handshake
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// FuzzReadRequest throws arbitrary text at the handshake reader; it must
+// never panic, and anything it accepts must serialize back to a form it
+// accepts again.
+func FuzzReadRequest(f *testing.F) {
+	f.Add(ConnectLine + "\r\nUser-Agent: LimeWire/3.8.10\r\nX-Ultrapeer: True\r\n\r\n")
+	f.Add(ConnectLine + "\r\n\r\n")
+	f.Add("GET / HTTP/1.1\r\n\r\n")
+	f.Add(ConnectLine + "\r\nBroken\r\n\r\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		req, err := ReadRequest(bufio.NewReader(strings.NewReader(in)))
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if err := WriteRequest(&b, req); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		again, err := ReadRequest(bufio.NewReader(strings.NewReader(b.String())))
+		if err != nil {
+			t.Fatalf("re-read of serialized request failed: %v", err)
+		}
+		if again.Headers.Len() != req.Headers.Len() {
+			t.Fatalf("header count changed: %d vs %d", req.Headers.Len(), again.Headers.Len())
+		}
+	})
+}

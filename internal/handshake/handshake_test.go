@@ -1,0 +1,235 @@
+package handshake
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeadersSetGet(t *testing.T) {
+	h := NewHeaders()
+	h.Set("user-agent", "Mutella/0.4.5")
+	h.Set("X-ULTRAPEER", "True")
+	if got := h.Get("User-Agent"); got != "Mutella/0.4.5" {
+		t.Errorf("Get = %q", got)
+	}
+	if got := h.Get("x-ultrapeer"); got != "True" {
+		t.Errorf("case-insensitive get = %q", got)
+	}
+	if !h.Has("USER-AGENT") || h.Has("Missing") {
+		t.Error("Has misbehaves")
+	}
+	h.Set("User-Agent", "LimeWire/3.8.10")
+	if h.Len() != 2 {
+		t.Errorf("len = %d after overwrite", h.Len())
+	}
+	if got := h.Get("User-Agent"); got != "LimeWire/3.8.10" {
+		t.Errorf("overwrite failed: %q", got)
+	}
+}
+
+func TestHeadersCanonicalization(t *testing.T) {
+	h := NewHeaders()
+	h.Set("x-try-ultrapeers", "1.2.3.4:6346")
+	names := h.Names()
+	if len(names) != 1 || names[0] != "X-Try-Ultrapeers" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestHeadersNilSafe(t *testing.T) {
+	var h *Headers
+	if h.Get("User-Agent") != "" || h.Has("User-Agent") {
+		t.Error("nil Headers should read as empty")
+	}
+}
+
+func TestWriteReadRequest(t *testing.T) {
+	h := NewHeaders()
+	h.Set("User-Agent", "BearShare/4.2.5")
+	h.Set("X-Ultrapeer", "False")
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, Request{Headers: h}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), ConnectLine+"\r\n") {
+		t.Fatalf("wire form: %q", buf.String())
+	}
+	req, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Headers.Get("User-Agent") != "BearShare/4.2.5" {
+		t.Errorf("headers = %v", req.Headers.String())
+	}
+}
+
+func TestReadRequestRejectsGarbage(t *testing.T) {
+	_, err := ReadRequest(bufio.NewReader(strings.NewReader("GET / HTTP/1.1\r\n\r\n")))
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadResponseStatuses(t *testing.T) {
+	ok, err := ReadResponse(bufio.NewReader(strings.NewReader("GNUTELLA/0.6 200 OK\r\n\r\n")))
+	if err != nil || !ok.Accept {
+		t.Fatalf("200: %v %v", ok, err)
+	}
+	no, err := ReadResponse(bufio.NewReader(strings.NewReader("GNUTELLA/0.6 503 Busy\r\n\r\n")))
+	if err != nil || no.Accept {
+		t.Fatalf("503: %v %v", no, err)
+	}
+	if _, err := ReadResponse(bufio.NewReader(strings.NewReader("HTTP/1.1 200\r\n\r\n"))); err == nil {
+		t.Fatal("non-gnutella status accepted")
+	}
+}
+
+func TestMalformedHeaderLine(t *testing.T) {
+	in := ConnectLine + "\r\nNoColonHere\r\n\r\n"
+	if _, err := ReadRequest(bufio.NewReader(strings.NewReader(in))); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHeaderSizeLimit(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(ConnectLine + "\r\n")
+	for i := 0; i < 1000; i++ {
+		b.WriteString("X-Filler: " + strings.Repeat("a", 100) + "\r\n")
+	}
+	b.WriteString("\r\n")
+	if _, err := ReadRequest(bufio.NewReader(strings.NewReader(b.String()))); !errors.Is(err, ErrHeadersSize) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestFullHandshake drives both sides over an in-memory duplex pipe.
+func TestFullHandshake(t *testing.T) {
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	defer sConn.Close()
+
+	serverInfo := make(chan Info, 1)
+	serverErr := make(chan error, 1)
+	go func() {
+		local := NewHeaders()
+		local.Set(HeaderUserAgent, "Mutella/0.4.5")
+		local.Set(HeaderUltrapeer, "True")
+		info, err := Accept(bufio.NewReader(sConn), sConn, local)
+		serverInfo <- info
+		serverErr <- err
+	}()
+
+	local := NewHeaders()
+	local.Set(HeaderUserAgent, "LimeWire/3.8.10")
+	local.Set(HeaderUltrapeer, "False")
+	gotServer, err := Initiate(cConn, local)
+	if err != nil {
+		t.Fatalf("initiate: %v", err)
+	}
+	if err := <-serverErr; err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	gotClient := <-serverInfo
+
+	if gotServer.UserAgent != "Mutella/0.4.5" || !gotServer.Ultrapeer {
+		t.Errorf("initiator saw %+v", gotServer)
+	}
+	if gotClient.UserAgent != "LimeWire/3.8.10" || gotClient.Ultrapeer {
+		t.Errorf("acceptor saw %+v", gotClient)
+	}
+}
+
+func TestRefuse(t *testing.T) {
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	defer sConn.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- Refuse(bufio.NewReader(sConn), sConn)
+	}()
+	_, err := Initiate(cConn, NewHeaders())
+	if !errors.Is(err, ErrRefused) {
+		t.Fatalf("initiator err = %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("refuse: %v", err)
+	}
+}
+
+// TestPipelinedBytesSurvive ensures the acceptor's bufio.Reader retains
+// bytes sent immediately after the handshake ack (message pipelining).
+func TestPipelinedBytesSurvive(t *testing.T) {
+	var wire bytes.Buffer
+	WriteRequest(&wire, Request{Headers: NewHeaders()})
+	// Acceptor's responses go elsewhere; we only feed its reader.
+	ackAndData := "GNUTELLA/0.6 200 OK\r\n\r\nPAYLOAD-BYTES"
+	wire.WriteString(ackAndData)
+
+	br := bufio.NewReader(&wire)
+	var out bytes.Buffer
+	if _, err := Accept(br, &out, NewHeaders()); err != nil {
+		t.Fatal(err)
+	}
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rest) != "PAYLOAD-BYTES" {
+		t.Fatalf("pipelined bytes = %q", rest)
+	}
+}
+
+// Property: any header name/value without CR, LF or colon round-trips
+// (up to canonicalization, which is idempotent).
+func TestPropertyHeaderRoundTrip(t *testing.T) {
+	clean := func(s string, extra ...rune) string {
+		drop := append([]rune{'\r', '\n', ':'}, extra...)
+		return strings.Map(func(r rune) rune {
+			for _, d := range drop {
+				if r == d {
+					return -1
+				}
+			}
+			return r
+		}, s)
+	}
+	f := func(name, value string) bool {
+		name = clean(name)
+		value = clean(value)
+		if strings.TrimSpace(name) == "" {
+			return true
+		}
+		h := NewHeaders()
+		h.Set(name, value)
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, Request{Headers: h}); err != nil {
+			return false
+		}
+		req, err := ReadRequest(bufio.NewReader(&buf))
+		if err != nil {
+			return false
+		}
+		return req.Headers.Get(name) == strings.TrimSpace(value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedClone(t *testing.T) {
+	h := NewHeaders()
+	h.Set("B", "2")
+	h.Set("A", "1")
+	got := h.sortedClone()
+	if len(got) != 2 || got[0] != "A: 1" || got[1] != "B: 2" {
+		t.Fatalf("sortedClone = %v", got)
+	}
+}

@@ -1,0 +1,145 @@
+package search
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Replication strategies from Cohen & Shenker (SIGCOMM '02), which the
+// paper cites as the proposed fix for unstructured search inefficiency.
+// Given a query popularity distribution q(i) over items and a total copy
+// budget, each strategy decides how many replicas r(i) each item gets:
+//
+//   - Uniform:      r(i) ∝ 1         (every item equally replicated)
+//   - Proportional: r(i) ∝ q(i)      (what passive caching produces)
+//   - SquareRoot:   r(i) ∝ √q(i)     (optimal expected search size)
+//
+// Cohen & Shenker prove square-root replication minimizes the expected
+// random-walk search cost; combined with this repository's measured
+// popularity (small Zipf α after filtering), the three policies can be
+// compared under realistic workloads (see the ablation benchmarks and
+// examples/searchsim).
+type ReplicationStrategy int
+
+// The three strategies.
+const (
+	Uniform ReplicationStrategy = iota
+	Proportional
+	SquareRoot
+)
+
+func (s ReplicationStrategy) String() string {
+	switch s {
+	case Uniform:
+		return "uniform"
+	case Proportional:
+		return "proportional"
+	default:
+		return "square-root"
+	}
+}
+
+// Allocate distributes a total copy budget over items with the given
+// popularity weights (any non-negative values; they are normalized).
+// Every item receives at least one copy when the budget allows, matching
+// Cohen & Shenker's assumption that each item exists somewhere. The
+// returned slice holds the copy count per item.
+func Allocate(strategy ReplicationStrategy, popularity []float64, budget int) []int {
+	n := len(popularity)
+	if n == 0 || budget <= 0 {
+		return make([]int, n)
+	}
+	weights := make([]float64, n)
+	var total float64
+	for i, p := range popularity {
+		if p < 0 {
+			p = 0
+		}
+		switch strategy {
+		case Uniform:
+			weights[i] = 1
+		case Proportional:
+			weights[i] = p
+		case SquareRoot:
+			weights[i] = math.Sqrt(p)
+		}
+		total += weights[i]
+	}
+	out := make([]int, n)
+	if total == 0 {
+		// Degenerate popularity (all zero): fall back to uniform.
+		for i := range weights {
+			weights[i] = 1
+		}
+		total = float64(n)
+	}
+	// Floor allocation with at least one copy each (when budget ≥ n),
+	// then distribute the remainder by largest fractional part.
+	base := 0
+	if budget >= n {
+		base = 1
+	}
+	remaining := budget - base*n
+	if remaining < 0 {
+		remaining = 0
+	}
+	type frac struct {
+		idx  int
+		part float64
+	}
+	fracs := make([]frac, n)
+	used := 0
+	for i := range out {
+		exact := float64(remaining) * weights[i] / total
+		whole := int(exact)
+		out[i] = base + whole
+		used += whole
+		fracs[i] = frac{i, exact - float64(whole)}
+	}
+	sort.Slice(fracs, func(a, b int) bool {
+		if fracs[a].part != fracs[b].part {
+			return fracs[a].part > fracs[b].part
+		}
+		return fracs[a].idx < fracs[b].idx
+	})
+	for i := 0; i < remaining-used && i < n; i++ {
+		out[fracs[i].idx]++
+	}
+	return out
+}
+
+// Provision places the allocated copies of each item onto uniformly
+// random peers of the topology. Item i is registered under keys[i].
+func Provision(t *Topology, keys []string, copies []int, rng *rand.Rand) {
+	for i, k := range keys {
+		for c := 0; c < copies[i]; c++ {
+			t.Share(rng.IntN(t.Len()), k)
+		}
+	}
+}
+
+// ExpectedSearchSize returns the analytic expected number of random-walk
+// probes to find each item under the allocation, Σ q(i)·(N/r(i)), the
+// quantity square-root replication minimizes. Items with zero copies
+// contribute +Inf.
+func ExpectedSearchSize(popularity []float64, copies []int, peers int) float64 {
+	var qTotal float64
+	for _, p := range popularity {
+		qTotal += p
+	}
+	if qTotal == 0 {
+		return 0
+	}
+	var sum float64
+	for i, p := range popularity {
+		if copies[i] == 0 {
+			if p > 0 {
+				return math.Inf(1)
+			}
+			continue
+		}
+		sum += (p / qTotal) * float64(peers) / float64(copies[i])
+	}
+	return sum
+}

@@ -1,0 +1,175 @@
+package search
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+)
+
+func zipfPopularity(alpha float64, n int) []float64 {
+	z := dist.NewZipf(alpha, n)
+	out := make([]float64, n)
+	for r := 1; r <= n; r++ {
+		out[r-1] = z.PMF(r)
+	}
+	return out
+}
+
+func TestAllocateBudgetConserved(t *testing.T) {
+	pop := zipfPopularity(0.386, 50)
+	for _, s := range []ReplicationStrategy{Uniform, Proportional, SquareRoot} {
+		for _, budget := range []int{50, 199, 1000} {
+			copies := Allocate(s, pop, budget)
+			total := 0
+			for _, c := range copies {
+				total += c
+			}
+			if total != budget {
+				t.Errorf("%v budget %d: allocated %d", s, budget, total)
+			}
+			if budget >= len(pop) {
+				for i, c := range copies {
+					if c < 1 {
+						t.Errorf("%v: item %d got no copy with sufficient budget", s, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllocateUniformIsFlat(t *testing.T) {
+	pop := zipfPopularity(1.0, 10)
+	copies := Allocate(Uniform, pop, 100)
+	for _, c := range copies {
+		if c != 10 {
+			t.Fatalf("uniform allocation = %v", copies)
+		}
+	}
+}
+
+func TestAllocateProportionalFollowsPopularity(t *testing.T) {
+	pop := []float64{0.6, 0.3, 0.1}
+	copies := Allocate(Proportional, pop, 103)
+	if !(copies[0] > copies[1] && copies[1] > copies[2]) {
+		t.Fatalf("proportional allocation = %v", copies)
+	}
+	// Rank-1 share should be near 60% of the above-minimum budget.
+	if copies[0] < 55 || copies[0] > 66 {
+		t.Fatalf("rank-1 copies = %d", copies[0])
+	}
+}
+
+func TestSquareRootBetweenUniformAndProportional(t *testing.T) {
+	pop := zipfPopularity(1.0, 20)
+	u := Allocate(Uniform, pop, 400)
+	p := Allocate(Proportional, pop, 400)
+	s := Allocate(SquareRoot, pop, 400)
+	// For the most popular item: uniform < sqrt < proportional.
+	if !(u[0] < s[0] && s[0] < p[0]) {
+		t.Fatalf("rank-1 copies: uniform %d, sqrt %d, proportional %d", u[0], s[0], p[0])
+	}
+	// For the least popular item the ordering flips.
+	last := len(pop) - 1
+	if !(u[last] > s[last] && s[last] >= p[last]) {
+		t.Fatalf("rank-%d copies: uniform %d, sqrt %d, proportional %d",
+			last+1, u[last], s[last], p[last])
+	}
+}
+
+func TestSquareRootMinimizesExpectedSearchSize(t *testing.T) {
+	// Cohen & Shenker's theorem, checked numerically on the paper's
+	// filtered popularity skew.
+	pop := zipfPopularity(0.386, 100)
+	const peers, budget = 2000, 4000
+	ess := map[ReplicationStrategy]float64{}
+	for _, s := range []ReplicationStrategy{Uniform, Proportional, SquareRoot} {
+		ess[s] = ExpectedSearchSize(pop, Allocate(s, pop, budget), peers)
+	}
+	if !(ess[SquareRoot] <= ess[Uniform] && ess[SquareRoot] <= ess[Proportional]) {
+		t.Fatalf("expected search sizes: uniform %.1f, proportional %.1f, sqrt %.1f",
+			ess[Uniform], ess[Proportional], ess[SquareRoot])
+	}
+}
+
+func TestExpectedSearchSizeEdges(t *testing.T) {
+	if got := ExpectedSearchSize(nil, nil, 100); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := ExpectedSearchSize([]float64{1}, []int{0}, 100); !math.IsInf(got, 1) {
+		t.Errorf("zero-copy popular item should be +Inf, got %v", got)
+	}
+	if got := ExpectedSearchSize([]float64{0, 1}, []int{0, 10}, 100); math.IsInf(got, 1) {
+		t.Errorf("zero-copy unpopular item should not matter, got %v", got)
+	}
+}
+
+func TestAllocateDegenerate(t *testing.T) {
+	if got := Allocate(Uniform, nil, 10); len(got) != 0 {
+		t.Error("nil popularity")
+	}
+	if got := Allocate(Uniform, []float64{1, 2}, 0); got[0] != 0 || got[1] != 0 {
+		t.Error("zero budget should allocate nothing")
+	}
+	got := Allocate(Proportional, []float64{0, 0}, 10)
+	if got[0] != 5 || got[1] != 5 {
+		// Zero weights degrade to uniform.
+		t.Errorf("zero-weight allocation = %v, want [5 5]", got)
+	}
+	// Budget below item count: no floor guarantee, but budget conserved.
+	small := Allocate(SquareRoot, zipfPopularity(1, 10), 5)
+	total := 0
+	for _, c := range small {
+		total += c
+	}
+	if total > 5 {
+		t.Errorf("over-allocated: %v", small)
+	}
+}
+
+func TestProvisionPlacesCopies(t *testing.T) {
+	top := NewTopology(100)
+	rng := newRNG(9)
+	keys := []string{"a", "b"}
+	Provision(top, keys, []int{30, 5}, rng)
+	countA, countB := 0, 0
+	for i := 0; i < 100; i++ {
+		if top.Has(i, "a") {
+			countA++
+		}
+		if top.Has(i, "b") {
+			countB++
+		}
+	}
+	// Duplicates can land on the same peer, so counts are ≤ the copies.
+	if countA == 0 || countA > 30 || countB == 0 || countB > 5 {
+		t.Fatalf("placed a=%d b=%d", countA, countB)
+	}
+	if countA <= countB {
+		t.Fatalf("popular item should be on more peers: a=%d b=%d", countA, countB)
+	}
+}
+
+// Property: allocation always conserves the budget and never goes negative.
+func TestPropertyAllocateConserves(t *testing.T) {
+	f := func(seed uint64, rawN uint8, rawBudget uint16, stratRaw uint8) bool {
+		n := int(rawN)%40 + 1
+		budget := int(rawBudget) % 2000
+		strat := ReplicationStrategy(int(stratRaw) % 3)
+		pop := zipfPopularity(0.5, n)
+		copies := Allocate(strat, pop, budget)
+		total := 0
+		for _, c := range copies {
+			if c < 0 {
+				return false
+			}
+			total += c
+		}
+		return total == budget || budget == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,280 @@
+// Package search implements the unstructured-overlay search protocols
+// that the paper's workload characterization exists to evaluate:
+// Gnutella's TTL-scoped flooding, expanding-ring search, and the k-walker
+// random walk (Lv et al.; the biased variant follows Chawathe et al.'s
+// direction of forwarding toward high-capacity nodes).
+//
+// A Topology holds the overlay graph and per-peer shared libraries; the
+// protocols run as pure functions over it, counting messages and hits, so
+// experiments are deterministic given an RNG. examples/searchsim and the
+// ablation benchmarks drive these with the Figure 12 workload.
+package search
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Topology is an overlay graph with per-peer keyword libraries.
+type Topology struct {
+	// adj[i] lists peer i's neighbors.
+	adj [][]int
+	// lib[i] holds the canonical keyword keys peer i shares.
+	lib []map[string]bool
+	// weight[i] is the peer's capacity weight for biased protocols.
+	weight []float64
+}
+
+// NewTopology creates an empty topology of n peers.
+func NewTopology(n int) *Topology {
+	return &Topology{
+		adj:    make([][]int, n),
+		lib:    make([]map[string]bool, n),
+		weight: make([]float64, n),
+	}
+}
+
+// Len returns the number of peers.
+func (t *Topology) Len() int { return len(t.adj) }
+
+// Connect adds an undirected edge between peers a and b.
+func (t *Topology) Connect(a, b int) {
+	if a == b || a < 0 || b < 0 || a >= len(t.adj) || b >= len(t.adj) {
+		return
+	}
+	t.adj[a] = append(t.adj[a], b)
+	t.adj[b] = append(t.adj[b], a)
+}
+
+// Degree returns peer i's neighbor count.
+func (t *Topology) Degree(i int) int { return len(t.adj[i]) }
+
+// Share registers a shared item (by canonical keyword key) at a peer.
+func (t *Topology) Share(peer int, key string) {
+	if t.lib[peer] == nil {
+		t.lib[peer] = make(map[string]bool)
+	}
+	t.lib[peer][key] = true
+}
+
+// SetWeight sets a peer's capacity weight (biased walks prefer heavier
+// neighbors). Weights default to zero, which biased protocols treat as 1.
+func (t *Topology) SetWeight(peer int, w float64) { t.weight[peer] = w }
+
+// Has reports whether a peer shares the key.
+func (t *Topology) Has(peer int, key string) bool { return t.lib[peer][key] }
+
+// RandomRegular wires every peer with approximately the given degree by
+// uniform random matching.
+func RandomRegular(t *Topology, degree int, rng *rand.Rand) {
+	n := t.Len()
+	if n < 2 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		for d := len(t.adj[i]); d < degree; d += 2 {
+			j := rng.IntN(n)
+			if j != i {
+				t.Connect(i, j)
+			}
+		}
+	}
+}
+
+// Result summarizes one query execution.
+type Result struct {
+	// Messages is the number of query transmissions.
+	Messages int
+	// Hits is the number of responding peers.
+	Hits int
+	// FirstHitHops is the overlay distance of the closest hit (0 when
+	// none was found).
+	FirstHitHops int
+}
+
+// Found reports whether the query located at least one copy.
+func (r Result) Found() bool { return r.Hits > 0 }
+
+// Protocol is a search strategy over a topology.
+type Protocol interface {
+	// Search runs one query for key starting at origin.
+	Search(t *Topology, origin int, key string, rng *rand.Rand) Result
+	// Name identifies the protocol in reports.
+	Name() string
+}
+
+// Flood is Gnutella's TTL-scoped flooding.
+type Flood struct {
+	TTL int
+}
+
+// Name implements Protocol.
+func (f Flood) Name() string { return fmt.Sprintf("flood(ttl=%d)", f.TTL) }
+
+// Search implements Protocol via breadth-first expansion.
+func (f Flood) Search(t *Topology, origin int, key string, _ *rand.Rand) Result {
+	var res Result
+	type hop struct{ node, depth int }
+	seen := make(map[int]bool, 64)
+	seen[origin] = true
+	frontier := []hop{{origin, 0}}
+	for len(frontier) > 0 {
+		h := frontier[0]
+		frontier = frontier[1:]
+		if h.depth == f.TTL {
+			continue
+		}
+		for _, nb := range t.adj[h.node] {
+			res.Messages++
+			if seen[nb] {
+				continue
+			}
+			seen[nb] = true
+			if t.Has(nb, key) {
+				res.Hits++
+				if res.FirstHitHops == 0 {
+					res.FirstHitHops = h.depth + 1
+				}
+			}
+			frontier = append(frontier, hop{nb, h.depth + 1})
+		}
+	}
+	return res
+}
+
+// ExpandingRing floods with growing TTLs until the first ring finds a
+// hit, the classic bandwidth-saving refinement for popular items.
+type ExpandingRing struct {
+	TTLs []int // successive rings, e.g. 1, 2, 4
+}
+
+// Name implements Protocol.
+func (e ExpandingRing) Name() string { return fmt.Sprintf("ring(%v)", e.TTLs) }
+
+// Search implements Protocol.
+func (e ExpandingRing) Search(t *Topology, origin int, key string, rng *rand.Rand) Result {
+	var total Result
+	for _, ttl := range e.TTLs {
+		r := Flood{TTL: ttl}.Search(t, origin, key, rng)
+		total.Messages += r.Messages
+		if r.Found() {
+			total.Hits = r.Hits
+			total.FirstHitHops = r.FirstHitHops
+			return total
+		}
+	}
+	return total
+}
+
+// RandomWalk is the k-walker random walk; each walker stops at its first
+// hit or after MaxSteps. Biased walks prefer higher-weight neighbors.
+type RandomWalk struct {
+	Walkers  int
+	MaxSteps int
+	Biased   bool
+}
+
+// Name implements Protocol.
+func (w RandomWalk) Name() string {
+	kind := "walk"
+	if w.Biased {
+		kind = "biased-walk"
+	}
+	return fmt.Sprintf("%s(k=%d,max=%d)", kind, w.Walkers, w.MaxSteps)
+}
+
+// Search implements Protocol.
+func (w RandomWalk) Search(t *Topology, origin int, key string, rng *rand.Rand) Result {
+	var res Result
+	for k := 0; k < w.Walkers; k++ {
+		at := origin
+		for step := 1; step <= w.MaxSteps; step++ {
+			nbs := t.adj[at]
+			if len(nbs) == 0 {
+				break
+			}
+			at = w.pick(t, nbs, rng)
+			res.Messages++
+			if t.Has(at, key) {
+				res.Hits++
+				if res.FirstHitHops == 0 || step < res.FirstHitHops {
+					res.FirstHitHops = step
+				}
+				break
+			}
+		}
+	}
+	return res
+}
+
+func (w RandomWalk) pick(t *Topology, nbs []int, rng *rand.Rand) int {
+	if !w.Biased {
+		return nbs[rng.IntN(len(nbs))]
+	}
+	var total float64
+	for _, nb := range nbs {
+		total += weightOf(t, nb)
+	}
+	u := rng.Float64() * total
+	for _, nb := range nbs {
+		u -= weightOf(t, nb)
+		if u <= 0 {
+			return nb
+		}
+	}
+	return nbs[len(nbs)-1]
+}
+
+func weightOf(t *Topology, i int) float64 {
+	if t.weight[i] <= 0 {
+		return 1
+	}
+	return t.weight[i]
+}
+
+// Summary aggregates results over a query stream.
+type Summary struct {
+	Queries   int
+	Succeeded int
+	Messages  int
+	Hits      int
+}
+
+// Add accumulates one result.
+func (s *Summary) Add(r Result) {
+	s.Queries++
+	s.Messages += r.Messages
+	s.Hits += r.Hits
+	if r.Found() {
+		s.Succeeded++
+	}
+}
+
+// SuccessRate returns the fraction of queries that found a copy.
+func (s Summary) SuccessRate() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Succeeded) / float64(s.Queries)
+}
+
+// MessagesPerQuery returns the mean transmissions per query.
+func (s Summary) MessagesPerQuery() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Messages) / float64(s.Queries)
+}
+
+// HitsPerQuery returns the mean responding peers per query.
+func (s Summary) HitsPerQuery() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Queries)
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("success %5.1f%%  msgs/query %7.1f  hits/query %5.2f",
+		100*s.SuccessRate(), s.MessagesPerQuery(), s.HitsPerQuery())
+}

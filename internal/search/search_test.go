@@ -1,0 +1,248 @@
+package search
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func newRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed^5)) }
+
+// line builds a path topology 0-1-2-…-(n-1) with the key at the far end.
+func line(n int, key string) *Topology {
+	t := NewTopology(n)
+	for i := 0; i+1 < n; i++ {
+		t.Connect(i, i+1)
+	}
+	t.Share(n-1, key)
+	return t
+}
+
+func TestTopologyBasics(t *testing.T) {
+	top := NewTopology(3)
+	top.Connect(0, 1)
+	top.Connect(1, 2)
+	if top.Len() != 3 || top.Degree(1) != 2 || top.Degree(0) != 1 {
+		t.Fatal("shape wrong")
+	}
+	top.Share(2, "abc")
+	if !top.Has(2, "abc") || top.Has(1, "abc") {
+		t.Fatal("library wrong")
+	}
+	// Self-loops and out-of-range edges are ignored.
+	top.Connect(0, 0)
+	top.Connect(0, 99)
+	top.Connect(-1, 0)
+	if top.Degree(0) != 1 {
+		t.Fatal("invalid edges accepted")
+	}
+}
+
+func TestFloodFindsWithinTTL(t *testing.T) {
+	top := line(6, "target")
+	r := Flood{TTL: 5}.Search(top, 0, "target", newRNG(1))
+	if !r.Found() || r.FirstHitHops != 5 {
+		t.Fatalf("result = %+v", r)
+	}
+	// One TTL short: not found.
+	r = Flood{TTL: 4}.Search(top, 0, "target", newRNG(1))
+	if r.Found() {
+		t.Fatalf("TTL 4 should not reach distance 5: %+v", r)
+	}
+}
+
+func TestFloodCountsAllHits(t *testing.T) {
+	top := NewTopology(4)
+	top.Connect(0, 1)
+	top.Connect(0, 2)
+	top.Connect(0, 3)
+	top.Share(1, "x")
+	top.Share(2, "x")
+	r := Flood{TTL: 1}.Search(top, 0, "x", newRNG(1))
+	if r.Hits != 2 || r.FirstHitHops != 1 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestFloodMessageGrowth(t *testing.T) {
+	// Flooding cost grows with TTL on a random graph.
+	top := NewTopology(500)
+	rng := newRNG(2)
+	RandomRegular(top, 6, rng)
+	m2 := Flood{TTL: 2}.Search(top, 0, "missing", rng).Messages
+	m4 := Flood{TTL: 4}.Search(top, 0, "missing", rng).Messages
+	if m4 <= m2 {
+		t.Fatalf("messages TTL4 %d ≤ TTL2 %d", m4, m2)
+	}
+}
+
+func TestExpandingRingStopsEarly(t *testing.T) {
+	top := NewTopology(50)
+	rng := newRNG(3)
+	RandomRegular(top, 4, rng)
+	// Plant the key on a direct neighbor of the origin.
+	nb := top.adj[0][0]
+	top.Share(nb, "close")
+	ring := ExpandingRing{TTLs: []int{1, 3, 5}}
+	r := ring.Search(top, 0, "close", rng)
+	if !r.Found() {
+		t.Fatal("ring missed adjacent key")
+	}
+	full := Flood{TTL: 5}.Search(top, 0, "close", rng)
+	if r.Messages >= full.Messages {
+		t.Fatalf("ring (%d msgs) should beat full flood (%d msgs) for a close item",
+			r.Messages, full.Messages)
+	}
+}
+
+func TestExpandingRingFallsThrough(t *testing.T) {
+	top := line(5, "far")
+	ring := ExpandingRing{TTLs: []int{1, 2, 4}}
+	r := ring.Search(top, 0, "far", newRNG(1))
+	if !r.Found() {
+		t.Fatalf("final ring should reach distance 4: %+v", r)
+	}
+}
+
+func TestRandomWalkFindsPopularItem(t *testing.T) {
+	top := NewTopology(300)
+	rng := newRNG(4)
+	RandomRegular(top, 6, rng)
+	// Replicate widely: 20% of peers share it.
+	for i := 0; i < 60; i++ {
+		top.Share(rng.IntN(300), "popular")
+	}
+	w := RandomWalk{Walkers: 8, MaxSteps: 50}
+	found := 0
+	for q := 0; q < 50; q++ {
+		if w.Search(top, rng.IntN(300), "popular", rng).Found() {
+			found++
+		}
+	}
+	if found < 45 {
+		t.Fatalf("found %d/50 for a widely replicated item", found)
+	}
+}
+
+func TestRandomWalkBoundedMessages(t *testing.T) {
+	top := NewTopology(200)
+	rng := newRNG(5)
+	RandomRegular(top, 6, rng)
+	w := RandomWalk{Walkers: 4, MaxSteps: 25}
+	r := w.Search(top, 0, "missing", rng)
+	if r.Messages > 4*25 {
+		t.Fatalf("messages %d exceed walker budget", r.Messages)
+	}
+	if r.Found() {
+		t.Fatal("found an item nobody shares")
+	}
+}
+
+func TestBiasedWalkPrefersHeavyNodes(t *testing.T) {
+	// Star-of-two: origin connects to a heavy hub and a light leaf; the
+	// hub leads to the item. The biased walk should beat the uniform walk.
+	top := NewTopology(4)
+	top.Connect(0, 1) // heavy hub
+	top.Connect(0, 2) // light leaf
+	top.Connect(1, 3) // item behind the hub
+	top.Share(3, "item")
+	top.SetWeight(1, 100)
+	top.SetWeight(2, 1)
+	rng := newRNG(6)
+	biased, uniform := 0, 0
+	for i := 0; i < 400; i++ {
+		if (RandomWalk{Walkers: 1, MaxSteps: 2, Biased: true}).Search(top, 0, "item", rng).Found() {
+			biased++
+		}
+		if (RandomWalk{Walkers: 1, MaxSteps: 2}).Search(top, 0, "item", rng).Found() {
+			uniform++
+		}
+	}
+	if biased <= uniform {
+		t.Fatalf("biased %d ≤ uniform %d", biased, uniform)
+	}
+}
+
+func TestSummaryAccumulates(t *testing.T) {
+	var s Summary
+	s.Add(Result{Messages: 10, Hits: 2, FirstHitHops: 1})
+	s.Add(Result{Messages: 20})
+	if s.Queries != 2 || s.Messages != 30 || s.Hits != 2 || s.Succeeded != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.SuccessRate() != 0.5 || s.MessagesPerQuery() != 15 || s.HitsPerQuery() != 1 {
+		t.Fatal("summary rates wrong")
+	}
+	var empty Summary
+	if empty.SuccessRate() != 0 || empty.MessagesPerQuery() != 0 || empty.HitsPerQuery() != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+	if s.String() == "" || (Flood{TTL: 2}).Name() == "" ||
+		(ExpandingRing{}).Name() == "" || (RandomWalk{Biased: true}).Name() == "" {
+		t.Fatal("names must render")
+	}
+}
+
+// Property: flooding with a larger TTL never finds fewer hits.
+func TestPropertyFloodMonotoneInTTL(t *testing.T) {
+	f := func(seed uint64, rawN uint8) bool {
+		n := int(rawN)%80 + 10
+		rng := newRNG(seed)
+		top := NewTopology(n)
+		RandomRegular(top, 4, rng)
+		key := "k"
+		for i := 0; i < n/10+1; i++ {
+			top.Share(rng.IntN(n), key)
+		}
+		origin := rng.IntN(n)
+		prev := -1
+		for ttl := 1; ttl <= 4; ttl++ {
+			r := Flood{TTL: ttl}.Search(top, origin, key, rng)
+			if r.Hits < prev {
+				return false
+			}
+			prev = r.Hits
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every protocol's message count is non-negative and hits only
+// occur with a first-hit distance.
+func TestPropertyResultsConsistent(t *testing.T) {
+	protos := []Protocol{
+		Flood{TTL: 3},
+		ExpandingRing{TTLs: []int{1, 3}},
+		RandomWalk{Walkers: 4, MaxSteps: 20},
+		RandomWalk{Walkers: 4, MaxSteps: 20, Biased: true},
+	}
+	f := func(seed uint64, rawN uint8, share uint8) bool {
+		n := int(rawN)%60 + 5
+		rng := newRNG(seed)
+		top := NewTopology(n)
+		RandomRegular(top, 4, rng)
+		for i := 0; i < int(share)%10; i++ {
+			top.Share(rng.IntN(n), "k")
+		}
+		origin := rng.IntN(n)
+		for _, p := range protos {
+			r := p.Search(top, origin, "k", rng)
+			if r.Messages < 0 || r.Hits < 0 {
+				return false
+			}
+			if r.Found() && r.FirstHitHops <= 0 {
+				return false
+			}
+			if !r.Found() && r.FirstHitHops != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

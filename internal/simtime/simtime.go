@@ -1,0 +1,191 @@
+// Package simtime provides the virtual clock and discrete-event scheduler
+// that drive the measurement simulation.
+//
+// Simulated time is a time.Duration measured from the trace epoch. The
+// paper's trace began 2004-03-15 at the measurement node in Dortmund; Epoch
+// pins that instant so absolute timestamps and day/hour bins are
+// well-defined. Nothing in the simulator reads the wall clock, which makes
+// runs byte-for-byte reproducible.
+package simtime
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Epoch is the instant at which the trace starts: 2004-03-15 00:00 local
+// time at the measurement node (CET, UTC+1 in mid-March 2004).
+var Epoch = time.Date(2004, time.March, 15, 0, 0, 0, 0, time.FixedZone("CET", 3600))
+
+// Time is an instant of simulated time, expressed as the offset from Epoch.
+type Time = time.Duration
+
+// Day and related constants express the diurnal structure of the paper's
+// analysis bins.
+const (
+	Day      = 24 * time.Hour
+	HalfHour = 30 * time.Minute
+)
+
+// Absolute converts a simulated instant to an absolute wall-clock time.
+func Absolute(t Time) time.Time { return Epoch.Add(t) }
+
+// HourOfDay returns the hour bin [0,24) of the instant, in measurement-node
+// local time — the x-axis of every diurnal figure in the paper.
+func HourOfDay(t Time) int {
+	return int((t % Day) / time.Hour)
+}
+
+// HalfHourOfDay returns the 30-minute bin [0,48) of the instant, used by
+// Figure 3.
+func HalfHourOfDay(t Time) int {
+	return int((t % Day) / HalfHour)
+}
+
+// DayIndex returns the zero-based trace day containing the instant.
+func DayIndex(t Time) int { return int(t / Day) }
+
+// At builds a simulated instant from a day index and a time of day.
+func At(day int, hour, min, sec int) Time {
+	return Time(day)*Day + Time(hour)*time.Hour + Time(min)*time.Minute + Time(sec)*time.Second
+}
+
+// Event is a scheduled callback. Fire runs at the scheduled instant with the
+// scheduler's current time.
+type Event interface {
+	Fire(now Time)
+}
+
+// EventFunc adapts a function to the Event interface.
+type EventFunc func(now Time)
+
+// Fire implements Event.
+func (f EventFunc) Fire(now Time) { f(now) }
+
+type item struct {
+	at    Time
+	seq   uint64 // tie-break: FIFO among equal timestamps, keeps runs deterministic
+	event Event
+	index int // heap index; -1 once popped or cancelled
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ it *item }
+
+// Cancelled reports whether the handle's event has been cancelled or
+// already fired.
+func (h Handle) Cancelled() bool { return h.it == nil || h.it.index == -1 }
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Scheduler is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; the simulation is deliberately sequential so that a
+// given seed always produces an identical event order.
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewScheduler returns a scheduler positioned at the trace epoch.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired returns how many events have been executed, a cheap progress and
+// complexity metric for benchmarks.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of scheduled events not yet fired or cancelled.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// Schedule queues an event at an absolute simulated instant. Scheduling in
+// the past (before Now) fires the event at the current time rather than
+// rewinding the clock.
+func (s *Scheduler) Schedule(at Time, e Event) Handle {
+	if at < s.now {
+		at = s.now
+	}
+	it := &item{at: at, seq: s.seq, event: e}
+	s.seq++
+	heap.Push(&s.events, it)
+	return Handle{it: it}
+}
+
+// After queues an event delay after the current instant.
+func (s *Scheduler) After(delay time.Duration, e Event) Handle {
+	return s.Schedule(s.now+delay, e)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (s *Scheduler) Cancel(h Handle) {
+	if h.it == nil || h.it.index == -1 {
+		return
+	}
+	heap.Remove(&s.events, h.it.index)
+	h.it.index = -1
+}
+
+// Step fires the earliest pending event, advancing the clock to its
+// timestamp. It reports false when no events remain.
+func (s *Scheduler) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	it := heap.Pop(&s.events).(*item)
+	s.now = it.at
+	s.fired++
+	it.event.Fire(s.now)
+	return true
+}
+
+// RunUntil fires events in order until the queue is empty or the next event
+// lies strictly after the horizon. The clock finishes at the horizon (or at
+// the last event, whichever is later — the clock never exceeds events that
+// fired).
+func (s *Scheduler) RunUntil(horizon Time) {
+	for len(s.events) > 0 && s.events[0].at <= horizon {
+		s.Step()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// Run drains the event queue completely.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}

@@ -1,0 +1,161 @@
+package stats
+
+import "math"
+
+// DayBinMatrix accumulates one value per (trace day, time-of-day bin) cell.
+// It backs the paper's diurnal figures: Figure 3 (queries per 30-minute bin,
+// min/avg/max over the 40 days), Figure 4 (passive fraction per hour), and
+// Figure 1 (peer mix per hour). Days are added lazily as they are touched.
+type DayBinMatrix struct {
+	bins int
+	days [][]float64
+}
+
+// NewDayBinMatrix returns a matrix with the given number of time-of-day
+// bins (24 for hourly figures, 48 for half-hourly).
+func NewDayBinMatrix(bins int) *DayBinMatrix {
+	if bins < 1 {
+		panic("stats: DayBinMatrix needs at least one bin")
+	}
+	return &DayBinMatrix{bins: bins}
+}
+
+// Bins returns the number of time-of-day bins.
+func (m *DayBinMatrix) Bins() int { return m.bins }
+
+// Days returns the number of days touched so far.
+func (m *DayBinMatrix) Days() int { return len(m.days) }
+
+func (m *DayBinMatrix) row(day int) []float64 {
+	for day >= len(m.days) {
+		m.days = append(m.days, make([]float64, m.bins))
+	}
+	return m.days[day]
+}
+
+// Add accumulates v into the (day, bin) cell. Negative indices panic:
+// they indicate a broken caller, not bad data.
+func (m *DayBinMatrix) Add(day, bin int, v float64) {
+	if day < 0 || bin < 0 || bin >= m.bins {
+		panic("stats: DayBinMatrix index out of range")
+	}
+	m.row(day)[bin] += v
+}
+
+// Cell returns the accumulated value of (day, bin); untouched days read 0.
+func (m *DayBinMatrix) Cell(day, bin int) float64 {
+	if day < 0 || day >= len(m.days) || bin < 0 || bin >= m.bins {
+		return 0
+	}
+	return m.days[day][bin]
+}
+
+// BinSeries is the min/avg/max summary of one time-of-day bin across days —
+// exactly the three curves of Figures 3 and 4.
+type BinSeries struct {
+	Min, Avg, Max []float64
+}
+
+// MinAvgMax summarizes each bin across all touched days.
+func (m *DayBinMatrix) MinAvgMax() BinSeries {
+	s := BinSeries{
+		Min: make([]float64, m.bins),
+		Avg: make([]float64, m.bins),
+		Max: make([]float64, m.bins),
+	}
+	if len(m.days) == 0 {
+		for i := 0; i < m.bins; i++ {
+			s.Min[i], s.Avg[i], s.Max[i] = math.NaN(), math.NaN(), math.NaN()
+		}
+		return s
+	}
+	for b := 0; b < m.bins; b++ {
+		mn, mx, sum := math.Inf(1), math.Inf(-1), 0.0
+		for d := range m.days {
+			v := m.days[d][b]
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+			sum += v
+		}
+		s.Min[b], s.Avg[b], s.Max[b] = mn, sum/float64(len(m.days)), mx
+	}
+	return s
+}
+
+// RatioMinAvgMax summarizes the per-day ratio num/den for each bin across
+// days, skipping (day, bin) cells whose denominator is zero. It backs
+// Figure 4, where the passive fraction in an hour bin is defined only for
+// days with sessions starting in that hour. Bins with no valid day are NaN.
+func RatioMinAvgMax(num, den *DayBinMatrix) BinSeries {
+	if num.bins != den.bins {
+		panic("stats: ratio matrices must have equal bin counts")
+	}
+	bins := num.bins
+	days := num.Days()
+	if den.Days() > days {
+		days = den.Days()
+	}
+	s := BinSeries{
+		Min: make([]float64, bins),
+		Avg: make([]float64, bins),
+		Max: make([]float64, bins),
+	}
+	for b := 0; b < bins; b++ {
+		mn, mx, sum := math.Inf(1), math.Inf(-1), 0.0
+		n := 0
+		for d := 0; d < days; d++ {
+			dv := den.Cell(d, b)
+			if dv == 0 {
+				continue
+			}
+			r := num.Cell(d, b) / dv
+			if r < mn {
+				mn = r
+			}
+			if r > mx {
+				mx = r
+			}
+			sum += r
+			n++
+		}
+		if n == 0 {
+			s.Min[b], s.Avg[b], s.Max[b] = math.NaN(), math.NaN(), math.NaN()
+			continue
+		}
+		s.Min[b], s.Avg[b], s.Max[b] = mn, sum/float64(n), mx
+	}
+	return s
+}
+
+// AvgShare returns, for each bin, this matrix's average share of the total
+// given by sum of all matrices — e.g. the fraction of peers per region per
+// hour in Figure 1. Bins where the total is zero are NaN.
+func AvgShare(part *DayBinMatrix, all []*DayBinMatrix) []float64 {
+	bins := part.bins
+	out := make([]float64, bins)
+	for b := 0; b < bins; b++ {
+		var p, total float64
+		days := 0
+		for _, m := range all {
+			if m.Days() > days {
+				days = m.Days()
+			}
+		}
+		for d := 0; d < days; d++ {
+			p += part.Cell(d, b)
+			for _, m := range all {
+				total += m.Cell(d, b)
+			}
+		}
+		if total == 0 {
+			out[b] = math.NaN()
+			continue
+		}
+		out[b] = p / total
+	}
+	return out
+}

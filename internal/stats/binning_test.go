@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDayBinMatrixBasics(t *testing.T) {
+	m := NewDayBinMatrix(24)
+	if m.Bins() != 24 || m.Days() != 0 {
+		t.Fatal("fresh matrix shape wrong")
+	}
+	m.Add(0, 3, 2)
+	m.Add(0, 3, 1)
+	m.Add(2, 3, 9)
+	if m.Days() != 3 {
+		t.Errorf("days = %d, want 3 (lazily grown through day 2)", m.Days())
+	}
+	if m.Cell(0, 3) != 3 {
+		t.Errorf("cell(0,3) = %v", m.Cell(0, 3))
+	}
+	if m.Cell(1, 3) != 0 {
+		t.Errorf("untouched day cell = %v", m.Cell(1, 3))
+	}
+	if m.Cell(9, 3) != 0 || m.Cell(0, 99) != 0 {
+		t.Error("out-of-range cell should read 0")
+	}
+}
+
+func TestDayBinMatrixPanics(t *testing.T) {
+	m := NewDayBinMatrix(4)
+	for _, f := range []func(){
+		func() { m.Add(-1, 0, 1) },
+		func() { m.Add(0, -1, 1) },
+		func() { m.Add(0, 4, 1) },
+		func() { NewDayBinMatrix(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMinAvgMax(t *testing.T) {
+	m := NewDayBinMatrix(2)
+	m.Add(0, 0, 10)
+	m.Add(1, 0, 20)
+	m.Add(2, 0, 30)
+	// bin 1 untouched on all days → min=avg=max=0
+	s := m.MinAvgMax()
+	if s.Min[0] != 10 || s.Avg[0] != 20 || s.Max[0] != 30 {
+		t.Errorf("bin 0 = %v/%v/%v", s.Min[0], s.Avg[0], s.Max[0])
+	}
+	if s.Min[1] != 0 || s.Avg[1] != 0 || s.Max[1] != 0 {
+		t.Errorf("bin 1 = %v/%v/%v", s.Min[1], s.Avg[1], s.Max[1])
+	}
+}
+
+func TestMinAvgMaxEmpty(t *testing.T) {
+	s := NewDayBinMatrix(2).MinAvgMax()
+	if !math.IsNaN(s.Avg[0]) {
+		t.Error("empty matrix should summarize to NaN")
+	}
+}
+
+func TestRatioMinAvgMax(t *testing.T) {
+	num := NewDayBinMatrix(2)
+	den := NewDayBinMatrix(2)
+	// Day 0: 8 passive of 10; day 1: 9 of 10; day 2: bin untouched (den 0).
+	num.Add(0, 0, 8)
+	den.Add(0, 0, 10)
+	num.Add(1, 0, 9)
+	den.Add(1, 0, 10)
+	num.Add(2, 1, 1) // numerator without denominator must be skipped
+	s := RatioMinAvgMax(num, den)
+	if math.Abs(s.Min[0]-0.8) > 1e-12 || math.Abs(s.Max[0]-0.9) > 1e-12 {
+		t.Errorf("bin 0 min/max = %v/%v", s.Min[0], s.Max[0])
+	}
+	if math.Abs(s.Avg[0]-0.85) > 1e-12 {
+		t.Errorf("bin 0 avg = %v", s.Avg[0])
+	}
+	if !math.IsNaN(s.Avg[1]) {
+		t.Errorf("bin 1 avg = %v, want NaN (no valid days)", s.Avg[1])
+	}
+}
+
+func TestRatioPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	RatioMinAvgMax(NewDayBinMatrix(2), NewDayBinMatrix(3))
+}
+
+func TestAvgShare(t *testing.T) {
+	na := NewDayBinMatrix(2)
+	eu := NewDayBinMatrix(2)
+	// Hour 0: NA 30, EU 10 over all days → NA share 0.75.
+	na.Add(0, 0, 20)
+	na.Add(1, 0, 10)
+	eu.Add(0, 0, 10)
+	shares := AvgShare(na, []*DayBinMatrix{na, eu})
+	if math.Abs(shares[0]-0.75) > 1e-12 {
+		t.Errorf("share[0] = %v, want 0.75", shares[0])
+	}
+	if !math.IsNaN(shares[1]) {
+		t.Errorf("share[1] = %v, want NaN (no observations)", shares[1])
+	}
+}

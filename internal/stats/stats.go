@@ -1,0 +1,239 @@
+// Package stats provides the empirical statistics the analysis pipeline
+// computes from traces: empirical CDFs/CCDFs, quantiles, histograms,
+// frequency rankings, correlation, and the day-by-hour binning matrices
+// behind the paper's diurnal figures.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sample accumulates float64 observations and answers distributional
+// queries. The zero value is ready to use. Adding invalidates the sort
+// lazily; queries re-sort only when needed.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns a sample pre-seeded with the given observations.
+func NewSample(xs ...float64) *Sample {
+	s := &Sample{}
+	s.AddAll(xs)
+	return s
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddAll appends many observations.
+func (s *Sample) AddAll(xs []float64) {
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+}
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.xs) }
+
+// Values returns the observations in insertion order. The caller must not
+// mutate the returned slice.
+func (s *Sample) Values() []float64 { return s.xs }
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Std returns the population standard deviation, or NaN when fewer than two
+// observations exist.
+func (s *Sample) Std() float64 {
+	if len(s.xs) < 2 {
+		return math.NaN()
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s.xs)))
+}
+
+// Min returns the smallest observation, or NaN for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.ensureSorted()
+	return s.xs[0]
+}
+
+// Max returns the largest observation, or NaN for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.ensureSorted()
+	return s.xs[len(s.xs)-1]
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) by linear interpolation
+// between order statistics, or NaN for an empty sample.
+func (s *Sample) Quantile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 1 {
+		return s.xs[len(s.xs)-1]
+	}
+	pos := p * float64(len(s.xs)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s.xs) {
+		return s.xs[len(s.xs)-1]
+	}
+	return s.xs[i]*(1-frac) + s.xs[i+1]*frac
+}
+
+// CDF returns the empirical fraction of observations ≤ x.
+func (s *Sample) CDF(x float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.ensureSorted()
+	return float64(sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))) / float64(len(s.xs))
+}
+
+// CCDF returns the empirical fraction of observations > x — the transform
+// used in every distribution figure of the paper.
+func (s *Sample) CCDF(x float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	return 1 - s.CDF(x)
+}
+
+// Point is one (X, Y) pair of a rendered curve.
+type Point struct {
+	X, Y float64
+}
+
+// CCDFSeries evaluates the empirical CCDF on the given grid of x values.
+func (s *Sample) CCDFSeries(grid []float64) []Point {
+	pts := make([]Point, len(grid))
+	for i, x := range grid {
+		pts[i] = Point{X: x, Y: s.CCDF(x)}
+	}
+	return pts
+}
+
+// LogSpace returns n points logarithmically spaced over [lo, hi]; lo must be
+// positive and n ≥ 2. It is the x-grid for the paper's log-scale CCDF plots.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= lo || n < 2 {
+		panic("stats: LogSpace needs 0 < lo < hi and n ≥ 2")
+	}
+	out := make([]float64, n)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	for i := range out {
+		out[i] = math.Exp(llo + (lhi-llo)*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// Pearson computes the Pearson correlation coefficient between paired
+// observations. It returns NaN when lengths differ, fewer than two pairs
+// exist, or either side is constant.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Histogram counts observations into [0, n) integer-indexed bins; values
+// outside the range land in the overflow/underflow counters.
+type Histogram struct {
+	Counts    []int64
+	Underflow int64
+	Overflow  int64
+	total     int64
+}
+
+// NewHistogram returns a histogram with n bins.
+func NewHistogram(n int) *Histogram {
+	return &Histogram{Counts: make([]int64, n)}
+}
+
+// Add counts one observation in bin i.
+func (h *Histogram) Add(i int) {
+	switch {
+	case i < 0:
+		h.Underflow++
+	case i >= len(h.Counts):
+		h.Overflow++
+	default:
+		h.Counts[i]++
+	}
+	h.total++
+}
+
+// Total returns the number of observations added, including out-of-range.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Fraction returns bin i's share of all observations, or 0 for an empty
+// histogram.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 || i < 0 || i >= len(h.Counts) {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// Fractions returns all in-range bin shares.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	for i := range h.Counts {
+		out[i] = h.Fraction(i)
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	s := NewSample(4, 1, 3, 2, 5)
+	if s.Len() != 5 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	want := math.Sqrt(2) // population std of 1..5
+	if math.Abs(s.Std()-want) > 1e-12 {
+		t.Errorf("std = %v, want %v", s.Std(), want)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	s := &Sample{}
+	for name, v := range map[string]float64{
+		"mean": s.Mean(), "std": s.Std(), "min": s.Min(), "max": s.Max(),
+		"quantile": s.Quantile(0.5), "cdf": s.CDF(1), "ccdf": s.CCDF(1),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s of empty sample = %v, want NaN", name, v)
+		}
+	}
+}
+
+func TestSampleQuantile(t *testing.T) {
+	s := NewSample(10, 20, 30, 40, 50)
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {0.25, 20}, {0.5, 30}, {0.75, 40}, {1, 50}, {0.125, 15},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSampleCDFAndCCDF(t *testing.T) {
+	s := NewSample(1, 2, 2, 3)
+	cases := []struct{ x, cdf float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {9, 1},
+	}
+	for _, c := range cases {
+		if got := s.CDF(c.x); math.Abs(got-c.cdf) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", c.x, got, c.cdf)
+		}
+		if got := s.CCDF(c.x); math.Abs(got-(1-c.cdf)) > 1e-12 {
+			t.Errorf("CCDF(%v) = %v, want %v", c.x, got, 1-c.cdf)
+		}
+	}
+}
+
+func TestAddAfterQueryResorts(t *testing.T) {
+	s := NewSample(5, 1)
+	_ = s.Min() // forces sort
+	s.Add(0)
+	if s.Min() != 0 {
+		t.Fatal("Add after query did not re-sort")
+	}
+}
+
+func TestCCDFSeries(t *testing.T) {
+	s := NewSample(1, 10, 100)
+	pts := s.CCDFSeries([]float64{0.5, 5, 50, 500})
+	wantY := []float64{1, 2.0 / 3, 1.0 / 3, 0}
+	for i, p := range pts {
+		if math.Abs(p.Y-wantY[i]) > 1e-12 {
+			t.Errorf("point %d: y = %v, want %v", i, p.Y, wantY[i])
+		}
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	g := LogSpace(1, 10000, 5)
+	want := []float64{1, 10, 100, 1000, 10000}
+	for i := range g {
+		if math.Abs(g[i]-want[i])/want[i] > 1e-9 {
+			t.Errorf("grid[%d] = %v, want %v", i, g[i], want[i])
+		}
+	}
+	for _, f := range []func(){
+		func() { LogSpace(0, 10, 5) },
+		func() { LogSpace(10, 5, 5) },
+		func() { LogSpace(1, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	if !math.IsNaN(Pearson(xs, ys[:3])) {
+		t.Error("length mismatch should be NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1, 1}, []float64{2, 3})) {
+		t.Error("constant side should be NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(3)
+	for _, i := range []int{0, 1, 1, 2, -1, 5} {
+		h.Add(i)
+	}
+	if h.Total() != 6 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Underflow != 1 || h.Overflow != 1 {
+		t.Errorf("under/over = %d/%d", h.Underflow, h.Overflow)
+	}
+	if got := h.Fraction(1); math.Abs(got-2.0/6) > 1e-12 {
+		t.Errorf("fraction(1) = %v", got)
+	}
+	fr := h.Fractions()
+	if len(fr) != 3 || fr[0] != h.Fraction(0) {
+		t.Error("Fractions mismatch")
+	}
+	if h.Fraction(-1) != 0 || h.Fraction(3) != 0 {
+		t.Error("out-of-range fraction should be 0")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(2)
+	if h.Fraction(0) != 0 {
+		t.Error("empty histogram fraction should be 0")
+	}
+}
+
+// Property: CDF is monotone and CCDF = 1 − CDF.
+func TestPropertySampleCDF(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSample(raw...)
+		if a > b {
+			a, b = b, a
+		}
+		ca, cb := s.CDF(a), s.CDF(b)
+		return ca <= cb && math.Abs(s.CCDF(a)-(1-ca)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in p and bounded by min/max.
+func TestPropertySampleQuantile(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSample(raw...)
+		p1 = math.Abs(math.Mod(p1, 1))
+		p2 = math.Abs(math.Mod(p2, 1))
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		q1, q2 := s.Quantile(p1), s.Quantile(p2)
+		return q1 <= q2 && q1 >= s.Min() && q2 <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

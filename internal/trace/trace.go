@@ -1,0 +1,431 @@
+// Package trace defines the measurement trace: what the passive
+// measurement ultrapeer records over its 40-day run. The design mirrors
+// what the paper's modified mutella client logged — per-connection
+// handshake metadata and session boundaries, full records for hop-1 QUERY
+// messages (the only queries attributable to a specific peer), shared-file
+// reports from PONG messages, and aggregate counters for the firehose of
+// forwarded wider-network traffic (Table 1).
+//
+// Traces serialize to a gob-based binary format (WriteFile/ReadFile) and
+// export to JSONL for external tooling.
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"time"
+)
+
+// Time is simulated trace time (offset from the trace epoch); an alias of
+// time.Duration, matching internal/simtime.
+type Time = time.Duration
+
+// MessageCounts aggregates every message the node received, by type —
+// the raw material of Table 1.
+type MessageCounts struct {
+	Ping     uint64
+	Pong     uint64
+	Query    uint64 // all hops, including hop-1
+	QueryHit uint64
+	Push     uint64
+	Bye      uint64
+	// QueryHop1 counts QUERY messages with hop count 1 — the subset that
+	// is individually recorded and analyzed.
+	QueryHop1 uint64
+}
+
+// Total returns the total message count.
+func (m MessageCounts) Total() uint64 {
+	return m.Ping + m.Pong + m.Query + m.QueryHit + m.Push + m.Bye
+}
+
+// Conn is one direct overlay connection (one peer session).
+type Conn struct {
+	// ID is the connection's dense index; query records refer to it.
+	ID uint64
+	// Start is when the Gnutella handshake completed.
+	Start Time
+	// End is when the node observed the connection end. For silently
+	// abandoned sessions this overestimates the true end by the probe
+	// timeout (≈30 s), exactly as in the paper's methodology.
+	End Time
+	// Addr is the peer's IPv4 address.
+	Addr netip.Addr
+	// Ultrapeer reports the peer's negotiated mode.
+	Ultrapeer bool
+	// UserAgent is the handshake User-Agent header.
+	UserAgent string
+	// SilentClose marks sessions that ended by probe timeout rather than
+	// an observed TCP close.
+	SilentClose bool
+}
+
+// Duration returns the recorded session duration.
+func (c *Conn) Duration() time.Duration { return c.End - c.Start }
+
+// Query is one hop-1 QUERY message, attributed to its connection.
+type Query struct {
+	// ConnID links to the Conn that sent the query.
+	ConnID uint64
+	// At is the receive time.
+	At Time
+	// Text is the raw search text (empty for SHA1 source hunts).
+	Text string
+	// SHA1 reports a urn:sha1 extension (filter rule 1).
+	SHA1 bool
+	// TTL and Hops are the descriptor header fields at receipt.
+	TTL  uint8
+	Hops uint8
+	// Hits counts the QUERYHIT responses the node observed for this
+	// query's GUID — the raw material of the hit-rate extension (the
+	// paper's stated future work).
+	Hits uint32
+}
+
+// Pong is a shared-library report. Hops==1 pongs come from direct peers
+// (Figure 2's "1-hop peers" series); larger hop counts are remote peers
+// observed through the overlay (the "all peers" series, and Figure 1's
+// all-peer geographic mix).
+type Pong struct {
+	At          Time
+	Addr        netip.Addr
+	SharedFiles uint32
+	Hops        uint8
+}
+
+// Hit is a QUERYHIT observation; remote hit sources contribute to the
+// all-peer geographic mix of Figure 1.
+type Hit struct {
+	At   Time
+	Addr netip.Addr
+	Hops uint8
+}
+
+// Trace is a complete measurement run.
+type Trace struct {
+	// Seed and Scale document how the trace was produced; Days is the
+	// measurement period length.
+	Seed  uint64
+	Scale float64
+	Days  int
+	// Counts aggregates all received messages (Table 1).
+	Counts MessageCounts
+	// Conns holds every direct connection.
+	Conns []Conn
+	// Queries holds every hop-1 QUERY.
+	Queries []Query
+	// Pongs holds 1-hop pongs plus a sampled subset of remote pongs;
+	// PongSampleRate is the sampling probability applied to remote pongs.
+	Pongs          []Pong
+	PongSampleRate float64
+	// Hits holds a sampled subset of QUERYHIT observations with
+	// HitSampleRate the sampling probability.
+	Hits          []Hit
+	HitSampleRate float64
+}
+
+// QueriesByConn builds an index from connection ID to that connection's
+// queries, in receive order. Connections without queries are absent.
+func (t *Trace) QueriesByConn() map[uint64][]*Query {
+	idx := make(map[uint64][]*Query)
+	for i := range t.Queries {
+		q := &t.Queries[i]
+		idx[q.ConnID] = append(idx[q.ConnID], q)
+	}
+	return idx
+}
+
+const magic = "p2pquery-trace/1"
+
+// WriteFile stores the trace in the gzip-compressed gob format.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Write streams the trace to w.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := io.WriteString(bw, magic+"\n"); err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(bw)
+	enc := gob.NewEncoder(zw)
+	if err := enc.Encode(wireTrace(t)); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadFile loads a trace written by WriteFile.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// ErrBadFormat reports a stream that is not a trace file.
+var ErrBadFormat = errors.New("trace: not a trace file")
+
+// Read parses a trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if line != magic+"\n" {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, line)
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	defer zr.Close()
+	var wt traceWire
+	if err := gob.NewDecoder(zr).Decode(&wt); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return unwireTrace(&wt), nil
+}
+
+// traceWire is the gob schema. netip.Addr is carried as 4 raw bytes to
+// keep the format compact and stable.
+type traceWire struct {
+	Seed           uint64
+	Scale          float64
+	Days           int
+	Counts         MessageCounts
+	Conns          []connWire
+	Queries        []Query
+	Pongs          []pongWire
+	PongSampleRate float64
+	Hits           []hitWire
+	HitSampleRate  float64
+}
+
+type connWire struct {
+	ID          uint64
+	Start, End  Time
+	Addr        [4]byte
+	Ultrapeer   bool
+	UserAgent   string
+	SilentClose bool
+}
+
+type pongWire struct {
+	At          Time
+	Addr        [4]byte
+	SharedFiles uint32
+	Hops        uint8
+}
+
+type hitWire struct {
+	At   Time
+	Addr [4]byte
+	Hops uint8
+}
+
+func addr4(a netip.Addr) [4]byte {
+	if a.Is4() {
+		return a.As4()
+	}
+	return [4]byte{}
+}
+
+func wireTrace(t *Trace) *traceWire {
+	wt := &traceWire{
+		Seed: t.Seed, Scale: t.Scale, Days: t.Days, Counts: t.Counts,
+		Queries:        t.Queries,
+		PongSampleRate: t.PongSampleRate,
+		HitSampleRate:  t.HitSampleRate,
+	}
+	wt.Conns = make([]connWire, len(t.Conns))
+	for i, c := range t.Conns {
+		wt.Conns[i] = connWire{
+			ID: c.ID, Start: c.Start, End: c.End, Addr: addr4(c.Addr),
+			Ultrapeer: c.Ultrapeer, UserAgent: c.UserAgent, SilentClose: c.SilentClose,
+		}
+	}
+	wt.Pongs = make([]pongWire, len(t.Pongs))
+	for i, p := range t.Pongs {
+		wt.Pongs[i] = pongWire{At: p.At, Addr: addr4(p.Addr), SharedFiles: p.SharedFiles, Hops: p.Hops}
+	}
+	wt.Hits = make([]hitWire, len(t.Hits))
+	for i, h := range t.Hits {
+		wt.Hits[i] = hitWire{At: h.At, Addr: addr4(h.Addr), Hops: h.Hops}
+	}
+	return wt
+}
+
+func unwireTrace(wt *traceWire) *Trace {
+	t := &Trace{
+		Seed: wt.Seed, Scale: wt.Scale, Days: wt.Days, Counts: wt.Counts,
+		Queries:        wt.Queries,
+		PongSampleRate: wt.PongSampleRate,
+		HitSampleRate:  wt.HitSampleRate,
+	}
+	t.Conns = make([]Conn, len(wt.Conns))
+	for i, c := range wt.Conns {
+		t.Conns[i] = Conn{
+			ID: c.ID, Start: c.Start, End: c.End, Addr: netip.AddrFrom4(c.Addr),
+			Ultrapeer: c.Ultrapeer, UserAgent: c.UserAgent, SilentClose: c.SilentClose,
+		}
+	}
+	t.Pongs = make([]Pong, len(wt.Pongs))
+	for i, p := range wt.Pongs {
+		t.Pongs[i] = Pong{At: p.At, Addr: netip.AddrFrom4(p.Addr), SharedFiles: p.SharedFiles, Hops: p.Hops}
+	}
+	t.Hits = make([]Hit, len(wt.Hits))
+	for i, h := range wt.Hits {
+		t.Hits[i] = Hit{At: h.At, Addr: netip.AddrFrom4(h.Addr), Hops: h.Hops}
+	}
+	return t
+}
+
+// jsonConn mirrors Conn for JSONL export with string addresses.
+type jsonConn struct {
+	Kind        string  `json:"kind"`
+	ID          uint64  `json:"id"`
+	StartSec    float64 `json:"start_sec"`
+	EndSec      float64 `json:"end_sec"`
+	Addr        string  `json:"addr"`
+	Ultrapeer   bool    `json:"ultrapeer"`
+	UserAgent   string  `json:"user_agent"`
+	SilentClose bool    `json:"silent_close"`
+}
+
+type jsonQuery struct {
+	Kind   string  `json:"kind"`
+	ConnID uint64  `json:"conn_id"`
+	AtSec  float64 `json:"at_sec"`
+	Text   string  `json:"text"`
+	SHA1   bool    `json:"sha1"`
+	TTL    uint8   `json:"ttl"`
+	Hops   uint8   `json:"hops"`
+}
+
+// ExportJSONL writes the trace's connections and hop-1 queries as JSON
+// lines: one object per record, kind-discriminated.
+func (t *Trace) ExportJSONL(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	enc := json.NewEncoder(bw)
+	for i := range t.Conns {
+		c := &t.Conns[i]
+		rec := jsonConn{
+			Kind: "conn", ID: c.ID,
+			StartSec: c.Start.Seconds(), EndSec: c.End.Seconds(),
+			Addr: c.Addr.String(), Ultrapeer: c.Ultrapeer,
+			UserAgent: c.UserAgent, SilentClose: c.SilentClose,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	for i := range t.Queries {
+		q := &t.Queries[i]
+		rec := jsonQuery{
+			Kind: "query", ConnID: q.ConnID, AtSec: q.At.Seconds(),
+			Text: q.Text, SHA1: q.SHA1, TTL: q.TTL, Hops: q.Hops,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ImportJSONL reads a trace from the JSONL form produced by ExportJSONL
+// (and by external tooling): one JSON object per line, kind-discriminated
+// ("conn" or "query"). Lines of unknown kind are ignored so that richer
+// streams can embed extra record types. Counts are reconstructed from the
+// imported queries (hop-1 only); message totals beyond that are not part
+// of the JSONL form.
+func ImportJSONL(r io.Reader) (*Trace, error) {
+	type probe struct {
+		Kind string `json:"kind"`
+	}
+	tr := &Trace{PongSampleRate: 1, HitSampleRate: 1}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	maxDay := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var p probe
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, fmt.Errorf("trace: jsonl line %d: %w", line, err)
+		}
+		switch p.Kind {
+		case "conn":
+			var c jsonConn
+			if err := json.Unmarshal(raw, &c); err != nil {
+				return nil, fmt.Errorf("trace: jsonl line %d: %w", line, err)
+			}
+			addr, err := netip.ParseAddr(c.Addr)
+			if err != nil {
+				return nil, fmt.Errorf("trace: jsonl line %d: addr: %w", line, err)
+			}
+			tr.Conns = append(tr.Conns, Conn{
+				ID:          c.ID,
+				Start:       secsDur(c.StartSec),
+				End:         secsDur(c.EndSec),
+				Addr:        addr,
+				Ultrapeer:   c.Ultrapeer,
+				UserAgent:   c.UserAgent,
+				SilentClose: c.SilentClose,
+			})
+			if d := int(secsDur(c.EndSec) / (24 * time.Hour)); d+1 > maxDay {
+				maxDay = d + 1
+			}
+		case "query":
+			var q jsonQuery
+			if err := json.Unmarshal(raw, &q); err != nil {
+				return nil, fmt.Errorf("trace: jsonl line %d: %w", line, err)
+			}
+			tr.Queries = append(tr.Queries, Query{
+				ConnID: q.ConnID,
+				At:     secsDur(q.AtSec),
+				Text:   q.Text,
+				SHA1:   q.SHA1,
+				TTL:    q.TTL,
+				Hops:   q.Hops,
+			})
+			tr.Counts.Query++
+			if q.Hops == 1 {
+				tr.Counts.QueryHop1++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	tr.Days = maxDay
+	return tr, nil
+}
+
+func secsDur(s float64) Time { return Time(s * float64(time.Second)) }

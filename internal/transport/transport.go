@@ -1,0 +1,162 @@
+// Package transport carries Gnutella messages over real network
+// connections: the v0.6 handshake followed by framed binary messages.
+// It backs the live measurement mode (cmd/gnutellad and the livecapture
+// example), complementing the in-process simulation of internal/capture —
+// the same overlay engine runs on both substrates.
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/handshake"
+	"repro/internal/wire"
+)
+
+// Peer is one established Gnutella connection. Send and Recv are safe for
+// one writer and one reader goroutine respectively.
+type Peer struct {
+	conn net.Conn
+	br   *bufio.Reader
+	info handshake.Info
+
+	sendMu  sync.Mutex
+	scratch []byte
+	parser  wire.Parser
+}
+
+// Info returns the remote's negotiated handshake information.
+func (p *Peer) Info() handshake.Info { return p.info }
+
+// RemoteAddr returns the remote network address.
+func (p *Peer) RemoteAddr() net.Addr { return p.conn.RemoteAddr() }
+
+// Close tears down the connection.
+func (p *Peer) Close() error { return p.conn.Close() }
+
+// Send writes one message.
+func (p *Peer) Send(env wire.Envelope) error {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	var err error
+	p.scratch, err = wire.WriteTo(p.conn, env, p.scratch)
+	return err
+}
+
+// Recv reads the next message. The returned envelope is deep-copied and
+// safe to retain.
+func (p *Peer) Recv() (wire.Envelope, error) {
+	env, err := p.parser.ReadMessage(p.br)
+	if err != nil {
+		return env, err
+	}
+	return wire.Clone(env), nil
+}
+
+// SetReadDeadline bounds the next Recv.
+func (p *Peer) SetReadDeadline(t time.Time) error { return p.conn.SetReadDeadline(t) }
+
+// Options configure the local end of a connection.
+type Options struct {
+	// UserAgent identifies this client in the handshake.
+	UserAgent string
+	// Ultrapeer advertises ultrapeer mode.
+	Ultrapeer bool
+	// HandshakeTimeout bounds the handshake exchange (default 10 s).
+	HandshakeTimeout time.Duration
+}
+
+func (o Options) headers() *handshake.Headers {
+	h := handshake.NewHeaders()
+	ua := o.UserAgent
+	if ua == "" {
+		ua = "repro-p2pquery/1.0"
+	}
+	h.Set(handshake.HeaderUserAgent, ua)
+	if o.Ultrapeer {
+		h.Set(handshake.HeaderUltrapeer, "True")
+	} else {
+		h.Set(handshake.HeaderUltrapeer, "False")
+	}
+	return h
+}
+
+func (o Options) timeout() time.Duration {
+	if o.HandshakeTimeout > 0 {
+		return o.HandshakeTimeout
+	}
+	return 10 * time.Second
+}
+
+// Dial connects to a Gnutella node and performs the initiator handshake.
+func Dial(addr string, opts Options) (*Peer, error) {
+	conn, err := net.DialTimeout("tcp", addr, opts.timeout())
+	if err != nil {
+		return nil, err
+	}
+	return Client(conn, opts)
+}
+
+// Client performs the initiator handshake over an existing connection.
+func Client(conn net.Conn, opts Options) (*Peer, error) {
+	deadline := time.Now().Add(opts.timeout())
+	_ = conn.SetDeadline(deadline)
+	// Initiate buffers its own reads, but no post-handshake bytes can be
+	// lost: the acceptor must not send messages until it has read our
+	// stage-three acknowledgement, and we only write that after Initiate's
+	// final read.
+	info, err := handshake.Initiate(conn, opts.headers())
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: handshake: %w", err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return &Peer{conn: conn, br: bufio.NewReaderSize(conn, 64<<10), info: info}, nil
+}
+
+// Server performs the acceptor handshake over an accepted connection.
+func Server(conn net.Conn, opts Options) (*Peer, error) {
+	deadline := time.Now().Add(opts.timeout())
+	_ = conn.SetDeadline(deadline)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	info, err := handshake.Accept(br, conn, opts.headers())
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: handshake: %w", err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return &Peer{conn: conn, br: br, info: info}, nil
+}
+
+// Listener accepts Gnutella connections.
+type Listener struct {
+	l    net.Listener
+	opts Options
+}
+
+// Listen starts a Gnutella listener on the address.
+func Listen(addr string, opts Options) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{l: l, opts: opts}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() net.Addr { return l.l.Addr() }
+
+// Accept waits for the next peer and completes its handshake.
+func (l *Listener) Accept() (*Peer, error) {
+	conn, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return Server(conn, l.opts)
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.l.Close() }

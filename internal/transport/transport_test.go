@@ -1,0 +1,178 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/guid"
+	"repro/internal/wire"
+)
+
+var guids = guid.NewSource(3, 4)
+
+// pair establishes a connected client/server peer pair over loopback TCP.
+func pair(t *testing.T) (client, server *Peer) {
+	t.Helper()
+	l, err := Listen("127.0.0.1:0", Options{UserAgent: "Server/1.0", Ultrapeer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+
+	var wg sync.WaitGroup
+	var srv *Peer
+	var srvErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv, srvErr = l.Accept()
+	}()
+	cli, err := Dial(l.Addr().String(), Options{UserAgent: "Client/2.0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	t.Cleanup(func() { cli.Close(); srv.Close() })
+	return cli, srv
+}
+
+func TestHandshakeInfoExchanged(t *testing.T) {
+	cli, srv := pair(t)
+	if cli.Info().UserAgent != "Server/1.0" || !cli.Info().Ultrapeer {
+		t.Errorf("client sees %+v", cli.Info())
+	}
+	if srv.Info().UserAgent != "Client/2.0" || srv.Info().Ultrapeer {
+		t.Errorf("server sees %+v", srv.Info())
+	}
+}
+
+func TestMessagesFlowBothWays(t *testing.T) {
+	cli, srv := pair(t)
+	q := &wire.Query{SearchText: "over tcp"}
+	if err := cli.Send(wire.NewEnvelope(guids.Next(), 5, q)); err != nil {
+		t.Fatal(err)
+	}
+	env, err := srv.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := env.Payload.(*wire.Query)
+	if got.SearchText != "over tcp" {
+		t.Fatalf("query text %q", got.SearchText)
+	}
+	// Reply with a pong.
+	pong := &wire.Pong{Port: 6346, SharedFiles: 7}
+	if err := srv.Send(wire.NewEnvelope(env.Header.GUID, 5, pong)); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cli.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Payload.(*wire.Pong).SharedFiles != 7 {
+		t.Fatal("pong payload mismatch")
+	}
+}
+
+func TestManyMessagesPipelined(t *testing.T) {
+	cli, srv := pair(t)
+	const n = 500
+	go func() {
+		for i := 0; i < n; i++ {
+			cli.Send(wire.NewEnvelope(guids.Next(), 3, &wire.Query{SearchText: "pipelined"}))
+		}
+	}()
+	for i := 0; i < n; i++ {
+		env, err := srv.Recv()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if env.Header.Type != wire.TypeQuery {
+			t.Fatalf("message %d type %v", i, env.Header.Type)
+		}
+	}
+}
+
+func TestRecvAfterClose(t *testing.T) {
+	cli, srv := pair(t)
+	cli.Close()
+	if _, err := srv.Recv(); err == nil {
+		t.Fatal("expected error after peer close")
+	}
+}
+
+func TestRecvDeadline(t *testing.T) {
+	_, srv := pair(t)
+	srv.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	_, err := srv.Recv()
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("expected timeout, got %v", err)
+	}
+}
+
+func TestEnvelopeSurvivesParserReuse(t *testing.T) {
+	cli, srv := pair(t)
+	cli.Send(wire.NewEnvelope(guids.Next(), 3, &wire.Query{SearchText: "first"}))
+	cli.Send(wire.NewEnvelope(guids.Next(), 3, &wire.Query{SearchText: "second"}))
+	a, err := srv.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := srv.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Payload.(*wire.Query).SearchText != "first" ||
+		b.Payload.(*wire.Query).SearchText != "second" {
+		t.Fatal("Recv must deep-copy envelopes")
+	}
+}
+
+func TestDialRefusedAddress(t *testing.T) {
+	// A listener that closes immediately: dial should fail cleanly.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	go func() {
+		conn, err := l.Accept()
+		if err == nil {
+			conn.Close()
+		}
+		l.Close()
+	}()
+	if _, err := Dial(addr, Options{HandshakeTimeout: time.Second}); err == nil {
+		t.Fatal("expected handshake failure")
+	}
+}
+
+func TestServerRejectsGarbage(t *testing.T) {
+	l, err := Listen("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(conn, "GET / HTTP/1.1\r\n\r\n")
+	conn.Close()
+	if err := <-done; err == nil {
+		t.Fatal("expected handshake rejection")
+	}
+}

@@ -1,0 +1,38 @@
+package wire
+
+// MessageCountsByType tallies messages per payload type; the overlay and
+// the measurement node both report in this shape.
+type MessageCountsByType struct {
+	Ping     uint64
+	Pong     uint64
+	Query    uint64
+	QueryHit uint64
+	Push     uint64
+	Bye      uint64
+	Other    uint64
+}
+
+// Add counts one message of the given type.
+func (c *MessageCountsByType) Add(t Type) {
+	switch t {
+	case TypePing:
+		c.Ping++
+	case TypePong:
+		c.Pong++
+	case TypeQuery:
+		c.Query++
+	case TypeQueryHit:
+		c.QueryHit++
+	case TypePush:
+		c.Push++
+	case TypeBye:
+		c.Bye++
+	default:
+		c.Other++
+	}
+}
+
+// Total returns the count across all types.
+func (c MessageCountsByType) Total() uint64 {
+	return c.Ping + c.Pong + c.Query + c.QueryHit + c.Push + c.Bye + c.Other
+}

@@ -1,0 +1,34 @@
+package wire
+
+import (
+	"sort"
+	"strings"
+)
+
+// KeywordKey canonicalizes a query's search text into its keyword-set
+// identity. The Gnutella protocol treats two queries as identical when they
+// contain the same set of keywords, regardless of order, case or
+// repetition; the paper uses this definition both for filter rule 2
+// (duplicate query strings within a session) and for counting distinct
+// queries in the popularity analysis.
+//
+// The key is the sorted, deduplicated, lower-cased keyword set joined by
+// single spaces. An empty or whitespace-only search text yields "".
+func KeywordKey(searchText string) string {
+	fields := strings.Fields(strings.ToLower(searchText))
+	if len(fields) == 0 {
+		return ""
+	}
+	sort.Strings(fields)
+	out := fields[:1]
+	for _, f := range fields[1:] {
+		if f != out[len(out)-1] {
+			out = append(out, f)
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+// KeywordKeyOf is a convenience for messages: it returns the canonical
+// keyword key of a decoded QUERY payload.
+func (q *Query) KeywordKey() string { return KeywordKey(q.SearchText) }

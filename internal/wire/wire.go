@@ -1,0 +1,409 @@
+// Package wire implements the Gnutella v0.6 binary message protocol: the
+// 23-byte descriptor header and the PING, PONG, QUERY, QUERYHIT, PUSH and
+// BYE payloads, with zero-allocation decode into caller-owned structs (in
+// the style of gopacket's DecodingLayerParser) and append-style encoding
+// (in the style of gopacket's SerializeBuffer).
+//
+// Layout, per the Gnutella protocol specification (rfc-gnutella):
+//
+//	bytes 0–15  message GUID
+//	byte  16    payload type (0x00 PING, 0x01 PONG, 0x02 BYE, 0x40 PUSH,
+//	            0x80 QUERY, 0x81 QUERYHIT)
+//	byte  17    TTL
+//	byte  18    hops
+//	bytes 19–22 payload length, little-endian
+//
+// Multi-byte payload fields are little-endian except IPv4 addresses, which
+// are in network byte order.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"repro/internal/guid"
+)
+
+// Type identifies a Gnutella payload type.
+type Type uint8
+
+// The five payload types of the v0.6 protocol plus PUSH.
+const (
+	TypePing     Type = 0x00
+	TypePong     Type = 0x01
+	TypeBye      Type = 0x02
+	TypePush     Type = 0x40
+	TypeQuery    Type = 0x80
+	TypeQueryHit Type = 0x81
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypePing:
+		return "PING"
+	case TypePong:
+		return "PONG"
+	case TypeBye:
+		return "BYE"
+	case TypePush:
+		return "PUSH"
+	case TypeQuery:
+		return "QUERY"
+	case TypeQueryHit:
+		return "QUERYHIT"
+	default:
+		return fmt.Sprintf("Type(0x%02x)", uint8(t))
+	}
+}
+
+// Valid reports whether t is a known payload type.
+func (t Type) Valid() bool {
+	switch t {
+	case TypePing, TypePong, TypeBye, TypePush, TypeQuery, TypeQueryHit:
+		return true
+	}
+	return false
+}
+
+// Protocol limits. MaxTTL follows the specification's guidance that
+// TTL + hops must not exceed 7 on sane networks; MaxPayload guards the
+// decoder against hostile length fields.
+const (
+	HeaderSize = 23
+	MaxTTL     = 7
+	MaxPayload = 64 << 10
+)
+
+// Decoding errors.
+var (
+	ErrShortHeader   = errors.New("wire: short header")
+	ErrShortPayload  = errors.New("wire: payload shorter than descriptor")
+	ErrBadType       = errors.New("wire: unknown payload type")
+	ErrPayloadTooBig = errors.New("wire: payload length exceeds limit")
+	ErrTruncated     = errors.New("wire: truncated field")
+)
+
+// Header is the 23-byte Gnutella descriptor header.
+type Header struct {
+	GUID       guid.GUID
+	Type       Type
+	TTL        uint8
+	Hops       uint8
+	PayloadLen uint32
+}
+
+// AppendHeader serializes h onto dst and returns the extended slice.
+func AppendHeader(dst []byte, h Header) []byte {
+	dst = append(dst, h.GUID[:]...)
+	dst = append(dst, byte(h.Type), h.TTL, h.Hops)
+	return binary.LittleEndian.AppendUint32(dst, h.PayloadLen)
+}
+
+// DecodeHeader parses a descriptor header from src.
+func DecodeHeader(src []byte, h *Header) error {
+	if len(src) < HeaderSize {
+		return fmt.Errorf("%w: %d bytes", ErrShortHeader, len(src))
+	}
+	copy(h.GUID[:], src[0:16])
+	h.Type = Type(src[16])
+	h.TTL = src[17]
+	h.Hops = src[18]
+	h.PayloadLen = binary.LittleEndian.Uint32(src[19:23])
+	if !h.Type.Valid() {
+		return fmt.Errorf("%w: 0x%02x", ErrBadType, src[16])
+	}
+	if h.PayloadLen > MaxPayload {
+		return fmt.Errorf("%w: %d", ErrPayloadTooBig, h.PayloadLen)
+	}
+	return nil
+}
+
+// Message is a decoded Gnutella payload. Implementations decode in place so
+// a Parser can reuse them across messages.
+type Message interface {
+	// Type returns the payload type the message serializes as.
+	Type() Type
+	// AppendPayload serializes the payload onto dst and returns the
+	// extended slice.
+	AppendPayload(dst []byte) []byte
+	// DecodePayload parses the payload in place. Implementations must not
+	// retain src.
+	DecodePayload(src []byte) error
+}
+
+// Ping is the empty keep-alive payload.
+type Ping struct{}
+
+// Type implements Message.
+func (Ping) Type() Type { return TypePing }
+
+// AppendPayload implements Message.
+func (Ping) AppendPayload(dst []byte) []byte { return dst }
+
+// DecodePayload implements Message. Modern clients may attach GGEP blocks;
+// they carry no information this system uses, so any payload is accepted.
+func (*Ping) DecodePayload([]byte) error { return nil }
+
+// Pong describes a reachable servent: its address and its shared library
+// size. The shared-files count feeds the paper's Figure 2.
+type Pong struct {
+	Port        uint16
+	Addr        netip.Addr
+	SharedFiles uint32
+	SharedKB    uint32
+}
+
+// Type implements Message.
+func (*Pong) Type() Type { return TypePong }
+
+// AppendPayload implements Message.
+func (p *Pong) AppendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, p.Port)
+	dst = appendAddr4(dst, p.Addr)
+	dst = binary.LittleEndian.AppendUint32(dst, p.SharedFiles)
+	return binary.LittleEndian.AppendUint32(dst, p.SharedKB)
+}
+
+// DecodePayload implements Message.
+func (p *Pong) DecodePayload(src []byte) error {
+	if len(src) < 14 {
+		return fmt.Errorf("%w: pong needs 14 bytes, got %d", ErrTruncated, len(src))
+	}
+	p.Port = binary.LittleEndian.Uint16(src[0:2])
+	p.Addr = netip.AddrFrom4([4]byte(src[2:6]))
+	p.SharedFiles = binary.LittleEndian.Uint32(src[6:10])
+	p.SharedKB = binary.LittleEndian.Uint32(src[10:14])
+	return nil
+}
+
+// Query carries a keyword search. Extensions after the terminating NUL
+// (HUGE URNs such as "urn:sha1:…", separated by 0x1C) are preserved; rule 1
+// of the paper's filter discards queries whose extension block carries a
+// SHA1 URN, because those are source-hunting re-queries issued by the
+// client software, not the user.
+type Query struct {
+	MinSpeed   uint16
+	SearchText string
+	Extensions []string
+}
+
+// Type implements Message.
+func (*Query) Type() Type { return TypeQuery }
+
+// extSep separates HUGE extension blocks in a query payload.
+const extSep = 0x1C
+
+// AppendPayload implements Message.
+func (q *Query) AppendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, q.MinSpeed)
+	dst = append(dst, q.SearchText...)
+	dst = append(dst, 0)
+	for i, ext := range q.Extensions {
+		if i > 0 {
+			dst = append(dst, extSep)
+		}
+		dst = append(dst, ext...)
+	}
+	if len(q.Extensions) > 0 {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// DecodePayload implements Message.
+func (q *Query) DecodePayload(src []byte) error {
+	if len(src) < 3 {
+		return fmt.Errorf("%w: query needs ≥3 bytes, got %d", ErrTruncated, len(src))
+	}
+	q.MinSpeed = binary.LittleEndian.Uint16(src[0:2])
+	rest := src[2:]
+	nul := indexByte(rest, 0)
+	if nul < 0 {
+		return fmt.Errorf("%w: query text not NUL-terminated", ErrTruncated)
+	}
+	q.SearchText = string(rest[:nul])
+	q.Extensions = q.Extensions[:0]
+	ext := rest[nul+1:]
+	if len(ext) > 0 && ext[len(ext)-1] == 0 {
+		ext = ext[:len(ext)-1]
+	}
+	for len(ext) > 0 {
+		sep := indexByte(ext, extSep)
+		if sep < 0 {
+			q.Extensions = append(q.Extensions, string(ext))
+			break
+		}
+		q.Extensions = append(q.Extensions, string(ext[:sep]))
+		ext = ext[sep+1:]
+	}
+	return nil
+}
+
+// HasSHA1 reports whether any extension block carries a sha1 URN — the
+// trigger for filter rule 1.
+func (q *Query) HasSHA1() bool {
+	for _, e := range q.Extensions {
+		if len(e) >= 9 && (e[:9] == "urn:sha1:" || e[:9] == "URN:SHA1:") {
+			return true
+		}
+	}
+	return false
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, v := range b {
+		if v == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// HitResult is one file entry of a QUERYHIT result set.
+type HitResult struct {
+	FileIndex uint32
+	FileSize  uint32
+	FileName  string
+}
+
+// QueryHit is the response to a QUERY, routed back along the reverse path.
+type QueryHit struct {
+	Port    uint16
+	Addr    netip.Addr
+	Speed   uint32
+	Results []HitResult
+	Servent guid.GUID
+}
+
+// Type implements Message.
+func (*QueryHit) Type() Type { return TypeQueryHit }
+
+// AppendPayload implements Message.
+func (h *QueryHit) AppendPayload(dst []byte) []byte {
+	dst = append(dst, byte(len(h.Results)))
+	dst = binary.LittleEndian.AppendUint16(dst, h.Port)
+	dst = appendAddr4(dst, h.Addr)
+	dst = binary.LittleEndian.AppendUint32(dst, h.Speed)
+	for _, r := range h.Results {
+		dst = binary.LittleEndian.AppendUint32(dst, r.FileIndex)
+		dst = binary.LittleEndian.AppendUint32(dst, r.FileSize)
+		dst = append(dst, r.FileName...)
+		dst = append(dst, 0, 0) // name terminator + empty extension block
+	}
+	return append(dst, h.Servent[:]...)
+}
+
+// DecodePayload implements Message.
+func (h *QueryHit) DecodePayload(src []byte) error {
+	if len(src) < 11+guid.Size {
+		return fmt.Errorf("%w: queryhit needs ≥27 bytes, got %d", ErrTruncated, len(src))
+	}
+	n := int(src[0])
+	h.Port = binary.LittleEndian.Uint16(src[1:3])
+	h.Addr = netip.AddrFrom4([4]byte(src[3:7]))
+	h.Speed = binary.LittleEndian.Uint32(src[7:11])
+	body := src[11 : len(src)-guid.Size]
+	h.Results = h.Results[:0]
+	for i := 0; i < n; i++ {
+		if len(body) < 8 {
+			return fmt.Errorf("%w: queryhit result %d header", ErrTruncated, i)
+		}
+		var r HitResult
+		r.FileIndex = binary.LittleEndian.Uint32(body[0:4])
+		r.FileSize = binary.LittleEndian.Uint32(body[4:8])
+		body = body[8:]
+		nul := indexByte(body, 0)
+		if nul < 0 {
+			return fmt.Errorf("%w: queryhit result %d name", ErrTruncated, i)
+		}
+		r.FileName = string(body[:nul])
+		body = body[nul+1:]
+		// Skip the extension block up to its own NUL.
+		nul = indexByte(body, 0)
+		if nul < 0 {
+			return fmt.Errorf("%w: queryhit result %d extension", ErrTruncated, i)
+		}
+		body = body[nul+1:]
+		h.Results = append(h.Results, r)
+	}
+	var err error
+	h.Servent, err = guid.FromBytes(src[len(src)-guid.Size:])
+	return err
+}
+
+// Push requests a firewalled peer to open an outbound transfer connection.
+type Push struct {
+	Servent   guid.GUID
+	FileIndex uint32
+	Addr      netip.Addr
+	Port      uint16
+}
+
+// Type implements Message.
+func (*Push) Type() Type { return TypePush }
+
+// AppendPayload implements Message.
+func (p *Push) AppendPayload(dst []byte) []byte {
+	dst = append(dst, p.Servent[:]...)
+	dst = binary.LittleEndian.AppendUint32(dst, p.FileIndex)
+	dst = appendAddr4(dst, p.Addr)
+	return binary.LittleEndian.AppendUint16(dst, p.Port)
+}
+
+// DecodePayload implements Message.
+func (p *Push) DecodePayload(src []byte) error {
+	if len(src) < 26 {
+		return fmt.Errorf("%w: push needs 26 bytes, got %d", ErrTruncated, len(src))
+	}
+	var err error
+	p.Servent, err = guid.FromBytes(src[0:16])
+	if err != nil {
+		return err
+	}
+	p.FileIndex = binary.LittleEndian.Uint32(src[16:20])
+	p.Addr = netip.AddrFrom4([4]byte(src[20:24]))
+	p.Port = binary.LittleEndian.Uint16(src[24:26])
+	return nil
+}
+
+// Bye announces a deliberate disconnect. Most 2004-era clients never sent
+// it — the measurement node's idle-timeout policy exists exactly because
+// connections usually just go silent.
+type Bye struct {
+	Code   uint16
+	Reason string
+}
+
+// Type implements Message.
+func (*Bye) Type() Type { return TypeBye }
+
+// AppendPayload implements Message.
+func (b *Bye) AppendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, b.Code)
+	dst = append(dst, b.Reason...)
+	return append(dst, 0)
+}
+
+// DecodePayload implements Message.
+func (b *Bye) DecodePayload(src []byte) error {
+	if len(src) < 3 {
+		return fmt.Errorf("%w: bye needs ≥3 bytes, got %d", ErrTruncated, len(src))
+	}
+	b.Code = binary.LittleEndian.Uint16(src[0:2])
+	rest := src[2:]
+	if nul := indexByte(rest, 0); nul >= 0 {
+		rest = rest[:nul]
+	}
+	b.Reason = string(rest)
+	return nil
+}
+
+func appendAddr4(dst []byte, a netip.Addr) []byte {
+	if a.Is4() {
+		b := a.As4()
+		return append(dst, b[:]...)
+	}
+	return append(dst, 0, 0, 0, 0)
+}

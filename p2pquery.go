@@ -1,0 +1,80 @@
+package p2pquery
+
+import (
+	"io"
+
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Trace is a recorded measurement run; see internal/trace for the record
+// layout.
+type Trace = trace.Trace
+
+// Characterization is the complete analysis of a trace: every table and
+// figure of the paper plus the fitted appendix models.
+type Characterization = core.Characterization
+
+// Region identifies a coarse geographic region.
+type Region = geo.Region
+
+// The regions the paper characterizes.
+const (
+	NorthAmerica = geo.NorthAmerica
+	Europe       = geo.Europe
+	Asia         = geo.Asia
+)
+
+// SimulationConfig parameterizes a measurement simulation.
+type SimulationConfig = capture.Config
+
+// DefaultSimulation returns the paper-calibrated simulation configuration
+// at the given seed and scale (1.0 ≈ the paper's 4.36 M connections over
+// 40 days; 0.02–0.05 is comfortable on a laptop).
+func DefaultSimulation(seed uint64, scale float64) SimulationConfig {
+	return capture.DefaultConfig(seed, scale)
+}
+
+// Simulate runs the measurement simulation and returns the trace.
+func Simulate(cfg SimulationConfig) *Trace {
+	return capture.New(cfg).Run()
+}
+
+// Characterize applies the filter pipeline, all analyses and the appendix
+// fits to a trace.
+func Characterize(tr *Trace) *Characterization {
+	return core.Characterize(tr)
+}
+
+// WriteReport renders the full paper-style report for a characterization.
+func WriteReport(w io.Writer, c *Characterization) error {
+	return report.RenderAll(w, c)
+}
+
+// ReadTrace loads a trace written by (*Trace).WriteFile.
+func ReadTrace(path string) (*Trace, error) {
+	return trace.ReadFile(path)
+}
+
+// WorkloadConfig parameterizes the synthetic workload generator.
+type WorkloadConfig = workload.Config
+
+// Workload is the Figure 12 synthetic session generator.
+type Workload = workload.Generator
+
+// WorkloadSession is one generated peer session.
+type WorkloadSession = workload.Session
+
+// DefaultWorkload returns the paper-scale workload configuration.
+func DefaultWorkload(seed uint64, scale float64) WorkloadConfig {
+	return workload.DefaultConfig(seed, scale)
+}
+
+// NewWorkload builds a synthetic workload generator.
+func NewWorkload(cfg WorkloadConfig) *Workload {
+	return workload.NewGenerator(cfg)
+}

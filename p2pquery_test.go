@@ -1,0 +1,66 @@
+package p2pquery
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface: simulate,
+// persist, reload, characterize, report, and generate a workload.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := DefaultSimulation(7, 0.002)
+	cfg.Workload.Days = 1
+	tr := Simulate(cfg)
+	if len(tr.Conns) == 0 || len(tr.Queries) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	path := filepath.Join(t.TempDir(), "facade.trace")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Counts != tr.Counts {
+		t.Fatal("reloaded trace differs")
+	}
+
+	c := Characterize(back)
+	if len(c.Sessions) == 0 {
+		t.Fatal("no sessions characterized")
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 2") {
+		t.Fatal("report missing sections")
+	}
+
+	wl := NewWorkload(DefaultWorkload(7, 0.001))
+	n := 0
+	for s := wl.Next(); s != nil && n < 50; s = wl.Next() {
+		if s.Region != NorthAmerica && s.Region != Europe && s.Region != Asia &&
+			s.Region.String() == "" {
+			t.Fatal("bad region")
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("workload generated nothing")
+	}
+}
+
+func TestFacadeDeterminism(t *testing.T) {
+	cfg := DefaultSimulation(11, 0.001)
+	cfg.Workload.Days = 1
+	a := Simulate(cfg)
+	b := Simulate(cfg)
+	if a.Counts != b.Counts || len(a.Conns) != len(b.Conns) {
+		t.Fatal("same config must produce identical traces")
+	}
+}
