@@ -18,6 +18,13 @@
 //   - the Figure 12 synthetic workload generator for evaluating new P2P
 //     designs.
 //
+// The statistical layer underneath all of this lives in internal/dist:
+// the appendix distribution families (lognormal, Weibull, Pareto), the
+// body/tail composite of Tables A.1–A.4, Zipf and two-segment Zipf rank
+// laws for query popularity (Figure 11), maximum-likelihood fitters that
+// recover each family from measured samples, and the Kolmogorov–Smirnov
+// distance used to score the recovered fits.
+//
 // # Quickstart
 //
 // Simulate a scaled-down 40-day measurement, characterize it, and print

@@ -1,0 +1,331 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Fitting errors shared by the fitters.
+var (
+	errTooFew       = errors.New("dist: too few samples")
+	errNonPositive  = errors.New("dist: samples must be positive and finite")
+	errZeroVariance = errors.New("dist: samples have zero variance")
+)
+
+// checkSample validates a fitting sample: at least min values, all
+// strictly positive and finite.
+func checkSample(xs []float64, min int) error {
+	if len(xs) < min {
+		return fmt.Errorf("%w: %d < %d", errTooFew, len(xs), min)
+	}
+	for _, x := range xs {
+		if !(x > 0) || math.IsInf(x, 0) {
+			return errNonPositive
+		}
+	}
+	return nil
+}
+
+// logMoments returns the mean and (MLE, population) standard deviation
+// of the logs of xs.
+func logMoments(xs []float64) (mu, sigma float64) {
+	n := float64(len(xs))
+	for _, x := range xs {
+		mu += math.Log(x)
+	}
+	mu /= n
+	for _, x := range xs {
+		d := math.Log(x) - mu
+		sigma += d * d
+	}
+	return mu, math.Sqrt(sigma / n)
+}
+
+// FitLognormal fits a lognormal by maximum likelihood: µ and σ are the
+// mean and standard deviation of the log-sample.
+func FitLognormal(xs []float64) (Lognormal, error) {
+	if err := checkSample(xs, 2); err != nil {
+		return Lognormal{}, err
+	}
+	mu, sigma := logMoments(xs)
+	if sigma == 0 {
+		return Lognormal{}, errZeroVariance
+	}
+	return Lognormal{Sigma: sigma, Mu: mu}, nil
+}
+
+// FitLognormalCounts fits a continuous lognormal to rounded-and-floored
+// integer counts (the Table A.2 variate: queries per session, generated
+// as round(X) clamped to >= 1). Each count k >= 2 is treated as the
+// censoring interval (k−0.5, k+0.5] and k = 1 as (0, 1.5], and the
+// continuous (µ, σ) are recovered by maximizing the interval-censored
+// likelihood — a plain log-moment fit would be biased by the
+// discretization, most severely for the Asian table whose counts are
+// mostly 1.
+func FitLognormalCounts(xs []float64) (Lognormal, error) {
+	if err := checkSample(xs, 2); err != nil {
+		return Lognormal{}, err
+	}
+	hist := make(map[int]int)
+	for _, x := range xs {
+		k := int(math.Round(x))
+		if k < 1 {
+			return Lognormal{}, fmt.Errorf("dist: count %v is not a positive integer", x)
+		}
+		hist[k]++
+	}
+	if len(hist) < 2 {
+		return Lognormal{}, errZeroVariance
+	}
+	// Flatten to sorted (count, multiplicity) cells: map iteration order
+	// would vary the floating-point summation order run-to-run, which can
+	// flip simplex comparisons and make the fit non-reproducible.
+	type cell struct{ k, n int }
+	cells := make([]cell, 0, len(hist))
+	for k, n := range hist {
+		cells = append(cells, cell{k, n})
+	}
+	sort.Slice(cells, func(a, b int) bool { return cells[a].k < cells[b].k })
+	mu0, s0 := logMoments(xs)
+	if s0 < 0.05 {
+		s0 = 0.05
+	}
+	negLL := func(mu, t float64) float64 {
+		if math.Abs(mu) > 60 || math.Abs(t) > 8 {
+			return math.MaxFloat64
+		}
+		s := math.Exp(t)
+		ll := 0.0
+		for _, c := range cells {
+			zHi := (math.Log(float64(c.k)+0.5) - mu) / s
+			zLo := math.Inf(-1)
+			if c.k > 1 {
+				zLo = (math.Log(float64(c.k)-0.5) - mu) / s
+			}
+			p := normCDFDiff(zLo, zHi)
+			if p < 1e-300 {
+				return math.MaxFloat64
+			}
+			ll += float64(c.n) * math.Log(p)
+		}
+		return -ll
+	}
+	mu, t := minimize2(negLL, mu0, math.Log(s0), 0.2, 0.2)
+	return Lognormal{Sigma: math.Exp(t), Mu: mu}, nil
+}
+
+// fitTruncatedLognormal fits a lognormal to samples known to be the
+// lo/hi-conditioned part of the distribution, by maximizing the
+// truncated likelihood. lo <= 0 means no left truncation; hi = +Inf
+// means no right truncation.
+func fitTruncatedLognormal(xs []float64, lo, hi float64) (Lognormal, error) {
+	if err := checkSample(xs, 3); err != nil {
+		return Lognormal{}, err
+	}
+	// The sample enters the likelihood only through n, Σ ln x, Σ (ln x)²,
+	// so precompute the sufficient statistics and keep each of the few
+	// hundred simplex evaluations O(1).
+	var s1, s2 float64
+	for _, x := range xs {
+		lx := math.Log(x)
+		s1 += lx
+		s2 += lx * lx
+	}
+	mu0, s0 := logMoments(xs)
+	if s0 == 0 {
+		return Lognormal{}, errZeroVariance
+	}
+	n := float64(len(xs))
+	t0 := math.Log(s0)
+	negLL := func(mu, t float64) float64 {
+		if math.Abs(mu) > 60 || math.Abs(t) > 8 {
+			return math.MaxFloat64
+		}
+		s := math.Exp(t)
+		za, zb := math.Inf(-1), math.Inf(1)
+		if lo > 0 {
+			za = (math.Log(lo) - mu) / s
+		}
+		if !math.IsInf(hi, 1) {
+			zb = (math.Log(hi) - mu) / s
+		}
+		norm := normCDFDiff(za, zb)
+		if norm < 1e-300 {
+			return math.MaxFloat64
+		}
+		ll := -n * (math.Log(s) + math.Log(norm))
+		// Σ((ln x − µ)/s)² expanded over the sufficient statistics.
+		ll -= (s2 - 2*mu*s1 + n*mu*mu) / (2 * s * s)
+		// A doubly-truncated window can leave (µ, σ) unidentifiable: whole
+		// ridges of parameters give the same conditional law. The faint
+		// pull toward the log-moment start is invisible wherever the
+		// likelihood has gradient, but keeps ridge solutions at humane
+		// values instead of the clamp boundary.
+		ll -= 1e-3 * ((mu-mu0)*(mu-mu0) + (t-t0)*(t-t0))
+		return -ll
+	}
+	mu, t := minimize2(negLL, mu0, math.Log(s0), 0.3, 0.3)
+	return Lognormal{Sigma: math.Exp(t), Mu: mu}, nil
+}
+
+// fitTruncatedWeibull fits a Weibull (shape/rate) to samples known to be
+// the lo/hi-conditioned part of the distribution.
+func fitTruncatedWeibull(xs []float64, lo, hi float64) (Weibull, error) {
+	if err := checkSample(xs, 3); err != nil {
+		return Weibull{}, err
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	n := float64(len(xs))
+	l0 := math.Log(1 / mean)
+	negLL := func(la, ll2 float64) float64 {
+		if math.Abs(la) > 4 || math.Abs(ll2) > 30 {
+			return math.MaxFloat64
+		}
+		alpha, lambda := math.Exp(la), math.Exp(ll2)
+		w := Weibull{Alpha: alpha, Lambda: lambda}
+		norm := w.CDF(hi) - w.CDF(lo)
+		if norm < 1e-300 {
+			return math.MaxFloat64
+		}
+		ll := -n * math.Log(norm)
+		for _, x := range xs {
+			ll += math.Log(alpha) + alpha*math.Log(lambda) + (alpha-1)*math.Log(x) -
+				math.Pow(lambda*x, alpha)
+		}
+		if math.IsNaN(ll) || math.IsInf(ll, 0) {
+			return math.MaxFloat64
+		}
+		// Same ridge guard as the truncated lognormal fit.
+		ll -= 1e-3 * (la*la + (ll2-l0)*(ll2-l0))
+		return -ll
+	}
+	la, ll2 := minimize2(negLL, 0, l0, 0.3, 0.3)
+	return Weibull{Alpha: math.Exp(la), Lambda: math.Exp(ll2)}, nil
+}
+
+// minComponent is the smallest body or tail sub-sample a composite fit
+// will accept.
+const minComponent = 3
+
+// splitComposite validates a composite-fit sample and partitions it at
+// the body/tail boundary, returning the empirical body weight.
+func splitComposite(xs []float64, hi float64) (body, tail []float64, weight float64, err error) {
+	if err := checkSample(xs, 2*minComponent); err != nil {
+		return nil, nil, 0, err
+	}
+	for _, x := range xs {
+		if x <= hi {
+			body = append(body, x)
+		} else {
+			tail = append(tail, x)
+		}
+	}
+	if len(body) < minComponent || len(tail) < minComponent {
+		return nil, nil, 0, fmt.Errorf("%w: body %d / tail %d below %d",
+			errTooFew, len(body), len(tail), minComponent)
+	}
+	return body, tail, float64(len(body)) / float64(len(xs)), nil
+}
+
+// FitBimodalLognormal fits the Table A.1 model — lognormal body on
+// [lo, hi], lognormal tail beyond hi — to a duration sample. The body
+// weight is the empirical body mass; each component is a truncated
+// maximum-likelihood lognormal. Note that the narrow body window makes
+// the body's (µ, σ) only weakly identifiable (many parameter pairs give
+// nearly the same conditional law); the mixture, body weight, and tail
+// parameters are the meaningful outputs.
+func FitBimodalLognormal(xs []float64, lo, hi float64) (BodyTailFit, error) {
+	body, tail, weight, err := splitComposite(xs, hi)
+	if err != nil {
+		return BodyTailFit{}, err
+	}
+	bLo := lo
+	for _, x := range body {
+		if x < bLo {
+			bLo = 0 // samples below the nominal window: drop left truncation
+			break
+		}
+	}
+	bodyFit, err := fitTruncatedLognormal(body, bLo, hi)
+	if err != nil {
+		return BodyTailFit{}, err
+	}
+	tailFit, err := fitTruncatedLognormal(tail, hi, math.Inf(1))
+	if err != nil {
+		return BodyTailFit{}, err
+	}
+	// Lo is the bound the body was actually fitted under, so Mixture()
+	// conditions the body exactly as the likelihood did.
+	return BodyTailFit{
+		Body: bodyFit, Tail: tailFit,
+		Lo: bLo, Hi: hi,
+		BodyWeight: weight,
+	}, nil
+}
+
+// FitWeibullLognormal fits the Table A.3 model — Weibull body on
+// [lo, hi], lognormal tail beyond hi.
+func FitWeibullLognormal(xs []float64, lo, hi float64) (BodyTailFit, error) {
+	body, tail, weight, err := splitComposite(xs, hi)
+	if err != nil {
+		return BodyTailFit{}, err
+	}
+	for _, x := range body {
+		if x < lo {
+			lo = 0 // samples below the nominal window: drop left truncation
+			break
+		}
+	}
+	bodyFit, err := fitTruncatedWeibull(body, lo, hi)
+	if err != nil {
+		return BodyTailFit{}, err
+	}
+	tailFit, err := fitTruncatedLognormal(tail, hi, math.Inf(1))
+	if err != nil {
+		return BodyTailFit{}, err
+	}
+	return BodyTailFit{
+		Body: bodyFit, Tail: tailFit,
+		Lo: lo, Hi: hi,
+		BodyWeight: weight,
+	}, nil
+}
+
+// FitLognormalPareto fits the Table A.4 model — lognormal body on
+// [lo, hi], Pareto tail with β = hi. The Pareto shape is the exact
+// maximum-likelihood (Hill) estimator α = m / Σ ln(xᵢ/β) over the tail.
+func FitLognormalPareto(xs []float64, lo, hi float64) (BodyTailFit, error) {
+	body, tail, weight, err := splitComposite(xs, hi)
+	if err != nil {
+		return BodyTailFit{}, err
+	}
+	for _, x := range body {
+		if x < lo {
+			lo = 0 // samples below the nominal window: drop left truncation
+			break
+		}
+	}
+	bodyFit, err := fitTruncatedLognormal(body, lo, hi)
+	if err != nil {
+		return BodyTailFit{}, err
+	}
+	var sumLog float64
+	for _, x := range tail {
+		sumLog += math.Log(x / hi)
+	}
+	if sumLog <= 0 {
+		return BodyTailFit{}, errZeroVariance
+	}
+	alpha := float64(len(tail)) / sumLog
+	return BodyTailFit{
+		Body: bodyFit, Tail: Pareto{Alpha: alpha, Beta: hi},
+		Lo: lo, Hi: hi,
+		BodyWeight: weight,
+	}, nil
+}

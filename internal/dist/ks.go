@@ -1,0 +1,83 @@
+package dist
+
+import (
+	"math"
+	"sort"
+)
+
+// KS returns the one-sample Kolmogorov–Smirnov statistic: the supremum
+// distance between the sample's empirical CDF and the model's CDF. It is
+// what the fit tables report as goodness of fit. Degenerate input (empty
+// sample, NaN values) yields NaN, never a panic.
+func KS(xs []float64, d Dist) float64 {
+	if len(xs) == 0 || d == nil {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	maxD := 0.0
+	for i, x := range sorted {
+		f := d.CDF(x)
+		if math.IsNaN(f) || math.IsNaN(x) {
+			return math.NaN()
+		}
+		if diff := math.Abs(f - float64(i)/n); diff > maxD {
+			maxD = diff
+		}
+		if diff := math.Abs(f - float64(i+1)/n); diff > maxD {
+			maxD = diff
+		}
+	}
+	return maxD
+}
+
+// KS2 returns the two-sample Kolmogorov–Smirnov statistic between two
+// empirical samples: the supremum distance between their empirical CDFs.
+// Degenerate input (either sample empty, NaN values) yields NaN.
+func KS2(xs, ys []float64) float64 {
+	if len(xs) == 0 || len(ys) == 0 {
+		return math.NaN()
+	}
+	for _, v := range xs {
+		if math.IsNaN(v) {
+			return math.NaN()
+		}
+	}
+	for _, v := range ys {
+		if math.IsNaN(v) {
+			return math.NaN()
+		}
+	}
+	a := make([]float64, len(xs))
+	copy(a, xs)
+	b := make([]float64, len(ys))
+	copy(b, ys)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	na, nb := float64(len(a)), float64(len(b))
+	i, j := 0, 0
+	maxD := 0.0
+	for i < len(a) && j < len(b) {
+		// On a cross-sample tie both ECDFs step together: consume every
+		// duplicate of the value from both sides before measuring the gap.
+		switch v := math.Min(a[i], b[j]); {
+		case a[i] == v && b[j] == v:
+			for i < len(a) && a[i] == v {
+				i++
+			}
+			for j < len(b) && b[j] == v {
+				j++
+			}
+		case a[i] == v:
+			i++
+		default:
+			j++
+		}
+		if d := math.Abs(float64(i)/na - float64(j)/nb); d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}

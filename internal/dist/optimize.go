@@ -1,0 +1,81 @@
+package dist
+
+import "math"
+
+// minimize2 is a compact Nelder–Mead simplex minimizer in two
+// dimensions, enough for every two-parameter likelihood in this package.
+// Objective functions are expected to return large finite values (not
+// NaN/Inf) on out-of-range parameters; minimize2 additionally treats
+// non-finite values as worst-case.
+func minimize2(f func(a, b float64) float64, a0, b0, stepA, stepB float64) (float64, float64) {
+	type vertex struct {
+		a, b, val float64
+	}
+	eval := func(a, b float64) float64 {
+		v := f(a, b)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return math.MaxFloat64
+		}
+		return v
+	}
+	simplex := [3]vertex{
+		{a0, b0, eval(a0, b0)},
+		{a0 + stepA, b0, eval(a0+stepA, b0)},
+		{a0, b0 + stepB, eval(a0, b0+stepB)},
+	}
+	order := func() {
+		if simplex[1].val < simplex[0].val {
+			simplex[0], simplex[1] = simplex[1], simplex[0]
+		}
+		if simplex[2].val < simplex[1].val {
+			simplex[1], simplex[2] = simplex[2], simplex[1]
+		}
+		if simplex[1].val < simplex[0].val {
+			simplex[0], simplex[1] = simplex[1], simplex[0]
+		}
+	}
+	order()
+	const (
+		maxIter = 400
+		tol     = 1e-10
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		best, worst := simplex[0], simplex[2]
+		if math.Abs(worst.val-best.val) <= tol*(math.Abs(best.val)+tol) {
+			break
+		}
+		// Centroid of the two best vertices.
+		ca := (simplex[0].a + simplex[1].a) / 2
+		cb := (simplex[0].b + simplex[1].b) / 2
+		// Reflection.
+		ra, rb := ca+(ca-worst.a), cb+(cb-worst.b)
+		rv := eval(ra, rb)
+		switch {
+		case rv < best.val:
+			// Expansion.
+			ea, eb := ca+2*(ca-worst.a), cb+2*(cb-worst.b)
+			if ev := eval(ea, eb); ev < rv {
+				simplex[2] = vertex{ea, eb, ev}
+			} else {
+				simplex[2] = vertex{ra, rb, rv}
+			}
+		case rv < simplex[1].val:
+			simplex[2] = vertex{ra, rb, rv}
+		default:
+			// Contraction toward the centroid.
+			xa, xb := ca+(worst.a-ca)/2, cb+(worst.b-cb)/2
+			if xv := eval(xa, xb); xv < worst.val {
+				simplex[2] = vertex{xa, xb, xv}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i < 3; i++ {
+					simplex[i].a = best.a + (simplex[i].a-best.a)/2
+					simplex[i].b = best.b + (simplex[i].b-best.b)/2
+					simplex[i].val = eval(simplex[i].a, simplex[i].b)
+				}
+			}
+		}
+		order()
+	}
+	return simplex[0].a, simplex[0].b
+}

@@ -1,0 +1,58 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Pareto is the classical (type I) Pareto distribution with shape Alpha
+// and scale (minimum) Beta: CDF(x) = 1 − (β/x)^α for x >= β. Table A.4
+// uses it for the heavy interarrival tail with β fixed at the body/tail
+// split.
+type Pareto struct {
+	Alpha float64
+	Beta  float64
+}
+
+// Sample draws by inverse transform from one uniform variate.
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	return p.Quantile(rng.Float64())
+}
+
+// CDF returns P(X <= x).
+func (p Pareto) CDF(x float64) float64 {
+	if x <= p.Beta {
+		return 0
+	}
+	return -math.Expm1(p.Alpha * math.Log(p.Beta/x))
+}
+
+// Quantile returns β·(1−p)^{−1/α}.
+func (p Pareto) Quantile(q float64) float64 {
+	if q <= 0 {
+		return p.Beta
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	return p.Beta * math.Exp(-math.Log1p(-q)/p.Alpha)
+}
+
+// Mean returns αβ/(α−1) for α > 1 and +Inf otherwise (the paper's peak
+// interarrival tail has α < 1: infinite mean is the point).
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Beta / (p.Alpha - 1)
+}
+
+// Median returns β·2^{1/α}.
+func (p Pareto) Median() float64 {
+	return p.Beta * math.Exp(math.Ln2/p.Alpha)
+}
+
+func (p Pareto) String() string {
+	return fmt.Sprintf("Pareto(α=%.3f, β=%.0f)", p.Alpha, p.Beta)
+}

@@ -1,0 +1,101 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Ranker is a discrete probability law over ranks 1..Ranks(), used for
+// query popularity: SampleRank draws a rank, PMF reports the probability
+// of one.
+type Ranker interface {
+	// SampleRank draws a rank in [1, Ranks()].
+	SampleRank(rng *rand.Rand) int
+	// PMF returns P(rank = r), 0 outside [1, Ranks()].
+	PMF(r int) float64
+	// Ranks returns the number of ranks.
+	Ranks() int
+}
+
+// tableRanker samples any finite rank law by inverse transform over a
+// precomputed cumulative table: one uniform per draw (deterministic
+// streams), O(log n) per sample.
+type tableRanker struct {
+	pmf  []float64 // pmf[r-1] = P(rank r)
+	cum  []float64 // cum[r-1] = P(rank <= r); cum[n-1] == 1
+	name string
+}
+
+func newTableRanker(weights []float64, name string) tableRanker {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	pmf := make([]float64, len(weights))
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		pmf[i] = w / total
+		acc += pmf[i]
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1
+	return tableRanker{pmf: pmf, cum: cum, name: name}
+}
+
+func (t tableRanker) SampleRank(rng *rand.Rand) int {
+	u := rng.Float64()
+	return 1 + sort.SearchFloat64s(t.cum, u)
+}
+
+func (t tableRanker) PMF(r int) float64 {
+	if r < 1 || r > len(t.pmf) {
+		return 0
+	}
+	return t.pmf[r-1]
+}
+
+func (t tableRanker) Ranks() int { return len(t.pmf) }
+
+func (t tableRanker) String() string { return t.name }
+
+// NewZipf returns the generalized Zipf law over n ranks: P(r) ∝ r^−α.
+// The paper's filtered query popularity has α well below 1 (0.223–0.453),
+// so α is not restricted to the α > 1 regime of rejection samplers.
+func NewZipf(alpha float64, n int) Ranker {
+	if n < 1 {
+		panic("dist: NewZipf needs at least one rank")
+	}
+	w := make([]float64, n)
+	for r := 1; r <= n; r++ {
+		w[r-1] = math.Exp(-alpha * math.Log(float64(r)))
+	}
+	return newTableRanker(w, fmt.Sprintf("Zipf(α=%.3f, n=%d)", alpha, n))
+}
+
+// NewTwoSegmentZipf returns the Figure 11(c) intersection law: P(r) ∝
+// r^−α up to rank split, then continues continuously with the steeper
+// exponent tailAlpha — P(r) ∝ split^−α · (r/split)^−tailAlpha beyond.
+func NewTwoSegmentZipf(alpha, tailAlpha float64, split, n int) Ranker {
+	if n < 1 {
+		panic("dist: NewTwoSegmentZipf needs at least one rank")
+	}
+	if split > n {
+		split = n
+	}
+	if split < 1 {
+		split = 1
+	}
+	w := make([]float64, n)
+	for r := 1; r <= split; r++ {
+		w[r-1] = math.Exp(-alpha * math.Log(float64(r)))
+	}
+	knee := math.Exp(-alpha * math.Log(float64(split)))
+	for r := split + 1; r <= n; r++ {
+		w[r-1] = knee * math.Exp(-tailAlpha*math.Log(float64(r)/float64(split)))
+	}
+	return newTableRanker(w, fmt.Sprintf("TwoSegmentZipf(α=%.3f/%.2f, split=%d, n=%d)",
+		alpha, tailAlpha, split, n))
+}

@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ZipfFit is a fitted Zipf law freq(r) ≈ exp(C)·r^−α over a rank window:
+// the slope α and intercept C of the least-squares line in log-log
+// space, the coefficient of determination R2, and the number of
+// positive-frequency points N used.
+type ZipfFit struct {
+	Alpha float64
+	C     float64
+	R2    float64
+	N     int
+}
+
+func (f ZipfFit) String() string {
+	return fmt.Sprintf("Zipf α=%.3f (R²=%.2f, n=%d)", f.Alpha, f.R2, f.N)
+}
+
+var (
+	errNoPoints = errors.New("dist: need at least 3 positive frequencies")
+	errConstant = errors.New("dist: frequencies are constant")
+)
+
+// FitZipf fits a Zipf exponent to a rank-ordered frequency vector
+// (freqs[r-1] is the frequency of rank r) by least squares on the
+// log-log rank-frequency curve — exactly how Figure 11 reads α off the
+// plots. Zero frequencies are skipped; non-finite or negative values,
+// fewer than 3 positive points, or a constant curve are errors.
+func FitZipf(freqs []float64) (ZipfFit, error) {
+	return FitZipfRange(freqs, 1, len(freqs))
+}
+
+// FitZipfRange fits over the 1-based rank window [loRank, hiRank],
+// clamped to the vector; Figure 11(c)'s two-segment intersection fit
+// uses windows [1, 45] and [46, 100].
+func FitZipfRange(freqs []float64, loRank, hiRank int) (ZipfFit, error) {
+	if loRank < 1 {
+		loRank = 1
+	}
+	if hiRank > len(freqs) {
+		hiRank = len(freqs)
+	}
+	var lx, ly []float64
+	for r := loRank; r <= hiRank; r++ {
+		f := freqs[r-1]
+		if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+			return ZipfFit{}, fmt.Errorf("dist: frequency at rank %d is %v", r, f)
+		}
+		if f == 0 {
+			continue
+		}
+		lx = append(lx, math.Log(float64(r)))
+		ly = append(ly, math.Log(f))
+	}
+	if len(lx) < 3 {
+		return ZipfFit{}, errNoPoints
+	}
+	n := float64(len(lx))
+	var mx, my float64
+	for i := range lx {
+		mx += lx[i]
+		my += ly[i]
+	}
+	mx /= n
+	my /= n
+	var sxx, sxy, syy float64
+	for i := range lx {
+		dx, dy := lx[i]-mx, ly[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if syy == 0 {
+		return ZipfFit{}, errConstant
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	// R² of the regression: squared correlation.
+	r2 := (sxy * sxy) / (sxx * syy)
+	return ZipfFit{Alpha: -slope, C: intercept, R2: r2, N: len(lx)}, nil
+}
