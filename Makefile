@@ -1,0 +1,29 @@
+# Developer entry points. CI runs the same targets so local and CI
+# results stay comparable.
+
+GO ?= go
+
+.PHONY: test race bench bench-ci fullscale
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs every benchmark with allocation reporting and writes the
+# machine-readable result to BENCH.json (see BENCH_pr2.json for the
+# committed PR-2 snapshot).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1s . ./internal/vocab | $(GO) run ./cmd/benchjson -pretty > BENCH.json
+	@echo wrote BENCH.json
+
+# bench-ci is the fast CI variant: one iteration per benchmark, still
+# emitting JSON so regressions leave a machine-readable trail in the logs.
+bench-ci:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem . ./internal/vocab | $(GO) run ./cmd/benchjson
+
+# fullscale reproduces the paper-scale run recorded in BENCH_pr2.json:
+# 40 days at scale 1.0 through simulation + characterization + report.
+fullscale:
+	$(GO) run ./cmd/analyze -simulate -scale 1.0 -days 40 -only summary -perf

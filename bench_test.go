@@ -7,8 +7,10 @@ package p2pquery
 // the design choices called out in DESIGN.md follow.
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"net/netip"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -52,6 +54,7 @@ func benchSetup(b *testing.B) (*trace.Trace, []analysis.Session) {
 // BenchmarkSimulateTrace measures the full measurement simulation (one
 // day at 1% scale ≈ 1,100 connections).
 func BenchmarkSimulateTrace(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := capture.DefaultConfig(uint64(i), 0.01)
 		cfg.Workload.Days = 1
@@ -66,6 +69,7 @@ func BenchmarkSimulateTrace(b *testing.B) {
 
 func BenchmarkTable1TraceStats(b *testing.B) {
 	tr, _ := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t1 := analysis.ComputeTable1(tr)
@@ -77,6 +81,7 @@ func BenchmarkTable1TraceStats(b *testing.B) {
 
 func BenchmarkTable2FilterPipeline(b *testing.B) {
 	tr, _ := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := filter.Apply(tr)
@@ -88,6 +93,7 @@ func BenchmarkTable2FilterPipeline(b *testing.B) {
 
 func BenchmarkTable3QueryClasses(b *testing.B) {
 	tr, sessions := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		qc := analysis.ComputeTable3(sessions, tr.Days)
@@ -101,6 +107,7 @@ func BenchmarkTable3QueryClasses(b *testing.B) {
 
 func BenchmarkFigure1GeoDistribution(b *testing.B) {
 	tr, _ := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g := analysis.ComputeFigure1(tr)
@@ -112,6 +119,7 @@ func BenchmarkFigure1GeoDistribution(b *testing.B) {
 
 func BenchmarkFigure2SharedFiles(b *testing.B) {
 	tr, _ := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f := analysis.ComputeFigure2(tr)
@@ -123,6 +131,7 @@ func BenchmarkFigure2SharedFiles(b *testing.B) {
 
 func BenchmarkFigure3LoadByTime(b *testing.B) {
 	_, sessions := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l := analysis.ComputeFigure3(sessions)
@@ -134,6 +143,7 @@ func BenchmarkFigure3LoadByTime(b *testing.B) {
 
 func BenchmarkFigure4PassiveFraction(b *testing.B) {
 	_, sessions := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := analysis.ComputeFigure4(sessions)
@@ -145,6 +155,7 @@ func BenchmarkFigure4PassiveFraction(b *testing.B) {
 
 func BenchmarkFigure5PassiveDuration(b *testing.B) {
 	_, sessions := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := analysis.ComputeFigure5(sessions)
@@ -156,6 +167,7 @@ func BenchmarkFigure5PassiveDuration(b *testing.B) {
 
 func BenchmarkFigure6QueriesPerSession(b *testing.B) {
 	_, sessions := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := analysis.ComputeFigure6(sessions)
@@ -167,6 +179,7 @@ func BenchmarkFigure6QueriesPerSession(b *testing.B) {
 
 func BenchmarkFigure7TimeToFirstQuery(b *testing.B) {
 	_, sessions := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f := analysis.ComputeFigure7(sessions)
@@ -178,6 +191,7 @@ func BenchmarkFigure7TimeToFirstQuery(b *testing.B) {
 
 func BenchmarkFigure8Interarrival(b *testing.B) {
 	_, sessions := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ia := analysis.ComputeFigure8(sessions)
@@ -189,6 +203,7 @@ func BenchmarkFigure8Interarrival(b *testing.B) {
 
 func BenchmarkFigure9TimeAfterLast(b *testing.B) {
 	_, sessions := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		al := analysis.ComputeFigure9(sessions)
@@ -200,6 +215,7 @@ func BenchmarkFigure9TimeAfterLast(b *testing.B) {
 
 func BenchmarkFigure10HotSetDrift(b *testing.B) {
 	tr, sessions := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := analysis.ComputeFigure10(sessions, tr.Days, geo.NorthAmerica)
@@ -211,6 +227,7 @@ func BenchmarkFigure10HotSetDrift(b *testing.B) {
 
 func BenchmarkFigure11QueryPopularity(b *testing.B) {
 	tr, sessions := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pop, err := analysis.ComputeFigure11(sessions, tr.Days)
@@ -233,6 +250,7 @@ func BenchmarkTableA1FitPassiveDuration(b *testing.B) {
 			xs = append(xs, s.Conn.Duration().Seconds())
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dist.FitBimodalLognormal(xs, 64, 120); err != nil {
@@ -250,6 +268,7 @@ func BenchmarkTableA2FitQueriesPerSession(b *testing.B) {
 			xs = append(xs, float64(s.UserQueries))
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dist.FitLognormalCounts(xs); err != nil {
@@ -269,6 +288,7 @@ func BenchmarkTableA3FitTimeToFirstQuery(b *testing.B) {
 			}
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dist.FitWeibullLognormal(xs, 0, 45); err != nil {
@@ -291,6 +311,7 @@ func BenchmarkTableA4FitInterarrival(b *testing.B) {
 			}
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dist.FitLognormalPareto(xs, 0, 103); err != nil {
@@ -310,6 +331,7 @@ func BenchmarkTableA5FitTimeAfterLast(b *testing.B) {
 			}
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dist.FitLognormal(xs); err != nil {
@@ -329,6 +351,7 @@ func BenchmarkFigureA1FitOverlays(b *testing.B) {
 		b.Skip("not enough data for the overlay fit at bench scale")
 	}
 	mix := fit.Fit.Mixture()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var sum float64
@@ -341,15 +364,65 @@ func BenchmarkFigureA1FitOverlays(b *testing.B) {
 	}
 }
 
-// BenchmarkCharacterizeFull runs the complete pipeline.
+// BenchmarkCharacterizeFull runs the complete pipeline with the default
+// (parallel, machine-sized) options.
 func BenchmarkCharacterizeFull(b *testing.B) {
 	tr, _ := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := core.Characterize(tr)
 		if len(c.Sessions) == 0 {
 			b.Fatal("no sessions")
 		}
+	}
+}
+
+// BenchmarkCharacterizeFullSequential pins the pipeline to one worker —
+// the reference the parallel speedup is measured against.
+func BenchmarkCharacterizeFullSequential(b *testing.B) {
+	tr, _ := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := core.CharacterizeOpts(tr, core.Options{Workers: 1})
+		if len(c.Sessions) == 0 {
+			b.Fatal("no sessions")
+		}
+	}
+}
+
+// BenchmarkCharacterizeFullParallel runs the pipeline at GOMAXPROCS
+// workers; on a multi-core host the per-figure and per-fit fan-out is the
+// speedup source, on a single core it measures the pool's overhead.
+func BenchmarkCharacterizeFullParallel(b *testing.B) {
+	tr, _ := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := core.CharacterizeOpts(tr, core.Options{Workers: runtime.GOMAXPROCS(0)})
+		if len(c.Sessions) == 0 {
+			b.Fatal("no sessions")
+		}
+	}
+}
+
+// BenchmarkCharacterizeScaleSweep reports ns/op and allocs of the full
+// pipeline across trace scales, the perf trajectory future PRs track.
+func BenchmarkCharacterizeScaleSweep(b *testing.B) {
+	for _, scale := range []float64{0.01, 0.03, 0.10} {
+		cfg := capture.DefaultConfig(2004, scale)
+		cfg.Workload.Days = 4
+		tr := capture.New(cfg).Run()
+		b.Run(fmt.Sprintf("scale=%g", scale), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := core.Characterize(tr)
+				if len(c.Sessions) == 0 {
+					b.Fatal("no sessions")
+				}
+			}
+		})
 	}
 }
 
@@ -360,6 +433,7 @@ func BenchmarkCharacterizeFull(b *testing.B) {
 // inflates α (automated re-queries concentrate on recent user queries).
 func BenchmarkAblationUnfilteredPopularity(b *testing.B) {
 	tr, _ := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		counts := map[string]int{}
@@ -381,6 +455,7 @@ func BenchmarkAblationUnfilteredPopularity(b *testing.B) {
 // avoids by ranking per day (Section 4.6).
 func BenchmarkAblationAggregatePopularity(b *testing.B) {
 	_, sessions := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		counts := map[string]int{}
@@ -405,6 +480,7 @@ func BenchmarkAblationAggregatePopularity(b *testing.B) {
 func BenchmarkAblationUnconditionalWorkload(b *testing.B) {
 	params := model.Default()
 	rng := rand.New(rand.NewPCG(9, 9))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := params.PassiveDuration(geo.NorthAmerica, 0)
@@ -490,6 +566,7 @@ func BenchmarkOverlayQueryRouting(b *testing.B) {
 func BenchmarkWorkloadGeneration(b *testing.B) {
 	cfg := workload.DefaultConfig(1, 1)
 	gen := workload.NewGenerator(cfg)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := gen.SessionAt(0)
@@ -519,6 +596,7 @@ func BenchmarkAblationReplicationStrategies(b *testing.B) {
 		b.Skip("popularity unavailable at bench scale")
 	}
 	freqs := pop.Freq[analysis.ClassNAOnly]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, s := range []search.ReplicationStrategy{search.Uniform, search.Proportional, search.SquareRoot} {

@@ -1,12 +1,21 @@
-// Command analyze characterizes a previously recorded trace file and
-// prints the selected sections of the paper reproduction report.
+// Command analyze characterizes a trace and prints the selected sections
+// of the paper reproduction report.
 //
 // Usage:
 //
 //	analyze [-only SECTION] trace-file
+//	analyze [-only SECTION] -simulate [-seed N] [-scale F] [-days D]
 //
 // SECTION is one of: summary, table1, table2, table3, fig1..fig11, fits,
 // all (default).
+//
+// With -simulate the trace is produced in-process by the measurement
+// simulation instead of being read from a file; -scale 1.0 -days 40 is
+// the paper-scale configuration (≈4.36 M connections). -workers bounds
+// the characterization worker pool (0 = GOMAXPROCS, 1 = sequential);
+// -perf appends a machine-readable wall-clock / peak-RSS accounting line
+// to stderr, which is how the full-scale numbers in BENCH_pr2.json were
+// recorded.
 package main
 
 import (
@@ -15,8 +24,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
-	"repro/internal/analysis"
+	"repro/internal/capture"
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/report"
@@ -47,25 +57,59 @@ var sections = map[string]func(io.Writer, *core.Characterization) error{
 func main() {
 	only := flag.String("only", "all", "section to print (summary, table1..3, fig1..fig11, fits, all)")
 	csvDir := flag.String("csv", "", "optional directory for CSV exports of the distribution figures")
+	simulate := flag.Bool("simulate", false, "simulate the trace in-process instead of reading a file")
+	seed := flag.Uint64("seed", 2004, "simulation seed (with -simulate)")
+	scale := flag.Float64("scale", 0.01, "fraction of the paper's arrival rate; 1.0 = full scale (with -simulate)")
+	days := flag.Int("days", 4, "trace length in days; the paper measured 40 (with -simulate)")
+	workers := flag.Int("workers", 0, "characterization worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	perf := flag.Bool("perf", false, "print a wall-clock/peak-RSS accounting line to stderr")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: analyze [-only SECTION] trace-file")
-		os.Exit(2)
-	}
 	render, ok := sections[*only]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown section %q\n", *only)
 		os.Exit(2)
 	}
-	tr, err := trace.ReadFile(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "reading trace: %v\n", err)
-		os.Exit(1)
+
+	var tr *trace.Trace
+	start := time.Now()
+	var simulated time.Duration
+	var rejected uint64
+	switch {
+	case *simulate:
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: analyze -simulate [-seed N] [-scale F] [-days D]")
+			os.Exit(2)
+		}
+		cfg := capture.DefaultConfig(*seed, *scale)
+		cfg.Workload.Days = *days
+		sim := capture.New(cfg)
+		tr = sim.Run()
+		rejected = sim.Rejected
+		simulated = time.Since(start)
+	case flag.NArg() == 1:
+		var err error
+		tr, err = trace.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reading trace: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: analyze [-only SECTION] trace-file")
+		os.Exit(2)
 	}
-	c := core.Characterize(tr)
+
+	charStart := time.Now()
+	c := core.CharacterizeOpts(tr, core.Options{Workers: *workers})
+	characterized := time.Since(charStart)
 	if err := render(os.Stdout, c); err != nil {
 		fmt.Fprintf(os.Stderr, "rendering: %v\n", err)
 		os.Exit(1)
+	}
+	if *perf {
+		fmt.Fprintf(os.Stderr,
+			`{"conns":%d,"rejected_arrivals":%d,"hop1_queries":%d,"simulate_s":%.2f,"characterize_s":%.2f,"total_s":%.2f,"peak_rss_bytes":%d,"workers":%d,"scale":%g,"days":%d}`+"\n",
+			len(tr.Conns), rejected, len(tr.Queries), simulated.Seconds(), characterized.Seconds(),
+			time.Since(start).Seconds(), peakRSSBytes(), *workers, tr.Scale, tr.Days)
 	}
 	if *csvDir != "" {
 		if err := exportCSV(*csvDir, c); err != nil {
@@ -107,13 +151,9 @@ func exportCSV(dir string, c *core.Characterization) error {
 		"fig9_after_last_ccdf.csv":          regionSeries(c.Figure9.ByRegion, stats.LogSpace(1, 100000, 120)),
 	}
 	var pop []report.Series
-	for class, name := range map[analysis.PopularityClass]string{
-		analysis.ClassNAOnly: "NA-only",
-		analysis.ClassEUOnly: "EU-only",
-		analysis.ClassNAEU:   "NA-EU",
-	} {
-		s := report.Series{Name: name}
-		for i, f := range c.Figure11.Freq[class] {
+	for _, cl := range report.PopularityClassLabels() {
+		s := report.Series{Name: cl.CSVName}
+		for i, f := range c.Figure11.Freq[cl.Class] {
 			if f > 0 {
 				s.X = append(s.X, float64(i+1))
 				s.Y = append(s.Y, f)

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/capture"
+)
+
+// buildAnalyze compiles the analyze binary once per test run.
+func buildAnalyze(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "analyze")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// smallTrace writes a small simulated trace file for the CLI to read.
+func smallTrace(t *testing.T) string {
+	t.Helper()
+	cfg := capture.DefaultConfig(7, 0.01)
+	cfg.Workload.Days = 2
+	tr := capture.New(cfg).Run()
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIAnalyzeTraceFile(t *testing.T) {
+	bin := buildAnalyze(t)
+	trace := smallTrace(t)
+
+	out, err := exec.Command(bin, "-only", "summary", trace).CombinedOutput()
+	if err != nil {
+		t.Fatalf("analyze -only summary: %v\n%s", err, out)
+	}
+	for _, want := range []string{"Headline measures", "passive session share", "p90 retained session"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("summary output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = exec.Command(bin, "-only", "fits", trace).CombinedOutput()
+	if err != nil {
+		t.Fatalf("analyze -only fits: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Appendix fits") {
+		t.Errorf("fits output missing header:\n%s", out)
+	}
+}
+
+func TestCLIAnalyzeSimulate(t *testing.T) {
+	bin := buildAnalyze(t)
+	cmd := exec.Command(bin, "-simulate", "-seed", "11", "-scale", "0.004", "-days", "1",
+		"-only", "table2", "-perf")
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("analyze -simulate: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Table 2") {
+		t.Errorf("table2 section missing:\n%s", stdout.String())
+	}
+	for _, want := range []string{`"conns":`, `"peak_rss_bytes":`, `"characterize_s":`} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("perf line missing %q: %s", want, stderr.String())
+		}
+	}
+}
+
+func TestCLIAnalyzeCSVExport(t *testing.T) {
+	bin := buildAnalyze(t)
+	trace := smallTrace(t)
+	dir := filepath.Join(t.TempDir(), "csv")
+	out, err := exec.Command(bin, "-only", "summary", "-csv", dir, trace).CombinedOutput()
+	if err != nil {
+		t.Fatalf("analyze -csv: %v\n%s", err, out)
+	}
+	for _, f := range []string{"fig5_passive_duration_ccdf.csv", "fig8_interarrival_ccdf.csv", "fig11_popularity_pmf.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Errorf("missing CSV export: %v", err)
+			continue
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+}
+
+func TestCLIAnalyzeBadUsage(t *testing.T) {
+	bin := buildAnalyze(t)
+	cases := [][]string{
+		{},                            // no trace file
+		{"-only", "nope", "x"},        // unknown section
+		{"-simulate", "trailing-arg"}, // -simulate takes no file
+		{filepath.Join(t.TempDir(), "missing.bin")}, // unreadable trace
+	}
+	for _, args := range cases {
+		err := exec.Command(bin, args...).Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Errorf("analyze %v: expected nonzero exit, got %v", args, err)
+			continue
+		}
+		if code := ee.ExitCode(); code != 1 && code != 2 {
+			t.Errorf("analyze %v: exit code %d, want 1 or 2", args, code)
+		}
+	}
+}

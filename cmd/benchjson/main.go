@@ -1,0 +1,134 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// machine-readable JSON on stdout, so CI and future PRs can track the
+// perf trajectory without scraping benchmark text.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson [-pretty]
+//
+// The output object records the host context lines (goos, goarch, cpu,
+// pkg) and one entry per benchmark result with iterations, ns/op and —
+// when -benchmem was given — B/op and allocs/op. Unrecognized lines are
+// ignored, so PASS/ok trailers and mixed test output are harmless.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Output is the whole report.
+type Output struct {
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	pretty := flag.Bool("pretty", false, "indent the JSON output")
+	flag.Parse()
+
+	var out Output
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			out.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line); ok {
+				r.Pkg = pkg
+				out.Benchmarks = append(out.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	if *pretty {
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench parses one result line, e.g.
+//
+//	BenchmarkFoo-8  1656  1490862 ns/op  19404 B/op  57 allocs/op
+func parseBench(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !hasUnit(fields, "ns/op") {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the GOMAXPROCS suffix.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v := fields[i]
+		unit := fields[i+1]
+		switch unit {
+		case "ns/op":
+			if f, err := strconv.ParseFloat(v, 64); err == nil {
+				r.NsPerOp = f
+			}
+		case "B/op":
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				r.BytesPerOp = n
+			}
+		case "allocs/op":
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				r.AllocsPerOp = n
+			}
+		}
+	}
+	return r, r.NsPerOp > 0
+}
+
+// hasUnit reports whether any field equals the unit (ns/op may not be at
+// a fixed position when extra metrics are reported).
+func hasUnit(fields []string, unit string) bool {
+	for _, f := range fields {
+		if f == unit {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestParseBench(t *testing.T) {
+	r, ok := parseBench("BenchmarkRankingBuild-8  1656  1490862 ns/op  19404 B/op  57 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkRankingBuild" {
+		t.Errorf("name = %q", r.Name)
+	}
+	if r.Iterations != 1656 || r.NsPerOp != 1490862 || r.BytesPerOp != 19404 || r.AllocsPerOp != 57 {
+		t.Errorf("parsed %+v", r)
+	}
+}
+
+func TestParseBenchNoMem(t *testing.T) {
+	r, ok := parseBench("BenchmarkSampleCachedDay 19966726 122.4 ns/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.NsPerOp != 122.4 || r.BytesPerOp != 0 {
+		t.Errorf("parsed %+v", r)
+	}
+}
+
+func TestParseBenchSubBenchmarkName(t *testing.T) {
+	r, ok := parseBench("BenchmarkCharacterizeScaleSweep/scale=0.03-4 100 1000 ns/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkCharacterizeScaleSweep/scale=0.03" {
+		t.Errorf("name = %q", r.Name)
+	}
+}
+
+func TestParseBenchRejectsJunk(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken",
+		"Benchmark x y z",
+		"ok   repro 1.2s",
+	} {
+		if _, ok := parseBench(line); ok {
+			t.Errorf("parsed junk line %q", line)
+		}
+	}
+}

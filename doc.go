@@ -23,7 +23,30 @@
 // body/tail composite of Tables A.1–A.4, Zipf and two-segment Zipf rank
 // laws for query popularity (Figure 11), maximum-likelihood fitters that
 // recover each family from measured samples, and the Kolmogorov–Smirnov
-// distance used to score the recovered fits.
+// distance — with asymptotic p-values (dist.KSPValue) that let the report
+// auto-reject fits — used to score the recovered fits.
+//
+// # Concurrency model
+//
+// The characterization pipeline is parallel by default. The Section 3.3
+// filter and session enrichment run first; then every per-figure
+// computation and each of the 51 per-(table, region, period, bucket)
+// appendix fits runs as an independent task on a bounded worker pool
+// (core.Options.Workers; 1 forces sequential). Tasks share only the
+// immutable trace and enriched-session slice and write to disjoint
+// fields, so for a fixed seed the rendered report is byte-identical for
+// every worker count — a property pinned by tests.
+//
+// On the generator side, vocab.Vocabulary shards its per-day popularity
+// rankings by query class: each (class, day) ranking is built lazily
+// exactly once behind its own sync.Once, via top-K partial selection over
+// per-(seed, class, day) PCG score streams. Steady-state query draws are
+// lock-free map hits, so concurrent workload or capture generators no
+// longer serialize behind one vocabulary mutex, and the ranking result is
+// independent of which goroutine builds it. Measured on one 2.1 GHz core,
+// building a day ranking for all seven classes dropped from 6.1 ms /
+// 588 KB to 1.5 ms / 19 KB, and a cold single-class draw from 6.0 ms to
+// 0.6 ms; cached draws stay at ~120 ns with zero allocations.
 //
 // # Quickstart
 //

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLivecaptureRuns builds and executes the example end to end over
+// real loopback TCP: it must exit zero and report the observed sessions.
+func TestLivecaptureRuns(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "livecapture")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin).CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for _, want := range []string{"node observed", "hop-1 queries"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

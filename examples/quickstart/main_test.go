@@ -1,0 +1,26 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartRuns builds and executes the example end to end: it must
+// exit zero and print the headline sections.
+func TestQuickstartRuns(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "quickstart")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin).CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for _, want := range []string{"One simulated day", "sessions", "passive"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"time"
+
 	"repro/internal/geo"
 	"repro/internal/simtime"
 	"repro/internal/stats"
@@ -175,6 +177,18 @@ func ComputeFigure5(sessions []Session) PassiveDurations {
 			out.ByPeriod[r][h] = &stats.Sample{}
 		}
 	}
+	// Pre-size the per-region samples: passive sessions are ~80% of the
+	// total, so letting append double its way up wastes both copies and
+	// peak memory at full trace scale.
+	counts := map[geo.Region]int{}
+	for i := range sessions {
+		if sessions[i].Passive() {
+			counts[sessions[i].Region]++
+		}
+	}
+	for _, r := range continental {
+		out.ByRegion[r].Grow(counts[r])
+	}
 	for i := range sessions {
 		s := &sessions[i]
 		if !s.Passive() {
@@ -310,16 +324,15 @@ func ComputeFigure8(sessions []Session) Interarrivals {
 	for _, h := range KeyPeriods {
 		out.ByPeriodEU[h] = &stats.Sample{}
 	}
+	var scratch []time.Duration
 	for i := range sessions {
 		s := &sessions[i]
-		iats := s.Interarrivals()
-		if len(iats) == 0 {
-			continue
-		}
 		sample, ok := out.ByRegion[s.Region]
 		if !ok {
 			continue
 		}
+		iats := s.AppendInterarrivals(scratch[:0])
+		scratch = iats
 		for _, iat := range iats {
 			v := secondsOf(iat)
 			sample.Add(v)

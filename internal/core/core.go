@@ -13,13 +13,13 @@ package core
 
 import (
 	"math"
-	"sort"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/dist"
 	"repro/internal/filter"
 	"repro/internal/geo"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -91,12 +91,22 @@ type Fits struct {
 	AfterLast map[geo.Region][2][3]LognormalFit
 }
 
+// FitAlpha is the significance level at which the report auto-rejects an
+// appendix fit by its KS p-value.
+const FitAlpha = 0.05
+
 // LognormalFit is a fitted lognormal with sample context.
 type LognormalFit struct {
 	OK    bool
 	N     int
 	Model dist.Lognormal
 	KS    float64 // Kolmogorov–Smirnov distance of the fit on its data
+	// KSP is the asymptotic p-value of KS at N, and Rejected the verdict
+	// at FitAlpha. The p-value is computed on the fitting sample itself,
+	// so rejections are trustworthy and acceptances optimistic (see
+	// dist.KSPValue).
+	KSP      float64
+	Rejected bool
 }
 
 // BodyTailFit is a fitted two-component mixture with sample context.
@@ -105,6 +115,9 @@ type BodyTailFit struct {
 	N   int
 	Fit dist.BodyTailFit
 	KS  float64
+	// KSP and Rejected: see LognormalFit.
+	KSP      float64
+	Rejected bool
 }
 
 // Splits used by the appendix fits, from the paper's tables.
@@ -122,34 +135,52 @@ const (
 // minFitSamples is the smallest sample size worth fitting.
 const minFitSamples = 30
 
-// Characterize runs the complete pipeline over a trace.
+// Characterize runs the complete pipeline over a trace with the default
+// options (parallel, sized to the machine).
 func Characterize(tr *trace.Trace) *Characterization {
+	return CharacterizeOpts(tr, Options{})
+}
+
+// CharacterizeOpts runs the complete pipeline over a trace. The filter and
+// session enrichment run first (everything downstream reads their output);
+// the per-figure computations, which share only the immutable trace and
+// session slice, then fan out across the worker pool, followed by the
+// independent appendix fits. The output is byte-identical for every
+// Workers setting: tasks write to disjoint fields and never read each
+// other's results.
+func CharacterizeOpts(tr *trace.Trace, opts Options) *Characterization {
+	workers := opts.resolve()
 	res := filter.Apply(tr)
 	sessions := analysis.Enrich(res)
 	c := &Characterization{
-		Table1:   analysis.ComputeTable1(tr),
 		Table2:   res,
 		Sessions: sessions,
-		Figure1:  analysis.ComputeFigure1(tr),
-		Figure2:  analysis.ComputeFigure2(tr),
-		Figure3:  analysis.ComputeFigure3(sessions),
-		Figure4:  analysis.ComputeFigure4(sessions),
-		Figure5:  analysis.ComputeFigure5(sessions),
-		Figure6:  analysis.ComputeFigure6(sessions),
-		Figure7:  analysis.ComputeFigure7(sessions),
-		Figure8:  analysis.ComputeFigure8(sessions),
-		Figure9:  analysis.ComputeFigure9(sessions),
-		Figure10: analysis.ComputeFigure10(sessions, tr.Days, geo.NorthAmerica),
-		Table3:   analysis.ComputeTable3(sessions, tr.Days),
-		HitRates: analysis.ComputeHitRates(tr),
 	}
-	c.Figure11, _ = analysis.ComputeFigure11(sessions, tr.Days)
-	c.Fits = fitAll(sessions)
+	runTasks(workers, []func(){
+		func() { c.Table1 = analysis.ComputeTable1(tr) },
+		func() { c.Figure1 = analysis.ComputeFigure1(tr) },
+		func() { c.Figure2 = analysis.ComputeFigure2(tr) },
+		func() { c.Figure3 = analysis.ComputeFigure3(sessions) },
+		func() { c.Figure4 = analysis.ComputeFigure4(sessions) },
+		func() { c.Figure5 = analysis.ComputeFigure5(sessions) },
+		func() { c.Figure6 = analysis.ComputeFigure6(sessions) },
+		func() { c.Figure7 = analysis.ComputeFigure7(sessions) },
+		func() { c.Figure8 = analysis.ComputeFigure8(sessions) },
+		func() { c.Figure9 = analysis.ComputeFigure9(sessions) },
+		func() { c.Figure10 = analysis.ComputeFigure10(sessions, tr.Days, geo.NorthAmerica) },
+		func() { c.Figure11, _ = analysis.ComputeFigure11(sessions, tr.Days) },
+		func() { c.Table3 = analysis.ComputeTable3(sessions, tr.Days) },
+		func() { c.HitRates = analysis.ComputeHitRates(tr) },
+	})
+	c.Fits = fitAll(sessions, workers)
 	return c
 }
 
-// fitAll computes the appendix fits from conditioned samples.
-func fitAll(sessions []analysis.Session) Fits {
+// fitAll computes the appendix fits from conditioned samples: one pass
+// over the sessions feeds the per-(region, period, bucket) sample slices,
+// then every independent fit runs as its own task on the worker pool,
+// writing to its own slot.
+func fitAll(sessions []analysis.Session, workers int) Fits {
 	f := Fits{
 		PassiveDuration: map[geo.Region][2]BodyTailFit{},
 		NumQueries:      map[geo.Region]LognormalFit{},
@@ -169,6 +200,7 @@ func fitAll(sessions []analysis.Session) Fits {
 	iat := map[key][]float64{}
 	afterLast := map[key][]float64{}
 
+	var iatScratch []time.Duration
 	for i := range sessions {
 		s := &sessions[i]
 		r := s.Region
@@ -195,7 +227,8 @@ func fitAll(sessions []analysis.Session) Fits {
 			k := key{r, s.Peak, bucketA3(n)}
 			firstQ[k] = append(firstQ[k], first.Seconds())
 		}
-		for _, d := range s.Interarrivals() {
+		iatScratch = s.AppendInterarrivals(iatScratch[:0])
+		for _, d := range iatScratch {
 			if d > 0 {
 				k := key{r, s.Peak, 0}
 				iat[k] = append(iat[k], d.Seconds())
@@ -207,55 +240,64 @@ func fitAll(sessions []analysis.Session) Fits {
 		}
 	}
 
-	for _, r := range []geo.Region{geo.NorthAmerica, geo.Europe, geo.Asia} {
-		// A.1 — passive durations.
-		var pd [2]BodyTailFit
-		for p := 0; p < 2; p++ {
-			xs := passive[key{r, p == 0, 0}]
-			pd[p] = fitBodyTail(xs, func(v []float64) (dist.BodyTailFit, error) {
-				return dist.FitBimodalLognormal(v, passiveBodyLo, passiveSplit)
-			})
-		}
-		f.PassiveDuration[r] = pd
-
+	// Fan the 51 independent fits out over the worker pool. Each task
+	// writes to its own array slot; the maps are assembled afterwards on
+	// the calling goroutine, so the result is identical in any order.
+	regions := [3]geo.Region{geo.NorthAmerica, geo.Europe, geo.Asia}
+	var (
+		pd [3][2]BodyTailFit
+		nq [3]LognormalFit
+		fq [3][2][3]BodyTailFit
+		ia [3][2]BodyTailFit
+		al [3][2][3]LognormalFit
+	)
+	var tasks []func()
+	for ri := range regions {
+		r := regions[ri]
 		// A.2 — queries per session: counts are rounded-and-floored, so
 		// the interval-censored fitter recovers the continuous lognormal.
-		f.NumQueries[r] = fitLognormalCounts(numQ[r])
-
-		// A.3 — time until first query.
-		var fq [2][3]BodyTailFit
+		tasks = append(tasks, func() { nq[ri] = fitLognormalCounts(numQ[r]) })
 		for p := 0; p < 2; p++ {
+			// A.1 — passive durations.
+			tasks = append(tasks, func() {
+				xs := passive[key{r, p == 0, 0}]
+				pd[ri][p] = fitBodyTail(xs, func(v []float64) (dist.BodyTailFit, error) {
+					return dist.FitBimodalLognormal(v, passiveBodyLo, passiveSplit)
+				})
+			})
+			// A.4 — interarrival times.
+			tasks = append(tasks, func() {
+				xs := iat[key{r, p == 0, 0}]
+				ia[ri][p] = fitBodyTail(xs, func(v []float64) (dist.BodyTailFit, error) {
+					return dist.FitLognormalPareto(v, 0, iatSplit)
+				})
+			})
 			split := firstQuerySplitPeak
 			if Period(p) == OffPeak {
 				split = firstQuerySplitOffPeak
 			}
 			for b := 0; b < 3; b++ {
-				xs := firstQ[key{r, p == 0, b}]
-				fq[p][b] = fitBodyTail(xs, func(v []float64) (dist.BodyTailFit, error) {
-					return dist.FitWeibullLognormal(v, 0, split)
+				// A.3 — time until first query.
+				tasks = append(tasks, func() {
+					xs := firstQ[key{r, p == 0, b}]
+					fq[ri][p][b] = fitBodyTail(xs, func(v []float64) (dist.BodyTailFit, error) {
+						return dist.FitWeibullLognormal(v, 0, split)
+					})
+				})
+				// A.5 — time after last query.
+				tasks = append(tasks, func() {
+					al[ri][p][b] = fitLognormal(afterLast[key{r, p == 0, b}])
 				})
 			}
 		}
-		f.FirstQuery[r] = fq
-
-		// A.4 — interarrival times.
-		var ia [2]BodyTailFit
-		for p := 0; p < 2; p++ {
-			xs := iat[key{r, p == 0, 0}]
-			ia[p] = fitBodyTail(xs, func(v []float64) (dist.BodyTailFit, error) {
-				return dist.FitLognormalPareto(v, 0, iatSplit)
-			})
-		}
-		f.Interarrival[r] = ia
-
-		// A.5 — time after last query.
-		var al [2][3]LognormalFit
-		for p := 0; p < 2; p++ {
-			for b := 0; b < 3; b++ {
-				al[p][b] = fitLognormal(afterLast[key{r, p == 0, b}])
-			}
-		}
-		f.AfterLast[r] = al
+	}
+	runTasks(workers, tasks)
+	for ri, r := range regions {
+		f.PassiveDuration[r] = pd[ri]
+		f.NumQueries[r] = nq[ri]
+		f.FirstQuery[r] = fq[ri]
+		f.Interarrival[r] = ia[ri]
+		f.AfterLast[r] = al[ri]
 	}
 	return f
 }
@@ -268,7 +310,43 @@ func fitLognormalCounts(xs []float64) LognormalFit {
 	if err != nil {
 		return LognormalFit{N: len(xs)}
 	}
-	return LognormalFit{OK: true, N: len(xs), Model: m, KS: dist.KS(xs, m)}
+	ks := ksRoundedCounts(xs, m)
+	p := dist.KSPValue(ks, len(xs))
+	return LognormalFit{
+		OK: true, N: len(xs), Model: m, KS: ks,
+		KSP: p, Rejected: dist.KSReject(ks, len(xs), FitAlpha),
+	}
+}
+
+// ksRoundedCounts measures the KS distance between integer count data and
+// the rounding-censored lognormal FitLognormalCounts maximizes: count k
+// covers the continuous interval (k−0.5, k+0.5], so the model's CDF at
+// support point k is CDF(k+0.5), with the k=1 cell absorbing the left
+// tail. Scoring the continuous CDF directly would report a distance
+// dominated by discretization rather than misfit and auto-reject every
+// A.2 fit. The p-value derived from this distance is conservative
+// (discrete-support KS).
+func ksRoundedCounts(xs []float64, m dist.Lognormal) float64 {
+	hist := map[int]int{}
+	maxK := 0
+	for _, x := range xs {
+		k := int(math.Round(x))
+		hist[k]++
+		if k > maxK {
+			maxK = k
+		}
+	}
+	n := float64(len(xs))
+	cum := 0
+	maxD := 0.0
+	for k := 1; k <= maxK; k++ {
+		cum += hist[k]
+		f := m.CDF(float64(k) + 0.5)
+		if d := math.Abs(float64(cum)/n - f); d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
 }
 
 func fitLognormal(xs []float64) LognormalFit {
@@ -279,7 +357,16 @@ func fitLognormal(xs []float64) LognormalFit {
 	if err != nil {
 		return LognormalFit{N: len(xs)}
 	}
-	return LognormalFit{OK: true, N: len(xs), Model: m, KS: dist.KS(xs, m)}
+	return lognormalVerdict(xs, m)
+}
+
+func lognormalVerdict(xs []float64, m dist.Lognormal) LognormalFit {
+	ks := dist.KS(xs, m)
+	p := dist.KSPValue(ks, len(xs))
+	return LognormalFit{
+		OK: true, N: len(xs), Model: m, KS: ks,
+		KSP: p, Rejected: dist.KSReject(ks, len(xs), FitAlpha),
+	}
 }
 
 func fitBodyTail(xs []float64, fit func([]float64) (dist.BodyTailFit, error)) BodyTailFit {
@@ -290,7 +377,12 @@ func fitBodyTail(xs []float64, fit func([]float64) (dist.BodyTailFit, error)) Bo
 	if err != nil {
 		return BodyTailFit{N: len(xs)}
 	}
-	return BodyTailFit{OK: true, N: len(xs), Fit: bt, KS: dist.KS(xs, bt.Mixture())}
+	ks := dist.KS(xs, bt.Mixture())
+	p := dist.KSPValue(ks, len(xs))
+	return BodyTailFit{
+		OK: true, N: len(xs), Fit: bt, KS: ks,
+		KSP: p, Rejected: dist.KSReject(ks, len(xs), FitAlpha),
+	}
 }
 
 func bucketA3(n int) int {
@@ -348,31 +440,79 @@ func (c *Characterization) PassiveShare() float64 {
 // MedianSessionDuration returns the median recorded duration of retained
 // sessions.
 func (c *Characterization) MedianSessionDuration() time.Duration {
+	return c.SessionDurationQuantile(0.5)
+}
+
+// SessionDurationQuantile returns the p-quantile of retained session
+// durations — the report's percentile lines. Selection runs in O(n) by
+// quickselect instead of a full sort.
+func (c *Characterization) SessionDurationQuantile(p float64) time.Duration {
+	qs := c.SessionDurationQuantiles(p)
+	return qs[0]
+}
+
+// SessionDurationQuantiles returns several duration quantiles sharing one
+// scratch buffer and one pass over the sessions — selection permutes the
+// buffer but keeps its contents, so repeated selects stay valid.
+func (c *Characterization) SessionDurationQuantiles(ps ...float64) []time.Duration {
+	out := make([]time.Duration, len(ps))
 	if len(c.Sessions) == 0 {
-		return 0
+		return out
 	}
-	ds := make([]float64, 0, len(c.Sessions))
+	ds := make([]float64, len(c.Sessions))
 	for i := range c.Sessions {
-		ds = append(ds, c.Sessions[i].Conn.Duration().Seconds())
+		ds[i] = c.Sessions[i].Conn.Duration().Seconds()
 	}
-	var sample sampleSorter = ds
-	return time.Duration(sample.median() * float64(time.Second))
+	for i, p := range ps {
+		out[i] = time.Duration(quantileSelect(ds, p) * float64(time.Second))
+	}
+	return out
 }
 
-type sampleSorter []float64
-
-func (s sampleSorter) median() float64 {
-	// Selection by partial sort: n is small enough that a full sort is
-	// fine, but avoid mutating the caller's order anyway.
-	cp := make([]float64, len(s))
-	copy(cp, s)
-	// insertion-free: use sort package
-	sortFloats(cp)
-	n := len(cp)
-	if n%2 == 1 {
-		return cp[n/2]
+// quantileSelect returns the p-quantile of xs with the same linear
+// interpolation between order statistics as stats.Sample.Quantile, found
+// by quickselect rather than sorting. It reorders xs; NaN for empty input.
+func quantileSelect(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
 	}
-	return (cp[n/2-1] + cp[n/2]) / 2
+	if p <= 0 {
+		return minOf(xs)
+	}
+	if p >= 1 {
+		return maxOf(xs)
+	}
+	pos := p * float64(n-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	stats.SelectK(xs, i, lessFloat)
+	lo := xs[i]
+	if frac == 0 || i+1 >= n {
+		return lo
+	}
+	hi := minOf(xs[i+1:]) // the (i+2)-th order statistic after selection
+	return lo*(1-frac) + hi*frac
 }
 
-func sortFloats(xs []float64) { sort.Float64s(xs) }
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func lessFloat(a, b float64) bool { return a < b }

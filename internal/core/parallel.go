@@ -1,0 +1,60 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Options tunes how Characterize executes. The zero value picks the
+// parallel mode sized to the machine.
+type Options struct {
+	// Workers bounds the worker pool that the independent per-figure
+	// computations and per-(table, region, period, bucket) appendix fits
+	// fan out over. 0 means GOMAXPROCS; 1 forces the fully sequential
+	// mode. Output is byte-identical across all settings: every task
+	// writes to its own slot and no task consumes another's output.
+	Workers int
+}
+
+// resolve applies the Options defaults.
+func (o Options) resolve() int {
+	if o.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+// runTasks executes the tasks on a bounded worker pool. Each task must
+// write only to state no other task touches; with workers ≤ 1 the tasks
+// run in order on the calling goroutine, which is the reference sequential
+// mode the determinism tests compare against.
+func runTasks(workers int, tasks []func()) {
+	if workers <= 1 || len(tasks) <= 1 {
+		for _, task := range tasks {
+			task()
+		}
+		return
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	ch := make(chan func())
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for task := range ch {
+				task()
+			}
+		}()
+	}
+	for _, task := range tasks {
+		ch <- task
+	}
+	close(ch)
+	wg.Wait()
+}

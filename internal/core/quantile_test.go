@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// TestQuantileSelectMatchesSort cross-checks the quickselect quantile
+// against the sort-based reference on random inputs with duplicates.
+func TestQuantileSelectMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	ref := func(xs []float64, p float64) float64 {
+		cp := make([]float64, len(xs))
+		copy(cp, xs)
+		sort.Float64s(cp)
+		if p <= 0 {
+			return cp[0]
+		}
+		if p >= 1 {
+			return cp[len(cp)-1]
+		}
+		pos := p * float64(len(cp)-1)
+		i := int(pos)
+		frac := pos - float64(i)
+		if i+1 >= len(cp) {
+			return cp[len(cp)-1]
+		}
+		return cp[i]*(1-frac) + cp[i+1]*frac
+	}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.IntN(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			if rng.IntN(4) == 0 {
+				xs[i] = float64(rng.IntN(5)) // duplicates
+			} else {
+				xs[i] = rng.NormFloat64() * 100
+			}
+		}
+		for _, p := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 1} {
+			cp := make([]float64, n)
+			copy(cp, xs)
+			got := quantileSelect(cp, p)
+			want := ref(xs, p)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d n=%d p=%v: quickselect %v != sort %v", trial, n, p, got, want)
+			}
+		}
+	}
+}
+
+func TestQuantileSelectEmpty(t *testing.T) {
+	if !math.IsNaN(quantileSelect(nil, 0.5)) {
+		t.Error("empty input should give NaN")
+	}
+}

@@ -1,0 +1,100 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestKSPValueKnownPoints(t *testing.T) {
+	// The Kolmogorov distribution's classical quantiles: Q(1.358) ≈ 0.05,
+	// Q(1.628) ≈ 0.01, Q(1.224) ≈ 0.10. At large n Stephens' correction
+	// approaches √n, so d = t/√n should recover the textbook p-values.
+	const n = 1_000_000
+	sn := math.Sqrt(float64(n))
+	cases := []struct{ t, p float64 }{
+		{1.224, 0.10},
+		{1.358, 0.05},
+		{1.628, 0.01},
+	}
+	for _, c := range cases {
+		got := KSPValue(c.t/sn, n)
+		if math.Abs(got-c.p) > 0.005 {
+			t.Errorf("KSPValue(%v/√n, n) = %v, want ≈%v", c.t, got, c.p)
+		}
+	}
+}
+
+func TestKSPValueMonotoneAndBounded(t *testing.T) {
+	last := 1.1
+	for d := 0.001; d < 0.9; d += 0.013 {
+		p := KSPValue(d, 200)
+		if p < 0 || p > 1 {
+			t.Fatalf("p out of range: %v at d=%v", p, d)
+		}
+		if p > last {
+			t.Fatalf("p not monotone at d=%v: %v > %v", d, p, last)
+		}
+		last = p
+	}
+}
+
+func TestKSPValueDegenerate(t *testing.T) {
+	if !math.IsNaN(KSPValue(math.NaN(), 10)) {
+		t.Error("NaN distance should give NaN")
+	}
+	if !math.IsNaN(KSPValue(0.1, 0)) {
+		t.Error("n=0 should give NaN")
+	}
+	if !math.IsNaN(KSPValue(-0.1, 10)) {
+		t.Error("negative distance should give NaN")
+	}
+	if KSPValue(0, 10) != 1 {
+		t.Error("zero distance should give p=1")
+	}
+	if KSPValue(1, 10) != 0 {
+		t.Error("distance 1 should give p=0")
+	}
+	if KSReject(math.NaN(), 10, 0.05) {
+		t.Error("degenerate input must never reject")
+	}
+}
+
+func TestKSRejectSeparatesGoodAndBadFits(t *testing.T) {
+	// A sample from the model itself must not be rejected; the same sample
+	// tested against a far-off model must be.
+	rng := rand.New(rand.NewPCG(11, 12))
+	truth := Lognormal{Mu: 1.0, Sigma: 0.8}
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = truth.Sample(rng)
+	}
+	if d := KS(xs, truth); KSReject(d, len(xs), 0.05) {
+		t.Errorf("true model rejected: d=%v p=%v", d, KSPValue(d, len(xs)))
+	}
+	wrong := Lognormal{Mu: 2.0, Sigma: 0.8}
+	if d := KS(xs, wrong); !KSReject(d, len(xs), 0.05) {
+		t.Errorf("shifted model not rejected: d=%v p=%v", d, KSPValue(d, len(xs)))
+	}
+}
+
+func TestKSRejectFalsePositiveRate(t *testing.T) {
+	// Repeated true-model samples should be rejected at roughly the
+	// nominal rate: with α = 0.05 and 200 trials, well under 10%.
+	rng := rand.New(rand.NewPCG(21, 22))
+	truth := Weibull{Alpha: 1.3, Lambda: 0.02}
+	rejects := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 300)
+		for i := range xs {
+			xs[i] = truth.Sample(rng)
+		}
+		if KSReject(KS(xs, truth), len(xs), 0.05) {
+			rejects++
+		}
+	}
+	if rejects > trials/10 {
+		t.Errorf("false positive rate %d/%d exceeds 10%%", rejects, trials)
+	}
+}

@@ -223,7 +223,13 @@ func flagRules45(start trace.Time, qs []Query, res *Result) {
 // Interarrivals returns the session's valid interarrival times: gaps
 // between consecutive unflagged queries.
 func (s *Session) Interarrivals() []time.Duration {
-	var out []time.Duration
+	return s.AppendInterarrivals(nil)
+}
+
+// AppendInterarrivals appends the session's valid interarrival times to
+// buf and returns the extended slice. Hot loops pass a reused scratch
+// buffer (sliced to zero length) to avoid one allocation per session.
+func (s *Session) AppendInterarrivals(buf []time.Duration) []time.Duration {
 	prev := trace.Time(-1)
 	for i := range s.Queries {
 		q := &s.Queries[i]
@@ -231,11 +237,11 @@ func (s *Session) Interarrivals() []time.Duration {
 			continue
 		}
 		if prev >= 0 {
-			out = append(out, q.At-prev)
+			buf = append(buf, q.At-prev)
 		}
 		prev = q.At
 	}
-	return out
+	return buf
 }
 
 // FirstQueryTime returns the offset of the first query whose timing the

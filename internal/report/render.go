@@ -102,6 +102,24 @@ var regionNames = map[geo.Region]string{
 	geo.Asia:         "Asia",
 }
 
+// PopularityClassLabel pairs a Figure 11 class with its display names:
+// Name for charts, CSVName the ASCII-safe series name CSV consumers key on.
+type PopularityClassLabel struct {
+	Class   analysis.PopularityClass
+	Name    string
+	CSVName string
+}
+
+// PopularityClassLabels returns the Figure 11 classes in canonical render
+// order. Exported so CSV exporters emit series in the same stable order.
+func PopularityClassLabels() []PopularityClassLabel {
+	return []PopularityClassLabel{
+		{analysis.ClassNAOnly, "NA-only", "NA-only"},
+		{analysis.ClassEUOnly, "EU-only", "EU-only"},
+		{analysis.ClassNAEU, "NA∩EU", "NA-EU"},
+	}
+}
+
 // RenderFigure1 charts the hourly geographic mix of one-hop vs all peers.
 func RenderFigure1(w io.Writer, c *core.Characterization) error {
 	for _, r := range analysis.Continental() {
@@ -169,23 +187,41 @@ func RenderFigure4(w io.Writer, c *core.Characterization) error {
 	return ch.Render(w)
 }
 
-// ccdfChart renders per-key CCDF curves from samples.
-func ccdfChart(w io.Writer, title, xlabel string, grid []float64, series map[string]*stats.Sample) error {
+// namedSample pairs a chart label with its sample. Charts take ordered
+// slices, never maps: series order decides marker assignment, so it must
+// be deterministic for the report to be byte-stable across runs.
+type namedSample struct {
+	name   string
+	sample *stats.Sample
+}
+
+// regionSamples orders per-region samples in the conventional NA, EU, AS
+// sequence.
+func regionSamples(m map[geo.Region]*stats.Sample) []namedSample {
+	out := make([]namedSample, 0, 3)
+	for _, r := range analysis.Continental() {
+		out = append(out, namedSample{regionNames[r], m[r]})
+	}
+	return out
+}
+
+// ccdfChart renders CCDF curves from samples in the given order.
+func ccdfChart(w io.Writer, title, xlabel string, grid []float64, series []namedSample) error {
 	ch := NewChart(title)
 	ch.LogX, ch.LogY = true, true
 	ch.MinY = 0.01
 	ch.XLabel = xlabel
-	for name, sample := range series {
-		if sample.Len() == 0 {
+	for _, s := range series {
+		if s.sample == nil || s.sample.Len() == 0 {
 			continue
 		}
-		pts := sample.CCDFSeries(grid)
+		pts := s.sample.CCDFSeries(grid)
 		xs := make([]float64, len(pts))
 		ys := make([]float64, len(pts))
 		for i, p := range pts {
 			xs[i], ys[i] = p.X, p.Y
 		}
-		ch.Add(Series{Name: fmt.Sprintf("%s (n=%d)", name, sample.Len()), X: xs, Y: ys})
+		ch.Add(Series{Name: fmt.Sprintf("%s (n=%d)", s.name, s.sample.Len()), X: xs, Y: ys})
 	}
 	return ch.Render(w)
 }
@@ -193,52 +229,36 @@ func ccdfChart(w io.Writer, title, xlabel string, grid []float64, series map[str
 // RenderFigure5 charts passive session duration CCDFs by region.
 func RenderFigure5(w io.Writer, c *core.Characterization) error {
 	grid := stats.LogSpace(60, 600000, 64) // seconds; paper plots minutes 1..10⁴
-	series := map[string]*stats.Sample{}
-	for r, sample := range c.Figure5.ByRegion {
-		series[regionNames[r]] = sample
-	}
 	return ccdfChart(w,
 		"Figure 5(a) — passive session duration CCDF (paper: <2 min = 85% AS, 75% NA, 55% EU)",
-		"seconds", grid, series)
+		"seconds", grid, regionSamples(c.Figure5.ByRegion))
 }
 
 // RenderFigure6 charts queries-per-session CCDFs.
 func RenderFigure6(w io.Writer, c *core.Characterization) error {
 	grid := stats.LogSpace(1, 1000, 48)
-	byRegion := map[string]*stats.Sample{}
-	for r, sample := range c.Figure6.ByRegion {
-		byRegion[regionNames[r]] = sample
-	}
 	if err := ccdfChart(w,
 		"Figure 6(a) — queries per active session CCDF (paper: <5 queries = 92% AS, 80% NA, 70% EU)",
-		"number of queries", grid, byRegion); err != nil {
+		"number of queries", grid, regionSamples(c.Figure6.ByRegion)); err != nil {
 		return err
-	}
-	unfiltered := map[string]*stats.Sample{}
-	for r, sample := range c.Figure6.Unfiltered {
-		unfiltered[regionNames[r]] = sample
 	}
 	return ccdfChart(w,
 		"Figure 6(c) — queries per session, rules 4–5 not applied (paper: 4% of Asian sessions >100)",
-		"number of queries", grid, unfiltered)
+		"number of queries", grid, regionSamples(c.Figure6.Unfiltered))
 }
 
 // RenderFigure7 charts time-to-first-query CCDFs.
 func RenderFigure7(w io.Writer, c *core.Characterization) error {
 	grid := stats.LogSpace(1, 100000, 64)
-	byRegion := map[string]*stats.Sample{}
-	for r, sample := range c.Figure7.ByRegion {
-		byRegion[regionNames[r]] = sample
-	}
 	if err := ccdfChart(w,
 		"Figure 7(a) — time until first query CCDF (paper: ≈40% within 30 s everywhere)",
-		"seconds", grid, byRegion); err != nil {
+		"seconds", grid, regionSamples(c.Figure7.ByRegion)); err != nil {
 		return err
 	}
-	buckets := map[string]*stats.Sample{
-		"<3 queries": c.Figure7.ByBucketNA[0],
-		"=3 queries": c.Figure7.ByBucketNA[1],
-		">3 queries": c.Figure7.ByBucketNA[2],
+	buckets := []namedSample{
+		{"<3 queries", c.Figure7.ByBucketNA[0]},
+		{"=3 queries", c.Figure7.ByBucketNA[1]},
+		{">3 queries", c.Figure7.ByBucketNA[2]},
 	}
 	return ccdfChart(w,
 		"Figure 7(b) — NA, by session query count (paper: more queries ⇒ later first query)",
@@ -248,19 +268,15 @@ func RenderFigure7(w io.Writer, c *core.Characterization) error {
 // RenderFigure8 charts interarrival CCDFs.
 func RenderFigure8(w io.Writer, c *core.Characterization) error {
 	grid := stats.LogSpace(1, 10000, 56)
-	byRegion := map[string]*stats.Sample{}
-	for r, sample := range c.Figure8.ByRegion {
-		byRegion[regionNames[r]] = sample
-	}
 	if err := ccdfChart(w,
 		"Figure 8(a) — query interarrival CCDF (paper: <100 s = 90% EU, 80% AS, 70% NA)",
-		"seconds", grid, byRegion); err != nil {
+		"seconds", grid, regionSamples(c.Figure8.ByRegion)); err != nil {
 		return err
 	}
-	buckets := map[string]*stats.Sample{
-		"=2 queries":  c.Figure8.ByBucketEU[0],
-		"3-7 queries": c.Figure8.ByBucketEU[1],
-		">7 queries":  c.Figure8.ByBucketEU[2],
+	buckets := []namedSample{
+		{"=2 queries", c.Figure8.ByBucketEU[0]},
+		{"3-7 queries", c.Figure8.ByBucketEU[1]},
+		{">7 queries", c.Figure8.ByBucketEU[2]},
 	}
 	return ccdfChart(w,
 		"Figure 8(b) — EU, by session query count (paper: more queries ⇒ shorter interarrivals)",
@@ -270,13 +286,9 @@ func RenderFigure8(w io.Writer, c *core.Characterization) error {
 // RenderFigure9 charts time-after-last-query CCDFs.
 func RenderFigure9(w io.Writer, c *core.Characterization) error {
 	grid := stats.LogSpace(1, 100000, 64)
-	byRegion := map[string]*stats.Sample{}
-	for r, sample := range c.Figure9.ByRegion {
-		byRegion[regionNames[r]] = sample
-	}
 	return ccdfChart(w,
 		"Figure 9(a) — time after last query CCDF (paper: >1000 s for 20% NA/EU, 10% AS)",
-		"seconds", grid, byRegion)
+		"seconds", grid, regionSamples(c.Figure9.ByRegion))
 }
 
 // RenderFigure10 prints the hot-set drift distribution.
@@ -310,11 +322,8 @@ func RenderFigure11(w io.Writer, c *core.Characterization) error {
 	}
 	ch := NewChart("Figure 11 — per-day popularity pmf by rank (log-log)")
 	ch.LogX, ch.LogY = true, true
-	for class, name := range map[analysis.PopularityClass]string{
-		analysis.ClassNAOnly: "NA-only",
-		analysis.ClassEUOnly: "EU-only",
-		analysis.ClassNAEU:   "NA∩EU",
-	} {
+	for _, cl := range PopularityClassLabels() {
+		class, name := cl.Class, cl.Name
 		freq := c.Figure11.Freq[class]
 		xs := make([]float64, 0, len(freq))
 		ys := make([]float64, 0, len(freq))
@@ -360,7 +369,8 @@ func RenderFits(w io.Writer, c *core.Characterization) error {
 		}[r]
 		measured := "insufficient data"
 		if fit.OK {
-			measured = fmt.Sprintf("LN(σ=%.3f, µ=%.3f) n=%d", fit.Model.Sigma, fit.Model.Mu, fit.N)
+			measured = fmt.Sprintf("LN(σ=%.3f, µ=%.3f) n=%d%s",
+				fit.Model.Sigma, fit.Model.Mu, fit.N, ksVerdict(fit.KSP, fit.Rejected))
 		}
 		rows = append(rows, []string{fmt.Sprintf("A.2 %s", regionNames[r]), measured, paper})
 	}
@@ -393,7 +403,8 @@ func RenderFits(w io.Writer, c *core.Characterization) error {
 		fit := c.Fits.AfterLast[na][core.Peak][b]
 		measured := "insufficient data"
 		if fit.OK {
-			measured = fmt.Sprintf("LN(σ=%.3f, µ=%.3f) n=%d KS=%.3f", fit.Model.Sigma, fit.Model.Mu, fit.N, fit.KS)
+			measured = fmt.Sprintf("LN(σ=%.3f, µ=%.3f) n=%d KS=%.3f%s",
+				fit.Model.Sigma, fit.Model.Mu, fit.N, fit.KS, ksVerdict(fit.KSP, fit.Rejected))
 		}
 		rows = append(rows, []string{
 			fmt.Sprintf("A.5 NA peak %s queries", bucketA5[b]), measured, paperA5[b],
@@ -407,8 +418,19 @@ func fmtBodyTail(f core.BodyTailFit) string {
 	if !f.OK {
 		return fmt.Sprintf("insufficient data (n=%d)", f.N)
 	}
-	return fmt.Sprintf("body %.0f%% %v + %v (n=%d, KS=%.3f)",
-		100*f.Fit.BodyWeight, f.Fit.Body, f.Fit.Tail, f.N, f.KS)
+	return fmt.Sprintf("body %.0f%% %v + %v (n=%d, KS=%.3f%s)",
+		100*f.Fit.BodyWeight, f.Fit.Body, f.Fit.Tail, f.N, f.KS,
+		ksVerdict(f.KSP, f.Rejected))
+}
+
+// ksVerdict renders the KS acceptance verdict of a fit: the asymptotic
+// p-value, with an explicit marker when the fit is rejected at
+// core.FitAlpha.
+func ksVerdict(p float64, rejected bool) string {
+	if rejected {
+		return fmt.Sprintf(", p=%.3f REJECTED at α=%.2g", p, core.FitAlpha)
+	}
+	return fmt.Sprintf(", p=%.3f", p)
 }
 
 // RenderHitRates prints the hit-rate extension (the paper's future work):
@@ -453,9 +475,12 @@ func RenderHitRates(w io.Writer, c *core.Characterization) error {
 
 // RenderSummary prints headline reproduction results.
 func RenderSummary(w io.Writer, c *core.Characterization) error {
+	qs := c.SessionDurationQuantiles(0.50, 0.90, 0.99)
 	rows := [][]string{
 		{"passive session share", fmt.Sprintf("%.1f%%", 100*c.PassiveShare()), "≈80%"},
-		{"median retained session", c.MedianSessionDuration().Round(time.Second).String(), "< 3 min (high fraction)"},
+		{"median retained session", qs[0].Round(time.Second).String(), "< 3 min (high fraction)"},
+		{"p90 retained session", qs[1].Round(time.Second).String(), "heavy tail"},
+		{"p99 retained session", qs[2].Round(time.Second).String(), "heavy tail"},
 		{"sessions under 64 s", fmt.Sprintf("%.1f%%", 100*float64(c.Table2.Rule3Sessions)/float64(c.Table2.TotalSessions)), "≈70%"},
 	}
 	return Table(w, "Headline measures", []string{"measure", "measured", "paper"}, rows)

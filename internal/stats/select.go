@@ -1,0 +1,50 @@
+package stats
+
+// SelectK partially sorts xs so that xs[k] holds the element of rank k
+// (0-based) under less, everything before it ranks no later and
+// everything after no earlier — the classic quickselect contract, with
+// median-of-three pivots and iterative narrowing, O(n) expected. less
+// must be a strict weak ordering; ties among equals leave their relative
+// placement unspecified. Callers wanting a deterministic k-prefix must
+// therefore make less a total order (break ties explicitly).
+func SelectK[T any](xs []T, k int, less func(a, b T) bool) {
+	lo, hi := 0, len(xs)
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		a, b, c := lo, mid, hi-1
+		if less(xs[b], xs[a]) {
+			a, b = b, a
+		}
+		if less(xs[c], xs[b]) {
+			b = c
+			if less(xs[b], xs[a]) {
+				a, b = b, a
+			}
+		}
+		xs[lo], xs[b] = xs[b], xs[lo]
+		pivot := xs[lo]
+		i, j := lo+1, hi-1
+		for i <= j {
+			for i <= j && less(xs[i], pivot) {
+				i++
+			}
+			for i <= j && !less(xs[j], pivot) {
+				j--
+			}
+			if i < j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		xs[lo], xs[j] = xs[j], xs[lo]
+		switch {
+		case j == k:
+			return
+		case j > k:
+			hi = j
+		default:
+			lo = j + 1
+		}
+	}
+}

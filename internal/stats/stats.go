@@ -36,6 +36,18 @@ func (s *Sample) AddAll(xs []float64) {
 	s.sorted = false
 }
 
+// Grow ensures capacity for at least n further observations, so bulk
+// loaders that know their sample size up front avoid append's repeated
+// reallocation.
+func (s *Sample) Grow(n int) {
+	if n <= 0 || cap(s.xs)-len(s.xs) >= n {
+		return
+	}
+	xs := make([]float64, len(s.xs), len(s.xs)+n)
+	copy(xs, s.xs)
+	s.xs = xs
+}
+
 // Len returns the number of observations.
 func (s *Sample) Len() int { return len(s.xs) }
 

@@ -12,6 +12,15 @@
 //
 // The drift constants are calibrated against Figure 10: on roughly 80% of
 // days, at most 4 of day n's top-10 queries reappear in day n+1's top-100.
+//
+// Concurrency: a Vocabulary is safe for concurrent use and designed for
+// parallel workload generation. Day rankings are sharded per class and
+// built lazily exactly once (sync.Map + sync.Once per (class, day)), so
+// concurrent samplers only contend when they race to rank the same class
+// on the same day; steady-state draws are lock-free map hits. The ranking
+// itself is a top-K partial selection (K = the class's daily vocabulary,
+// typically ≪ pool) over scores drawn from a per-(seed, class, day) PCG
+// stream, which makes the result independent of which goroutine builds it.
 package vocab
 
 import (
@@ -23,6 +32,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/geo"
+	"repro/internal/stats"
 )
 
 // Class identifies one of the seven geographic query classes of Table 3.
@@ -149,30 +159,43 @@ const (
 )
 
 // Vocabulary is the full query-string population. It is safe for
-// concurrent use; per-day rankings are computed lazily and cached.
+// concurrent use; per-day rankings are sharded by class, computed lazily
+// exactly once, and cached.
 type Vocabulary struct {
 	seed    uint64
 	classes [NumClasses]classData
-
-	mu   sync.Mutex
-	days map[int]*dayRanking
 }
 
 type classData struct {
 	strings []string
 	ranker  dist.Ranker
 	shape   classShape
+	// days caches day (int) → *dayRank. Reads on the steady-state sample
+	// path are lock-free; builds are serialized per (class, day) by the
+	// entry's sync.Once, never across classes.
+	days sync.Map
+	// scores pools the scratch buffers of the ranking build.
+	scores sync.Pool
 }
 
-type dayRanking struct {
-	// ranked[c][i] is the index (into class c's pool) of the query at
-	// day-rank i+1.
-	ranked [NumClasses][]int32
+// dayRank is one class's ranking for one day. ranked[i] is the index
+// (into the class's pool) of the query at day-rank i+1; only the top
+// `daily` ranks exist — no caller can address ranks beyond the day's
+// active vocabulary.
+type dayRank struct {
+	once   sync.Once
+	ranked []int32
+}
+
+// scoredIdx pairs a pool index with its day score for the ranking build.
+type scoredIdx struct {
+	idx   int32
+	score float64
 }
 
 // New builds the vocabulary with deterministic content for a given seed.
 func New(seed uint64) *Vocabulary {
-	v := &Vocabulary{seed: seed, days: make(map[int]*dayRanking)}
+	v := &Vocabulary{seed: seed}
 	seen := make(map[string]bool)
 	for c := Class(0); c < NumClasses; c++ {
 		shape := classShapes[c]
@@ -196,7 +219,15 @@ func New(seed uint64) *Vocabulary {
 		} else {
 			ranker = dist.NewZipf(shape.alpha, shape.daily)
 		}
-		v.classes[c] = classData{strings: strs, ranker: ranker, shape: shape}
+		cd := &v.classes[c]
+		cd.strings = strs
+		cd.ranker = ranker
+		cd.shape = shape
+		pool := shape.pool
+		cd.scores.New = func() any {
+			s := make([]scoredIdx, pool)
+			return &s
+		}
 	}
 	return v
 }
@@ -227,37 +258,61 @@ func genQueryString(rng *rand.Rand) string {
 	return string(out)
 }
 
-// ranking computes (or returns the cached) day ranking.
-func (v *Vocabulary) ranking(day int) *dayRanking {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if r, ok := v.days[day]; ok {
-		return r
+// rankedFor returns the class's day ranking, building it lazily on first
+// use. Concurrent callers for the same (class, day) block on one build;
+// everyone else proceeds lock-free.
+func (v *Vocabulary) rankedFor(c Class, day int) []int32 {
+	d := &v.classes[c]
+	entry, ok := d.days.Load(day)
+	if !ok {
+		entry, _ = d.days.LoadOrStore(day, &dayRank{})
 	}
-	r := &dayRanking{}
-	for c := Class(0); c < NumClasses; c++ {
-		pool := v.classes[c].shape.pool
-		// Deterministic per (seed, class, day) score noise.
-		rng := rand.New(rand.NewPCG(v.seed^0xd1f7a22b, uint64(c)<<32|uint64(uint32(day))))
-		type scored struct {
-			idx   int32
-			score float64
-		}
-		scores := make([]scored, pool)
-		for i := 0; i < pool; i++ {
-			base := -driftGamma * math.Log(float64(i+1))
-			shock := driftSigma * rng.NormFloat64()
-			scores[i] = scored{idx: int32(i), score: base + shock}
-		}
-		sort.Slice(scores, func(a, b int) bool { return scores[a].score > scores[b].score })
-		ranked := make([]int32, pool)
-		for i, s := range scores {
-			ranked[i] = s.idx
-		}
-		r.ranked[c] = ranked
+	r := entry.(*dayRank)
+	r.once.Do(func() { r.ranked = v.buildRanking(c, day) })
+	return r.ranked
+}
+
+// buildRanking computes one class's day ranking: score the full pool from
+// the deterministic per-(seed, class, day) PCG stream, then partially
+// select the top `daily` by score. The result is identical to a full
+// descending sort truncated to `daily` (ties, which the continuous scores
+// make vanishingly unlikely, break by pool index), but costs
+// O(pool + daily·log daily) instead of O(pool·log pool) and reuses its
+// scratch buffer across builds.
+func (v *Vocabulary) buildRanking(c Class, day int) []int32 {
+	d := &v.classes[c]
+	pool := d.shape.pool
+	daily := d.shape.daily
+	// Deterministic per (seed, class, day) score noise: independent of
+	// which goroutine builds the ranking, and of build order across days.
+	rng := rand.New(rand.NewPCG(v.seed^0xd1f7a22b, uint64(c)<<32|uint64(uint32(day))))
+	bufp := d.scores.Get().(*[]scoredIdx)
+	scores := (*bufp)[:pool]
+	for i := 0; i < pool; i++ {
+		base := -driftGamma * math.Log(float64(i+1))
+		shock := driftSigma * rng.NormFloat64()
+		scores[i] = scoredIdx{idx: int32(i), score: base + shock}
 	}
-	v.days[day] = r
-	return r
+	if daily < pool {
+		stats.SelectK(scores, daily, scoredLess)
+		scores = scores[:daily]
+	}
+	sort.Slice(scores, func(a, b int) bool { return scoredLess(scores[a], scores[b]) })
+	ranked := make([]int32, len(scores))
+	for i, s := range scores {
+		ranked[i] = s.idx
+	}
+	d.scores.Put(bufp)
+	return ranked
+}
+
+// scoredLess orders by score descending with pool-index ascending as the
+// tie break, a total order that makes the selection deterministic.
+func scoredLess(a, b scoredIdx) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.idx < b.idx
 }
 
 // DailySize returns the number of distinct queries active per day in the
@@ -273,12 +328,11 @@ func (v *Vocabulary) Alpha(c Class) float64 { return v.classes[c].shape.alpha }
 // QueryAt returns the query string at the given day-rank (1-based) of the
 // class on the given day.
 func (v *Vocabulary) QueryAt(c Class, day, rank int) string {
-	d := v.classes[c]
+	d := &v.classes[c]
 	if rank < 1 || rank > d.shape.daily {
 		panic(fmt.Sprintf("vocab: rank %d out of range for %v", rank, c))
 	}
-	r := v.ranking(day)
-	return d.strings[r.ranked[c][rank-1]]
+	return d.strings[v.rankedFor(c, day)[rank-1]]
 }
 
 // PickClass samples the class of a query issued by a peer in the region.
@@ -320,12 +374,14 @@ func (v *Vocabulary) SampleClass(rng *rand.Rand, c Class, day int) string {
 // TopK returns the day's k most popular query strings of the class, in
 // rank order.
 func (v *Vocabulary) TopK(c Class, day, k int) []string {
-	if k > v.classes[c].shape.daily {
-		k = v.classes[c].shape.daily
+	d := &v.classes[c]
+	if k > d.shape.daily {
+		k = d.shape.daily
 	}
+	ranked := v.rankedFor(c, day)
 	out := make([]string, k)
 	for i := 0; i < k; i++ {
-		out[i] = v.QueryAt(c, day, i+1)
+		out[i] = d.strings[ranked[i]]
 	}
 	return out
 }

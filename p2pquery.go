@@ -45,9 +45,18 @@ func Simulate(cfg SimulationConfig) *Trace {
 }
 
 // Characterize applies the filter pipeline, all analyses and the appendix
-// fits to a trace.
+// fits to a trace, parallelized across the machine's cores.
 func Characterize(tr *Trace) *Characterization {
 	return core.Characterize(tr)
+}
+
+// CharacterizeOptions tunes the pipeline's execution; see core.Options.
+type CharacterizeOptions = core.Options
+
+// CharacterizeWithOptions is Characterize with an explicit worker-pool
+// size. Output is byte-identical for every setting of Workers.
+func CharacterizeWithOptions(tr *Trace, opts CharacterizeOptions) *Characterization {
+	return core.CharacterizeOpts(tr, opts)
 }
 
 // WriteReport renders the full paper-style report for a characterization.
