@@ -4,18 +4,22 @@
 // Usage:
 //
 //	analyze [-only SECTION] trace-file
-//	analyze [-only SECTION] -simulate [-seed N] [-scale F] [-days D]
+//	analyze [-only SECTION] -simulate [-seed N] [-scale F] [-days D] [-nodes N]
 //
 // SECTION is one of: summary, table1, table2, table3, fig1..fig11, fits,
 // all (default).
 //
 // With -simulate the trace is produced in-process by the measurement
 // simulation instead of being read from a file; -scale 1.0 -days 40 is
-// the paper-scale configuration (≈4.36 M connections). -workers bounds
-// the characterization worker pool (0 = GOMAXPROCS, 1 = sequential);
-// -perf appends a machine-readable wall-clock / peak-RSS accounting line
-// to stderr, which is how the full-scale numbers in BENCH_pr2.json were
-// recorded.
+// the paper-scale configuration (≈4.36 M connections). -nodes N runs a
+// fleet of N ultrapeer vantage points sharding the arrival stream and
+// characterizes the merged trace — with N sized so the per-node
+// 200-connection caps don't bind, the fleet records the *entire* arrival
+// stream where a single node is cap-limited to ≈197 k connections.
+// -workers bounds the characterization worker pool (0 = GOMAXPROCS, 1 =
+// sequential); -perf appends a machine-readable wall-clock / peak-RSS
+// accounting line to stderr, which is how the full-scale numbers in
+// BENCH_pr2.json and BENCH_pr3.json were recorded.
 package main
 
 import (
@@ -61,6 +65,7 @@ func main() {
 	seed := flag.Uint64("seed", 2004, "simulation seed (with -simulate)")
 	scale := flag.Float64("scale", 0.01, "fraction of the paper's arrival rate; 1.0 = full scale (with -simulate)")
 	days := flag.Int("days", 4, "trace length in days; the paper measured 40 (with -simulate)")
+	nodes := flag.Int("nodes", 1, "ultrapeer vantage points; >1 shards arrivals across a measurement fleet and characterizes the merged trace (with -simulate)")
 	workers := flag.Int("workers", 0, "characterization worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	perf := flag.Bool("perf", false, "print a wall-clock/peak-RSS accounting line to stderr")
 	flag.Parse()
@@ -73,18 +78,24 @@ func main() {
 	var tr *trace.Trace
 	start := time.Now()
 	var simulated time.Duration
-	var rejected uint64
+	var st capture.FleetStats
+	var maxPeak int
 	switch {
 	case *simulate:
 		if flag.NArg() != 0 {
-			fmt.Fprintln(os.Stderr, "usage: analyze -simulate [-seed N] [-scale F] [-days D]")
+			fmt.Fprintln(os.Stderr, "usage: analyze -simulate [-seed N] [-scale F] [-days D] [-nodes N]")
 			os.Exit(2)
 		}
 		cfg := capture.DefaultConfig(*seed, *scale)
 		cfg.Workload.Days = *days
-		sim := capture.New(cfg)
-		tr = sim.Run()
-		rejected = sim.Rejected
+		fleet := capture.NewFleet(capture.FleetConfig{Node: cfg, Nodes: *nodes})
+		tr = fleet.Run()
+		st = fleet.Stats()
+		for _, ns := range st.PerNode {
+			if ns.PeakConns > maxPeak {
+				maxPeak = ns.PeakConns
+			}
+		}
 		simulated = time.Since(start)
 	case flag.NArg() == 1:
 		var err error
@@ -106,9 +117,25 @@ func main() {
 		os.Exit(1)
 	}
 	if *perf {
+		// The vantage count comes from the trace itself (Merge records
+		// it), so file-loaded fleet traces report their true fleet size;
+		// traces written before the field existed mean a single node.
+		trNodes := tr.Nodes
+		if trNodes == 0 {
+			trNodes = 1
+		}
+		// Arrival accounting and per-node peaks are measurements of the
+		// simulation run, not properties a saved trace records — they are
+		// only emitted on the -simulate path, never as misleading zeros.
+		simFields := ""
+		if *simulate {
+			simFields = fmt.Sprintf(`"arrivals":%d,"rejected_arrivals":%d,"max_peak_conns":%d,"simulate_s":%.2f,`,
+				st.Arrivals, st.Rejected, maxPeak, simulated.Seconds())
+		}
 		fmt.Fprintf(os.Stderr,
-			`{"conns":%d,"rejected_arrivals":%d,"hop1_queries":%d,"simulate_s":%.2f,"characterize_s":%.2f,"total_s":%.2f,"peak_rss_bytes":%d,"workers":%d,"scale":%g,"days":%d}`+"\n",
-			len(tr.Conns), rejected, len(tr.Queries), simulated.Seconds(), characterized.Seconds(),
+			`{"conns":%d,%s"nodes":%d,"hop1_queries":%d,"characterize_s":%.2f,"total_s":%.2f,"peak_rss_bytes":%d,"workers":%d,"scale":%g,"days":%d}`+"\n",
+			len(tr.Conns), simFields, trNodes, len(tr.Queries),
+			characterized.Seconds(),
 			time.Since(start).Seconds(), peakRSSBytes(), *workers, tr.Scale, tr.Days)
 	}
 	if *csvDir != "" {

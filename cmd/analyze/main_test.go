@@ -77,6 +77,26 @@ func TestCLIAnalyzeSimulate(t *testing.T) {
 	}
 }
 
+func TestCLIAnalyzeSimulateFleet(t *testing.T) {
+	bin := buildAnalyze(t)
+	cmd := exec.Command(bin, "-simulate", "-seed", "11", "-scale", "0.004", "-days", "1",
+		"-nodes", "3", "-only", "summary", "-perf")
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("analyze -simulate -nodes 3: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Headline measures") {
+		t.Errorf("summary section missing:\n%s", stdout.String())
+	}
+	for _, want := range []string{`"nodes":3`, `"arrivals":`, `"max_peak_conns":`} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("perf line missing %q: %s", want, stderr.String())
+		}
+	}
+}
+
 func TestCLIAnalyzeCSVExport(t *testing.T) {
 	bin := buildAnalyze(t)
 	trace := smallTrace(t)

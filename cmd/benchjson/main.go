@@ -1,15 +1,39 @@
 // Command benchjson converts `go test -bench` text output on stdin into
 // machine-readable JSON on stdout, so CI and future PRs can track the
-// perf trajectory without scraping benchmark text.
+// perf trajectory without scraping benchmark text. It is also the
+// benchmark gatekeeper: -compare fails the build on regressions against a
+// committed baseline, and -speedup fails it when a parallel benchmark
+// does not beat its sequential reference by a required factor.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson [-pretty]
+//	    [-compare old.json [-tolerance F] [-ns-slack NS]
+//	     [-alloc-tolerance F] [-alloc-slack N]]
+//	    [-speedup SLOW:FAST:MIN]
 //
 // The output object records the host context lines (goos, goarch, cpu,
 // pkg) and one entry per benchmark result with iterations, ns/op and —
 // when -benchmem was given — B/op and allocs/op. Unrecognized lines are
 // ignored, so PASS/ok trailers and mixed test output are harmless.
+//
+// -compare reads a baseline JSON file and exits 1 when a benchmark
+// regressed: ns/op above old×tolerance+ns-slack, or allocs/op above
+// old×alloc-tolerance+alloc-slack. The baseline may be plain benchjson
+// output or a curated snapshot like BENCH_pr2.json — any JSON value is
+// walked recursively and every object carrying a benchmark name and an
+// "ns_per_op" field counts, so baselines survive being wrapped in
+// commentary. Benchmarks present on only one side are reported but never
+// fail the gate (new benchmarks have no history; retired ones have no
+// current run). The absolute slacks exist because CI compares one
+// -benchtime=1x iteration on whatever machine the runner hands out: the
+// ratio test alone would turn scheduler noise on sub-microsecond
+// benchmarks into build failures.
+//
+// -speedup takes SLOW:FAST:MIN (two benchmark names and a factor) and
+// exits 1 unless ns/op(SLOW) ≥ MIN × ns/op(FAST) in the current run — CI
+// uses it on a multi-core runner to *prove* the parallel characterization
+// speedup instead of promising it.
 package main
 
 import (
@@ -17,7 +41,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -42,6 +68,12 @@ type Output struct {
 
 func main() {
 	pretty := flag.Bool("pretty", false, "indent the JSON output")
+	compare := flag.String("compare", "", "baseline JSON file; exit 1 on ns/op or allocs/op regressions against it")
+	tolerance := flag.Float64("tolerance", 1.5, "allowed ns/op ratio over the baseline before failing (with -compare)")
+	nsSlack := flag.Float64("ns-slack", 5000, "absolute ns/op allowance on top of the ratio, shielding sub-microsecond benchmarks from timer noise (with -compare)")
+	allocTolerance := flag.Float64("alloc-tolerance", 1.25, "allowed allocs/op ratio over the baseline before failing (with -compare)")
+	allocSlack := flag.Int64("alloc-slack", 64, "absolute allocs/op allowance on top of the ratio (with -compare)")
+	speedup := flag.String("speedup", "", "SLOW:FAST:MIN — require ns/op(SLOW) ≥ MIN × ns/op(FAST) in this run")
 	flag.Parse()
 
 	var out Output
@@ -78,6 +110,224 @@ func main() {
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+
+	failed := false
+	if *compare != "" {
+		// An empty current run means the bench sweep itself broke (the
+		// gate would otherwise pass vacuously with everything RETIRED).
+		if len(out.Benchmarks) == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare: no benchmark results on stdin — did the bench run fail?")
+			os.Exit(2)
+		}
+		baseline, err := loadBaseline(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+			os.Exit(2)
+		}
+		gate := gateConfig{
+			tolerance: *tolerance, nsSlack: *nsSlack,
+			allocTolerance: *allocTolerance, allocSlack: *allocSlack,
+		}
+		if !compareResults(os.Stderr, out.Benchmarks, baseline, gate) {
+			failed = true
+		}
+	}
+	if *speedup != "" {
+		ok, err := checkSpeedup(os.Stderr, out.Benchmarks, *speedup)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -speedup: %v\n", err)
+			os.Exit(2)
+		}
+		if !ok {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+type gateConfig struct {
+	tolerance      float64
+	nsSlack        float64
+	allocTolerance float64
+	allocSlack     int64
+}
+
+// compareResults reports every benchmark's delta against the baseline to
+// w and returns false when any gate failed.
+func compareResults(w io.Writer, cur []Result, baseline map[string]Result, gate gateConfig) bool {
+	ok := true
+	seen := map[string]bool{}
+	for _, r := range cur {
+		old, found := baseline[r.Name]
+		seen[r.Name] = true
+		if !found {
+			fmt.Fprintf(w, "benchjson: NEW      %-50s %12.0f ns/op (no baseline)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		status := "ok"
+		if r.NsPerOp > old.NsPerOp*gate.tolerance+gate.nsSlack {
+			status = "REGRESSED ns/op"
+			ok = false
+		}
+		// The allocs/op gate also fires when a zero-alloc baseline (or
+		// one whose snapshot omitted the field) starts allocating beyond
+		// the slack — a hot path losing its zero-allocation property is
+		// exactly the regression worth catching. Benchmarks where both
+		// sides report zero skip the (vacuous) comparison.
+		if old.AllocsPerOp > 0 || r.AllocsPerOp > 0 {
+			if r.AllocsPerOp > int64(float64(old.AllocsPerOp)*gate.allocTolerance)+gate.allocSlack {
+				if status == "ok" {
+					status = "REGRESSED allocs/op"
+				} else {
+					status += "+allocs"
+				}
+				ok = false
+			}
+		}
+		fmt.Fprintf(w, "benchjson: %-8s %-50s %12.0f → %12.0f ns/op (%+6.1f%%)  %6d → %6d allocs/op\n",
+			status, r.Name, old.NsPerOp, r.NsPerOp, 100*(r.NsPerOp-old.NsPerOp)/old.NsPerOp,
+			old.AllocsPerOp, r.AllocsPerOp)
+	}
+	var missing []string
+	for name := range baseline {
+		if !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(w, "benchjson: RETIRED  %s (in baseline, not in this run)\n", name)
+	}
+	if !ok {
+		fmt.Fprintf(w, "benchjson: FAIL — benchmark regression beyond tolerance (ns ×%.2f+%.0f, allocs ×%.2f+%d)\n",
+			gate.tolerance, gate.nsSlack, gate.allocTolerance, gate.allocSlack)
+	}
+	return ok
+}
+
+// checkSpeedup parses SLOW:FAST:MIN and verifies the ratio on the
+// current run's results.
+func checkSpeedup(w io.Writer, cur []Result, spec string) (bool, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return false, fmt.Errorf("want SLOW:FAST:MIN, got %q", spec)
+	}
+	minRatio, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || minRatio <= 0 {
+		return false, fmt.Errorf("bad MIN %q", parts[2])
+	}
+	find := func(name string) (Result, error) {
+		for _, r := range cur {
+			if r.Name == name {
+				return r, nil
+			}
+		}
+		return Result{}, fmt.Errorf("benchmark %q not in this run", name)
+	}
+	slow, err := find(parts[0])
+	if err != nil {
+		return false, err
+	}
+	fast, err := find(parts[1])
+	if err != nil {
+		return false, err
+	}
+	if fast.NsPerOp <= 0 {
+		return false, fmt.Errorf("%s reported %v ns/op", fast.Name, fast.NsPerOp)
+	}
+	ratio := slow.NsPerOp / fast.NsPerOp
+	okStr := "ok"
+	if ratio < minRatio {
+		okStr = "FAIL"
+	}
+	fmt.Fprintf(w, "benchjson: speedup %s %s/%s = %.0f/%.0f ns/op = %.2f× (require ≥ %.2f×)\n",
+		okStr, slow.Name, fast.Name, slow.NsPerOp, fast.NsPerOp, ratio, minRatio)
+	return ratio >= minRatio, nil
+}
+
+// loadBaseline extracts benchmark entries from any JSON shape: plain
+// benchjson Output, or curated snapshots (BENCH_pr2.json) that nest
+// results under commentary keys. Array-form entries ({"name":
+// "Benchmark...", "ns_per_op": ...}, the benchjson Output form) take
+// precedence over map-keyed entries ("BenchmarkFoo": {"ns_per_op": ...});
+// among entries of equal precedence the smallest ns/op wins, so the
+// result is deterministic whatever the walk order.
+func loadBaseline(path string) (map[string]Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	type entry struct {
+		r         Result
+		fromArray bool
+	}
+	found := map[string]entry{}
+	add := func(r Result, fromArray bool) {
+		if r.Name == "" || r.NsPerOp <= 0 {
+			return
+		}
+		old, ok := found[r.Name]
+		switch {
+		case !ok,
+			fromArray && !old.fromArray,
+			fromArray == old.fromArray && r.NsPerOp < old.r.NsPerOp:
+			found[r.Name] = entry{r, fromArray}
+		}
+	}
+	var walk func(v any)
+	walk = func(v any) {
+		switch t := v.(type) {
+		case map[string]any:
+			for k, sub := range t {
+				if strings.HasPrefix(k, "Benchmark") {
+					if m, ok := sub.(map[string]any); ok {
+						add(resultFromMap(k, m), false)
+					}
+				}
+				walk(sub)
+			}
+		case []any:
+			for _, sub := range t {
+				if m, ok := sub.(map[string]any); ok {
+					if name, ok := m["name"].(string); ok && strings.HasPrefix(name, "Benchmark") {
+						add(resultFromMap(name, m), true)
+						continue
+					}
+				}
+				walk(sub)
+			}
+		}
+	}
+	walk(v)
+	if len(found) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark entries found", path)
+	}
+	out := make(map[string]Result, len(found))
+	for name, e := range found {
+		out[name] = e.r
+	}
+	return out, nil
+}
+
+func resultFromMap(name string, m map[string]any) Result {
+	num := func(key string) float64 {
+		if f, ok := m[key].(float64); ok {
+			return f
+		}
+		return 0
+	}
+	return Result{
+		Name:        name,
+		NsPerOp:     num("ns_per_op"),
+		BytesPerOp:  int64(num("bytes_per_op")),
+		AllocsPerOp: int64(num("allocs_per_op")),
 	}
 }
 

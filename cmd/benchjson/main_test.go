@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseBench(t *testing.T) {
 	r, ok := parseBench("BenchmarkRankingBuild-8  1656  1490862 ns/op  19404 B/op  57 allocs/op")
@@ -44,5 +49,131 @@ func TestParseBenchRejectsJunk(t *testing.T) {
 		if _, ok := parseBench(line); ok {
 			t.Errorf("parsed junk line %q", line)
 		}
+	}
+}
+
+func writeBaseline(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadBaselinePlainOutput(t *testing.T) {
+	path := writeBaseline(t, `{"benchmarks":[
+		{"name":"BenchmarkFoo","ns_per_op":1000,"allocs_per_op":10},
+		{"name":"BenchmarkBar","ns_per_op":250.5}
+	]}`)
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base["BenchmarkFoo"].NsPerOp != 1000 || base["BenchmarkFoo"].AllocsPerOp != 10 {
+		t.Errorf("BenchmarkFoo = %+v", base["BenchmarkFoo"])
+	}
+	if base["BenchmarkBar"].NsPerOp != 250.5 {
+		t.Errorf("BenchmarkBar = %+v", base["BenchmarkBar"])
+	}
+}
+
+func TestLoadBaselineCuratedSnapshot(t *testing.T) {
+	// The BENCH_pr2.json shape: results nested under commentary keys,
+	// both map-keyed and array-form, with the array-form ("after")
+	// taking precedence over the map-keyed pre-PR baseline.
+	path := writeBaseline(t, `{
+		"pr": 2,
+		"baseline_pre_pr": {
+			"note": "pre-rewrite",
+			"BenchmarkFoo": {"ns_per_op": 9000, "allocs_per_op": 500},
+			"nested": {"BenchmarkDeep": {"ns_per_op": 77}}
+		},
+		"after": {"benchmarks": [
+			{"name": "BenchmarkFoo", "ns_per_op": 1200, "allocs_per_op": 30}
+		]}
+	}`)
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base["BenchmarkFoo"].NsPerOp != 1200 {
+		t.Errorf("array form should win: %+v", base["BenchmarkFoo"])
+	}
+	if base["BenchmarkDeep"].NsPerOp != 77 {
+		t.Errorf("nested map-keyed entry missed: %+v", base["BenchmarkDeep"])
+	}
+}
+
+func TestLoadBaselineAgainstCommittedSnapshot(t *testing.T) {
+	// The real committed baseline must parse and contain the headline
+	// pipeline benchmark.
+	base, err := loadBaseline("../../BENCH_pr2.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base["BenchmarkCharacterizeFull"].NsPerOp <= 0 {
+		t.Errorf("BenchmarkCharacterizeFull missing from committed baseline")
+	}
+}
+
+func TestCompareResultsGates(t *testing.T) {
+	baseline := map[string]Result{
+		"BenchmarkStable": {Name: "BenchmarkStable", NsPerOp: 1e6, AllocsPerOp: 100},
+		"BenchmarkGone":   {Name: "BenchmarkGone", NsPerOp: 5},
+	}
+	gate := gateConfig{tolerance: 1.5, nsSlack: 5000, allocTolerance: 1.25, allocSlack: 64}
+
+	var sb strings.Builder
+	ok := compareResults(&sb, []Result{
+		{Name: "BenchmarkStable", NsPerOp: 1.4e6, AllocsPerOp: 120},
+		{Name: "BenchmarkNew", NsPerOp: 123},
+	}, baseline, gate)
+	if !ok {
+		t.Errorf("within-tolerance run failed the gate:\n%s", sb.String())
+	}
+	for _, want := range []string{"NEW", "RETIRED", "BenchmarkGone"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	sb.Reset()
+	if compareResults(&sb, []Result{{Name: "BenchmarkStable", NsPerOp: 2e6, AllocsPerOp: 100}}, baseline, gate) {
+		t.Errorf("2× ns/op regression passed the gate:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	if compareResults(&sb, []Result{{Name: "BenchmarkStable", NsPerOp: 1e6, AllocsPerOp: 400}}, baseline, gate) {
+		t.Errorf("4× allocs/op regression passed the gate:\n%s", sb.String())
+	}
+
+	// Sub-microsecond benchmarks ride the absolute slack: 5 ns → 400 ns
+	// is scheduler noise at -benchtime=1x, not a regression.
+	sb.Reset()
+	if !compareResults(&sb, []Result{{Name: "BenchmarkGone", NsPerOp: 400}}, baseline, gate) {
+		t.Errorf("noise on a tiny benchmark failed the gate:\n%s", sb.String())
+	}
+}
+
+func TestCheckSpeedup(t *testing.T) {
+	cur := []Result{
+		{Name: "BenchmarkSeq", NsPerOp: 4000},
+		{Name: "BenchmarkPar", NsPerOp: 1000},
+	}
+	var sb strings.Builder
+	ok, err := checkSpeedup(&sb, cur, "BenchmarkSeq:BenchmarkPar:2.0")
+	if err != nil || !ok {
+		t.Errorf("4× speedup failed a 2× requirement: ok=%v err=%v\n%s", ok, err, sb.String())
+	}
+	ok, err = checkSpeedup(&sb, cur, "BenchmarkSeq:BenchmarkPar:5.0")
+	if err != nil || ok {
+		t.Errorf("4× speedup passed a 5× requirement: ok=%v err=%v", ok, err)
+	}
+	if _, err = checkSpeedup(&sb, cur, "BenchmarkSeq:BenchmarkMissing:2.0"); err == nil {
+		t.Error("missing benchmark did not error")
+	}
+	if _, err = checkSpeedup(&sb, cur, "garbage"); err == nil {
+		t.Error("malformed spec did not error")
 	}
 }

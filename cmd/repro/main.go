@@ -5,11 +5,15 @@
 //
 // Usage:
 //
-//	repro [-seed N] [-scale F] [-days N] [-trace FILE] [-maxconns N]
+//	repro [-seed N] [-scale F] [-days N] [-nodes N] [-trace FILE] [-maxconns N]
 //
 // At -scale 1.0 the simulation generates the paper's full 4.36 M
 // connections; the default 0.05 finishes in tens of seconds and is more
-// than enough for every distributional comparison.
+// than enough for every distributional comparison. With -nodes > 1 the
+// arrivals shard across a fleet of vantage ultrapeers and the merged
+// trace is characterized — at -scale 1.0 with enough nodes that the
+// per-node caps don't bind, the whole 4.36 M-connection stream is
+// recorded (see internal/capture's Fleet).
 package main
 
 import (
@@ -27,21 +31,23 @@ func main() {
 	seed := flag.Uint64("seed", 2004, "simulation seed (same seed ⇒ identical trace)")
 	scale := flag.Float64("scale", 0.05, "fraction of the paper's connection volume")
 	days := flag.Int("days", 40, "measurement period in days")
+	nodes := flag.Int("nodes", 1, "ultrapeer vantage points; >1 shards arrivals across a measurement fleet")
 	tracePath := flag.String("trace", "", "optional path to save the raw trace")
-	maxConns := flag.Int("maxconns", 200, "simultaneous connection cap (the paper's node held 200)")
+	maxConns := flag.Int("maxconns", 200, "simultaneous connection cap per node (the paper's node held 200)")
 	flag.Parse()
 
 	cfg := capture.DefaultConfig(*seed, *scale)
 	cfg.Workload.Days = *days
 	cfg.MaxConns = *maxConns
 
-	fmt.Printf("simulating %d days at scale %.3g (seed %d)...\n", *days, *scale, *seed)
+	fmt.Printf("simulating %d days at scale %.3g across %d node(s) (seed %d)...\n", *days, *scale, *nodes, *seed)
 	start := time.Now()
-	sim := capture.New(cfg)
-	tr := sim.Run()
-	fmt.Printf("simulated %d connections, %d hop-1 queries, %d total messages in %v (rejected %d at the %d-conn cap)\n\n",
+	fleet := capture.NewFleet(capture.FleetConfig{Node: cfg, Nodes: *nodes})
+	tr := fleet.Run()
+	st := fleet.Stats()
+	fmt.Printf("simulated %d connections, %d hop-1 queries, %d total messages in %v (rejected %d at the per-node %d-conn cap)\n\n",
 		len(tr.Conns), len(tr.Queries), tr.Counts.Total(), time.Since(start).Round(time.Millisecond),
-		sim.Rejected, cfg.MaxConns)
+		st.Rejected, cfg.MaxConns)
 
 	if *tracePath != "" {
 		if err := tr.WriteFile(*tracePath); err != nil {

@@ -16,6 +16,7 @@ func main() {
 	seed := flag.Uint64("seed", 2004, "simulation seed")
 	scale := flag.Float64("scale", 0.05, "fraction of the paper's connection volume")
 	days := flag.Int("days", 40, "measurement period in days")
+	nodes := flag.Int("nodes", 1, "ultrapeer vantage points; >1 shards arrivals across a measurement fleet and writes the merged trace")
 	out := flag.String("o", "gnutella.trace", "output trace file")
 	jsonl := flag.String("jsonl", "", "optional JSONL export path")
 	flag.Parse()
@@ -24,9 +25,12 @@ func main() {
 	cfg.Workload.Days = *days
 
 	start := time.Now()
-	tr := capture.New(cfg).Run()
-	fmt.Printf("simulated %d connections / %d messages in %v\n",
-		len(tr.Conns), tr.Counts.Total(), time.Since(start).Round(time.Millisecond))
+	fleet := capture.NewFleet(capture.FleetConfig{Node: cfg, Nodes: *nodes})
+	tr := fleet.Run()
+	st := fleet.Stats()
+	fmt.Printf("simulated %d connections / %d messages across %d node(s) in %v (%d arrivals, %d rejected)\n",
+		len(tr.Conns), tr.Counts.Total(), fleet.NodeCount(),
+		time.Since(start).Round(time.Millisecond), st.Arrivals, st.Rejected)
 
 	if err := tr.WriteFile(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)

@@ -25,6 +25,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/geo"
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/simtime"
 	"repro/internal/trace"
 )
@@ -46,25 +47,43 @@ type Session struct {
 	UserQueries int
 }
 
-// Enrich resolves regions and periods for every retained session. The
-// returned slice preserves the filter's ordering.
+// Enrich resolves regions and periods for every retained session with a
+// machine-sized worker pool. The returned slice preserves the filter's
+// ordering.
 func Enrich(res *filter.Result) []Session {
+	return EnrichWorkers(res, 0)
+}
+
+// EnrichWorkers is Enrich on a bounded worker pool (0 = GOMAXPROCS, 1 =
+// sequential). Each session's enrichment reads only immutable lookup
+// tables and writes its own slot, so the result is identical for every
+// worker count; at merged full-trace volume (millions of retained
+// sessions) this keeps the enrichment step off the characterization
+// pipeline's serial path.
+func EnrichWorkers(res *filter.Result, workers int) []Session {
+	workers = par.Workers(workers)
 	reg := geo.Default()
 	params := model.Default()
-	out := make([]Session, 0, len(res.Sessions))
-	for i := range res.Sessions {
-		fs := &res.Sessions[i]
-		r := reg.Lookup(fs.Conn.Addr)
-		hour := simtime.HourOfDay(fs.Conn.Start)
-		out = append(out, Session{
-			Session:     fs,
-			Region:      r,
-			StartHour:   hour,
-			StartDay:    simtime.DayIndex(fs.Conn.Start),
-			Peak:        params.IsPeak(r, hour),
-			UserQueries: fs.NumUserQueries(),
+	out := make([]Session, len(res.Sessions))
+	var tasks []func()
+	par.Chunks(len(res.Sessions), workers*4, func(_, lo, hi int) {
+		tasks = append(tasks, func() {
+			for i := lo; i < hi; i++ {
+				fs := &res.Sessions[i]
+				r := reg.Lookup(fs.Conn.Addr)
+				hour := simtime.HourOfDay(fs.Conn.Start)
+				out[i] = Session{
+					Session:     fs,
+					Region:      r,
+					StartHour:   hour,
+					StartDay:    simtime.DayIndex(fs.Conn.Start),
+					Peak:        params.IsPeak(r, hour),
+					UserQueries: fs.NumUserQueries(),
+				}
+			}
 		})
-	}
+	})
+	par.Run(workers, tasks)
 	return out
 }
 

@@ -1,0 +1,53 @@
+package capture
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// benchNodeTraces simulates one 4-node fleet per benchmark binary; the
+// merge benchmark re-merges its per-node traces each iteration.
+var (
+	benchFleetOnce sync.Once
+	benchNodes     []*trace.Trace
+)
+
+func benchFleet(b *testing.B) []*trace.Trace {
+	b.Helper()
+	benchFleetOnce.Do(func() {
+		cfg := DefaultConfig(2004, 0.02)
+		cfg.Workload.Days = 2
+		benchNodes = NewFleet(FleetConfig{Node: cfg, Nodes: 4}).NodeTraces()
+	})
+	return benchNodes
+}
+
+// BenchmarkFleetSimulate measures the multi-vantage simulation end to end
+// (one day at 1% scale across 4 nodes, merge included).
+func BenchmarkFleetSimulate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(uint64(i), 0.01)
+		cfg.Workload.Days = 1
+		tr := NewFleet(FleetConfig{Node: cfg, Nodes: 4}).Run()
+		if len(tr.Conns) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkTraceMerge isolates the union step: deduplicate, totally
+// order, and re-identify a 4-node fleet's traces.
+func BenchmarkTraceMerge(b *testing.B) {
+	nodes := benchFleet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := trace.Merge(nodes...)
+		if len(m.Conns) == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}

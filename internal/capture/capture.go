@@ -19,6 +19,12 @@
 //     calibrated so full-scale totals land near Table 1;
 //   - the node itself: probe pings and pong replies (sent, therefore not
 //     part of the received-message counts).
+//
+// Beyond the paper's single vantage, the package grows the deployment the
+// way the distributed-measurement literature does (Allali et al.'s
+// distributed honeypots): a Fleet of N cooperating ultrapeer vantage
+// points sharding the arrival stream, whose per-node traces merge into
+// one full-volume trace (see fleet.go and trace.Merge).
 package capture
 
 import (
@@ -44,6 +50,7 @@ type Config struct {
 	// Workload configures the peer population (seed, scale, days).
 	Workload workload.Config
 	// MaxConns caps simultaneous connections (the paper's node held 200).
+	// In a Fleet the cap applies to each vantage node independently.
 	MaxConns int
 	// ProbeIdle is the idle time before the node sends its single probe
 	// PING (15 s in the paper).
@@ -94,7 +101,8 @@ type Config struct {
 // ≈5% of QUERY — holds for a 40-day run at scales where the 200-slot cap
 // is not binding (the heavy-tailed session durations take a few days to
 // reach steady-state concurrency, so shorter runs see lower background
-// ratios).
+// ratios). A Fleet with enough nodes that no per-node cap binds records
+// the entire arrival stream (see fleet.go).
 func DefaultConfig(seed uint64, scale float64) Config {
 	return Config{
 		Workload:            workload.DefaultConfig(seed, scale),
@@ -131,11 +139,44 @@ type simConn struct {
 	closed   bool
 }
 
-// Sim is one measurement run. Create with New, execute with Run.
+// Sim is one single-vantage measurement run — the paper's literal
+// deployment. Create with New, execute with Run. It is a Fleet of one
+// node; use NewFleet directly for the multi-vantage fabric.
 type Sim struct {
+	f *Fleet
+	// Rejected counts arrivals refused because all MaxConns slots were
+	// busy; populated by Run.
+	Rejected uint64
+	// DroppedQueryEvents counts client query events that found their
+	// connection already closed (diagnostic); populated by Run.
+	DroppedQueryEvents uint64
+}
+
+// New builds a single-vantage simulation.
+func New(cfg Config) *Sim {
+	return &Sim{f: NewFleet(FleetConfig{Node: cfg, Nodes: 1})}
+}
+
+// Run executes the full measurement period and returns the trace. The
+// measurement stops at the configured horizon: sessions still connected
+// are right-censored there, exactly as a real trace collection ends with
+// connections still open.
+func (s *Sim) Run() *trace.Trace {
+	tr := s.f.Run()
+	st := s.f.Stats()
+	s.Rejected = st.Rejected
+	s.DroppedQueryEvents = st.DroppedQueryEvents
+	return tr
+}
+
+// vantage is one measurement node of a Fleet: its own overlay node,
+// connection slots, random streams and output trace, driven by the
+// fleet's shared clock and arrival stream. The zero-indexed node's random
+// streams coincide with the historical single-node simulator, so a
+// one-node fleet reproduces the original Sim trace.
+type vantage struct {
 	cfg    Config
 	sched  *simtime.Scheduler
-	gen    *behavior.Generator
 	node   *overlay.Node
 	rng    *rand.Rand
 	guids  *guid.Source
@@ -145,28 +186,39 @@ type Sim struct {
 	out    *trace.Trace
 	conns  map[int]*simConn
 	nextID int
-	// Rejected counts arrivals refused because all 200 slots were busy.
-	Rejected uint64
-	// DroppedQueryEvents counts client query events that found their
+	// peak tracks the maximum simultaneous connection count, the
+	// cap-sizing diagnostic of FleetStats.
+	peak int
+	// rejected counts arrivals refused because all MaxConns slots were
+	// busy.
+	rejected uint64
+	// droppedQueryEvents counts client query events that found their
 	// connection already closed (diagnostic).
-	DroppedQueryEvents uint64
+	droppedQueryEvents uint64
 	// pongSeen marks connections whose hop-1 self-pong was recorded.
 	pongSeen map[int]bool
-	// dayKeyCount tracks how often each keyword set was queried today,
-	// the popularity proxy of the hit-response model.
+	// dayKeyCount tracks how often each keyword set was queried today at
+	// this vantage, the popularity proxy of the hit-response model (each
+	// monitor estimates popularity from its own shard, as a real
+	// distributed deployment would).
 	dayKeyCount map[string]int
 	dayOfCount  int
 }
 
-// New builds a simulation.
-func New(cfg Config) *Sim {
-	s := &Sim{
+// newVantage builds node idx of a fleet. Per-node random streams are
+// salted by the node index; index 0 reproduces the historical single-node
+// streams exactly.
+func newVantage(f *Fleet, idx int) *vantage {
+	cfg := f.cfg.Node
+	salt := uint64(idx) * 0x9e3779b97f4a7c15
+	s := &vantage{
 		cfg:         cfg,
-		sched:       simtime.NewScheduler(),
-		gen:         behavior.NewGenerator(cfg.Workload),
-		rng:         rand.New(rand.NewPCG(cfg.Workload.Seed, 0xca9107e)),
-		guids:       guid.NewSource(cfg.Workload.Seed, 0x600d),
-		geoReg:      geo.Default(),
+		sched:       f.sched,
+		rng:         rand.New(rand.NewPCG(cfg.Workload.Seed, 0xca9107e^salt)),
+		guids:       guid.NewSource(cfg.Workload.Seed, 0x600d^salt),
+		params:      f.params,
+		geoReg:      f.geoReg,
+		vocab:       f.vocab,
 		conns:       make(map[int]*simConn),
 		pongSeen:    make(map[int]bool),
 		dayKeyCount: make(map[string]int),
@@ -174,16 +226,17 @@ func New(cfg Config) *Sim {
 			Seed:           cfg.Workload.Seed,
 			Scale:          cfg.Workload.Scale,
 			Days:           cfg.Workload.Days,
+			Nodes:          1,
 			PongSampleRate: cfg.PongSampleRate,
 			HitSampleRate:  cfg.HitSampleRate,
 		},
 	}
-	s.params = s.gen.Workload().Params()
-	s.vocab = s.gen.Workload().Vocabulary()
 	s.node = overlay.New(overlay.Config{
 		Self:      s.guids.Next(),
 		Ultrapeer: true,
-		Addr:      netip.MustParseAddr("129.217.0.1"), // University of Dortmund space
+		// University of Dortmund space; each fleet node gets its own host
+		// address.
+		Addr:      netip.AddrFrom4([4]byte{129, 217, 0, byte(1 + idx%254)}),
 		Port:      6346,
 		Now:       func() time.Duration { return s.sched.Now() },
 		Send:      func(int, wire.Envelope) {}, // passive: forwards vanish into the ether
@@ -197,36 +250,10 @@ func New(cfg Config) *Sim {
 	return s
 }
 
-// Run executes the full measurement period and returns the trace. The
-// measurement stops at the configured horizon: sessions still connected
-// are right-censored there, exactly as a real trace collection ends with
-// connections still open.
-func (s *Sim) Run() *trace.Trace {
-	horizon := simtime.Time(s.cfg.Workload.Days) * simtime.Day
-	// Prime the arrival chain.
-	if first := s.gen.Next(); first != nil {
-		s.sched.Schedule(first.Start, simtime.EventFunc(func(now simtime.Time) {
-			s.arrive(now, first)
-		}))
-	}
-	s.sched.RunUntil(horizon)
-	for _, c := range s.conns {
-		if !c.closed {
-			s.finalize(c, horizon, false)
-		}
-	}
-	return s.out
-}
-
-// arrive handles one session arrival and schedules the next.
-func (s *Sim) arrive(now simtime.Time, sess *behavior.Session) {
-	if next := s.gen.Next(); next != nil {
-		s.sched.Schedule(next.Start, simtime.EventFunc(func(at simtime.Time) {
-			s.arrive(at, next)
-		}))
-	}
+// arrive handles one session arrival assigned to this vantage.
+func (s *vantage) arrive(now simtime.Time, sess *behavior.Session) {
 	if s.node.ConnCount() >= s.cfg.MaxConns {
-		s.Rejected++
+		s.rejected++
 		return
 	}
 	id := s.nextID
@@ -251,6 +278,9 @@ func (s *Sim) arrive(now simtime.Time, sess *behavior.Session) {
 		UserAgent: sess.UserAgent,
 	})
 	s.node.AddConn(id, sess.Ultrapeer)
+	if cc := s.node.ConnCount(); cc > s.peak {
+		s.peak = cc
+	}
 
 	// The client announces itself with a pong shortly after the
 	// handshake.
@@ -294,10 +324,10 @@ func (s *Sim) arrive(now simtime.Time, sess *behavior.Session) {
 
 // clientMessage delivers a client-initiated message and rearms the probe
 // with the short idle window.
-func (s *Sim) clientMessage(c *simConn, at simtime.Time, env wire.Envelope) {
+func (s *vantage) clientMessage(c *simConn, at simtime.Time, env wire.Envelope) {
 	if c.closed {
 		if env.Header.Type == wire.TypeQuery {
-			s.DroppedQueryEvents++
+			s.droppedQueryEvents++
 		}
 		return
 	}
@@ -307,13 +337,13 @@ func (s *Sim) clientMessage(c *simConn, at simtime.Time, env wire.Envelope) {
 
 // deliver hands a message to the node (which records it via the OnMessage
 // tap) and updates idle bookkeeping.
-func (s *Sim) deliver(c *simConn, at simtime.Time, env wire.Envelope) {
+func (s *vantage) deliver(c *simConn, at simtime.Time, env wire.Envelope) {
 	c.lastRecv = at
 	c.probed = false
 	s.node.Receive(c.id, env)
 }
 
-func (s *Sim) selfPong(c *simConn) wire.Envelope {
+func (s *vantage) selfPong(c *simConn) wire.Envelope {
 	return wire.Envelope{
 		Header: wire.Header{GUID: s.guids.Next(), Type: wire.TypePong, TTL: 1, Hops: 1},
 		Payload: &wire.Pong{
@@ -324,7 +354,7 @@ func (s *Sim) selfPong(c *simConn) wire.Envelope {
 	}
 }
 
-func (s *Sim) queryEnvelope(q *behavior.TimedQuery) wire.Envelope {
+func (s *vantage) queryEnvelope(q *behavior.TimedQuery) wire.Envelope {
 	wq := &wire.Query{SearchText: q.Text}
 	if q.SHA1 {
 		wq.Extensions = []string{"urn:sha1:PLSTHIPQGSSZTS5FJUPAKUZWUGYQYPFB"}
@@ -336,7 +366,7 @@ func (s *Sim) queryEnvelope(q *behavior.TimedQuery) wire.Envelope {
 }
 
 // scheduleKeepalive chains the client's own periodic PINGs.
-func (s *Sim) scheduleKeepalive(c *simConn) {
+func (s *vantage) scheduleKeepalive(c *simConn) {
 	gap := time.Duration(s.rng.ExpFloat64() * float64(s.cfg.KeepaliveMean))
 	at := s.sched.Now() + gap
 	if at >= c.end {
@@ -362,7 +392,7 @@ func (s *Sim) scheduleKeepalive(c *simConn) {
 // forwarded traffic arrives through the peer, so it stops at the peer's
 // true end — this is precisely why a silently dead connection goes idle
 // and the probe machinery can detect it.
-func (s *Sim) scheduleRemote(c *simConn, every time.Duration, emit func(c *simConn, at simtime.Time)) {
+func (s *vantage) scheduleRemote(c *simConn, every time.Duration, emit func(c *simConn, at simtime.Time)) {
 	gap := time.Duration(s.rng.ExpFloat64() * float64(every))
 	s.sched.After(gap, simtime.EventFunc(func(now simtime.Time) {
 		if c.closed || now >= c.end {
@@ -376,7 +406,7 @@ func (s *Sim) scheduleRemote(c *simConn, every time.Duration, emit func(c *simCo
 // remoteRegionAddr samples an address for a wider-network peer following
 // the hour's geographic mix (this is what makes the "all peers" series of
 // Figure 1 track the region curves).
-func (s *Sim) remoteRegionAddr(at simtime.Time) (geo.Region, [4]byte) {
+func (s *vantage) remoteRegionAddr(at simtime.Time) (geo.Region, [4]byte) {
 	region := s.params.PickRegion(s.rng, simtime.HourOfDay(at))
 	addr := s.geoReg.Sample(region, s.rng)
 	return region, addr.As4()
@@ -384,7 +414,7 @@ func (s *Sim) remoteRegionAddr(at simtime.Time) (geo.Region, [4]byte) {
 
 // remoteHops draws a plausible overlay distance for forwarded traffic:
 // flooding fan-out makes higher hop counts more common.
-func (s *Sim) remoteHops() uint8 {
+func (s *vantage) remoteHops() uint8 {
 	u := s.rng.Float64()
 	switch {
 	case u < 0.05:
@@ -402,9 +432,8 @@ func (s *Sim) remoteHops() uint8 {
 	}
 }
 
-func (s *Sim) remotePong(c *simConn, at simtime.Time) {
-	region, a4 := s.remoteRegionAddr(at)
-	_ = region
+func (s *vantage) remotePong(c *simConn, at simtime.Time) {
+	_, a4 := s.remoteRegionAddr(at)
 	hops := s.remoteHops()
 	s.deliver(c, at, wire.Envelope{
 		Header: wire.Header{GUID: s.guids.Next(), Type: wire.TypePong, TTL: 7 - hops, Hops: hops},
@@ -417,7 +446,7 @@ func (s *Sim) remotePong(c *simConn, at simtime.Time) {
 	s.rearmProbe(c, s.cfg.ProbeRearmIdle)
 }
 
-func (s *Sim) remoteHit(c *simConn, at simtime.Time) {
+func (s *vantage) remoteHit(c *simConn, at simtime.Time) {
 	_, a4 := s.remoteRegionAddr(at)
 	hops := s.remoteHops()
 	s.deliver(c, at, wire.Envelope{
@@ -433,7 +462,7 @@ func (s *Sim) remoteHit(c *simConn, at simtime.Time) {
 	s.rearmProbe(c, s.cfg.ProbeRearmIdle)
 }
 
-func (s *Sim) remoteQuery(c *simConn, at simtime.Time) {
+func (s *vantage) remoteQuery(c *simConn, at simtime.Time) {
 	region, _ := s.remoteRegionAddr(at)
 	day := simtime.DayIndex(at)
 	if day >= s.cfg.Workload.Days {
@@ -454,7 +483,7 @@ func (s *Sim) remoteQuery(c *simConn, at simtime.Time) {
 // sources — so the hit-rate extension analysis can recover the
 // hit-rate/popularity correlation. Responses are received messages and
 // count toward Table 1's QUERYHIT row.
-func (s *Sim) scheduleResponses(conn int, queryIdx int, q *wire.Query, at simtime.Time) {
+func (s *vantage) scheduleResponses(conn int, queryIdx int, q *wire.Query, at simtime.Time) {
 	if q.HasSHA1() {
 		// Source hunts answer rarely; the sources are already known.
 		if s.rng.Float64() > 0.10 {
@@ -510,7 +539,7 @@ func (s *Sim) scheduleResponses(conn int, queryIdx int, q *wire.Query, at simtim
 }
 
 // rearmProbe (re)schedules the idle probe at now+idle.
-func (s *Sim) rearmProbe(c *simConn, idle time.Duration) {
+func (s *vantage) rearmProbe(c *simConn, idle time.Duration) {
 	if c.closed {
 		return
 	}
@@ -521,7 +550,7 @@ func (s *Sim) rearmProbe(c *simConn, idle time.Duration) {
 }
 
 // probeFire implements the paper's liveness rule.
-func (s *Sim) probeFire(c *simConn, now simtime.Time) {
+func (s *vantage) probeFire(c *simConn, now simtime.Time) {
 	if c.closed {
 		return
 	}
@@ -553,7 +582,7 @@ func (s *Sim) probeFire(c *simConn, now simtime.Time) {
 }
 
 // finalize closes a connection and completes its trace record.
-func (s *Sim) finalize(c *simConn, end simtime.Time, silent bool) {
+func (s *vantage) finalize(c *simConn, end simtime.Time, silent bool) {
 	if c.closed {
 		return
 	}
@@ -568,7 +597,7 @@ func (s *Sim) finalize(c *simConn, end simtime.Time, silent bool) {
 
 // record is the node's OnMessage tap: it observes every received message
 // exactly as the modified mutella logged its traffic.
-func (s *Sim) record(conn int, env wire.Envelope) {
+func (s *vantage) record(conn int, env wire.Envelope) {
 	at := s.sched.Now()
 	switch m := env.Payload.(type) {
 	case *wire.Ping:

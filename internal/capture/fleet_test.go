@@ -1,0 +1,204 @@
+package capture
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+// testFleet runs one shared 4-node fleet per test binary; the per-node
+// traces and stats feed the accounting and determinism tests.
+var (
+	fleetOnce  sync.Once
+	testF      *Fleet
+	testMerged *trace.Trace
+)
+
+func sharedFleet(t *testing.T) (*Fleet, *trace.Trace) {
+	t.Helper()
+	fleetOnce.Do(func() {
+		cfg := DefaultConfig(2004, 0.02)
+		cfg.Workload.Days = 2
+		testF = NewFleet(FleetConfig{Node: cfg, Nodes: 4})
+		testMerged = testF.Run()
+	})
+	return testF, testMerged
+}
+
+func TestFleetAccountingSums(t *testing.T) {
+	f, merged := sharedFleet(t)
+	st := f.Stats()
+	if st.Arrivals == 0 {
+		t.Fatal("no arrivals")
+	}
+	var accepted, rejected uint64
+	for _, ns := range st.PerNode {
+		accepted += uint64(ns.Conns)
+		rejected += ns.Rejected
+		if ns.PeakConns > f.cfg.Node.MaxConns {
+			t.Errorf("node %d peaked at %d conns, above the %d cap", ns.Node, ns.PeakConns, f.cfg.Node.MaxConns)
+		}
+	}
+	if accepted+rejected != st.Arrivals {
+		t.Errorf("per-node accounting: %d accepted + %d rejected != %d arrivals",
+			accepted, rejected, st.Arrivals)
+	}
+	if rejected != st.Rejected {
+		t.Errorf("Rejected sum %d != per-node sum %d", st.Rejected, rejected)
+	}
+	if uint64(len(merged.Conns)) != accepted {
+		t.Errorf("merged trace has %d conns, per-node totals say %d", len(merged.Conns), accepted)
+	}
+	if merged.Nodes != 4 {
+		t.Errorf("merged.Nodes = %d, want 4", merged.Nodes)
+	}
+}
+
+func TestFleetRecordsAllArrivalsWhenCapsDontBind(t *testing.T) {
+	// At 2% scale the per-node load sits far below the 200-slot cap, so a
+	// 4-node fleet must record the entire arrival stream — the miniature
+	// of the full-volume acceptance run.
+	f, merged := sharedFleet(t)
+	st := f.Stats()
+	if st.Rejected != 0 {
+		t.Fatalf("caps bound at small scale: %d rejections", st.Rejected)
+	}
+	if uint64(len(merged.Conns)) != st.Arrivals {
+		t.Fatalf("recorded %d of %d arrivals", len(merged.Conns), st.Arrivals)
+	}
+}
+
+func TestFleetCountsSumIntoMerge(t *testing.T) {
+	f, merged := sharedFleet(t)
+	var want trace.MessageCounts
+	for _, nt := range f.NodeTraces() {
+		want.Ping += nt.Counts.Ping
+		want.Pong += nt.Counts.Pong
+		want.Query += nt.Counts.Query
+		want.QueryHit += nt.Counts.QueryHit
+		want.Push += nt.Counts.Push
+		want.Bye += nt.Counts.Bye
+		want.QueryHop1 += nt.Counts.QueryHop1
+	}
+	if merged.Counts != want {
+		t.Errorf("merged counts %+v != per-node sum %+v", merged.Counts, want)
+	}
+	if uint64(len(merged.Queries)) != merged.Counts.QueryHop1 {
+		t.Errorf("recorded queries %d != hop-1 count %d", len(merged.Queries), merged.Counts.QueryHop1)
+	}
+}
+
+func TestFleetDeterminism(t *testing.T) {
+	cfg := DefaultConfig(11, 0.01)
+	cfg.Workload.Days = 1
+	run := func() *trace.Trace {
+		return NewFleet(FleetConfig{Node: cfg, Nodes: 3}).Run()
+	}
+	var a, b bytes.Buffer
+	if err := run().Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run().Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical fleet runs produced different merged traces")
+	}
+}
+
+func TestFleetSingleNodeMatchesSim(t *testing.T) {
+	// A one-node fleet IS the paper's deployment: it must reproduce the
+	// single-vantage Sim trace byte for byte.
+	cfg := DefaultConfig(21, 0.01)
+	cfg.Workload.Days = 1
+	var a, b bytes.Buffer
+	if err := New(cfg).Run().Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewFleet(FleetConfig{Node: cfg, Nodes: 1}).Run().Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("one-node fleet differs from Sim")
+	}
+}
+
+// TestMergedReportInvariantToOrderingAndWorkers is the acceptance pin of
+// the measurement fabric: the characterization report of the merged trace
+// must be byte-identical no matter the order the per-node traces are
+// merged in and no matter the characterization worker count.
+func TestMergedReportInvariantToOrderingAndWorkers(t *testing.T) {
+	f, _ := sharedFleet(t)
+	nodeTraces := f.NodeTraces()
+	orderings := [][]int{
+		{0, 1, 2, 3},
+		{3, 2, 1, 0},
+		{2, 0, 3, 1},
+	}
+	var ref []byte
+	for _, ord := range orderings {
+		perm := make([]*trace.Trace, len(ord))
+		for i, j := range ord {
+			perm[i] = nodeTraces[j]
+		}
+		merged := trace.Merge(perm...)
+		for _, workers := range []int{1, 4} {
+			var buf bytes.Buffer
+			c := core.CharacterizeOpts(merged, core.Options{Workers: workers})
+			if err := report.RenderAll(&buf, c); err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = buf.Bytes()
+				continue
+			}
+			if !bytes.Equal(ref, buf.Bytes()) {
+				t.Fatalf("report differs for ordering %v workers %d", ord, workers)
+			}
+		}
+	}
+	if len(ref) == 0 {
+		t.Fatal("no report rendered")
+	}
+}
+
+func TestFleetShardingIsByGUIDNotArrivalOrder(t *testing.T) {
+	// Growing the fleet must keep the assignment consistent: the sessions
+	// recorded by a 2-node fleet's node 0 are largely the same sessions
+	// node 0 records in a 3-node fleet (jump-hash moves only ≈1/3).
+	cfg := DefaultConfig(5, 0.01)
+	cfg.Workload.Days = 1
+	key := func(c *trace.Conn) [2]int64 {
+		return [2]int64{int64(c.Start), int64(c.Addr.As4()[3])<<32 | int64(c.Addr.As4()[2])}
+	}
+	node0 := func(nodes int) map[[2]int64]bool {
+		f := NewFleet(FleetConfig{Node: cfg, Nodes: nodes})
+		f.Run()
+		out := map[[2]int64]bool{}
+		for i := range f.NodeTraces()[0].Conns {
+			out[key(&f.NodeTraces()[0].Conns[i])] = true
+		}
+		return out
+	}
+	two, three := node0(2), node0(3)
+	if len(two) == 0 || len(three) == 0 {
+		t.Fatal("node 0 recorded nothing")
+	}
+	stayed := 0
+	for k := range three {
+		if two[k] {
+			stayed++
+		}
+	}
+	// Jump-hash consistency: everything node 0 holds at N=3 it already
+	// held at N=2 (keys only ever move *to* the new node), minus noise
+	// from cap/probe timing interactions.
+	frac := float64(stayed) / float64(len(three))
+	if frac < 0.95 {
+		t.Errorf("only %.2f of node 0's N=3 sessions were on node 0 at N=2; sharding is not consistent", frac)
+	}
+}

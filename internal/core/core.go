@@ -141,7 +141,8 @@ func Characterize(tr *trace.Trace) *Characterization {
 	return CharacterizeOpts(tr, Options{})
 }
 
-// CharacterizeOpts runs the complete pipeline over a trace. The filter and
+// CharacterizeOpts runs the complete pipeline over a trace. The filter
+// (itself data-parallel over connections at the same worker count) and
 // session enrichment run first (everything downstream reads their output);
 // the per-figure computations, which share only the immutable trace and
 // session slice, then fan out across the worker pool, followed by the
@@ -150,8 +151,8 @@ func Characterize(tr *trace.Trace) *Characterization {
 // other's results.
 func CharacterizeOpts(tr *trace.Trace, opts Options) *Characterization {
 	workers := opts.resolve()
-	res := filter.Apply(tr)
-	sessions := analysis.Enrich(res)
+	res := filter.ApplyOpts(tr, filter.Options{Workers: workers})
+	sessions := analysis.EnrichWorkers(res, workers)
 	c := &Characterization{
 		Table2:   res,
 		Sessions: sessions,

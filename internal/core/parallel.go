@@ -1,9 +1,6 @@
 package core
 
-import (
-	"runtime"
-	"sync"
-)
+import "repro/internal/par"
 
 // Options tunes how Characterize executes. The zero value picks the
 // parallel mode sized to the machine.
@@ -16,45 +13,17 @@ type Options struct {
 	Workers int
 }
 
-// resolve applies the Options defaults.
+// resolve applies the Options defaults (the shared par.Workers
+// convention).
 func (o Options) resolve() int {
-	if o.Workers == 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	if o.Workers < 1 {
-		return 1
-	}
-	return o.Workers
+	return par.Workers(o.Workers)
 }
 
-// runTasks executes the tasks on a bounded worker pool. Each task must
-// write only to state no other task touches; with workers ≤ 1 the tasks
-// run in order on the calling goroutine, which is the reference sequential
-// mode the determinism tests compare against.
+// runTasks executes the tasks on the shared bounded worker pool
+// (internal/par). Each task must write only to state no other task
+// touches; with workers ≤ 1 the tasks run in order on the calling
+// goroutine, which is the reference sequential mode the determinism tests
+// compare against.
 func runTasks(workers int, tasks []func()) {
-	if workers <= 1 || len(tasks) <= 1 {
-		for _, task := range tasks {
-			task()
-		}
-		return
-	}
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	ch := make(chan func())
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go func() {
-			defer wg.Done()
-			for task := range ch {
-				task()
-			}
-		}()
-	}
-	for _, task := range tasks {
-		ch <- task
-	}
-	close(ch)
-	wg.Wait()
+	par.Run(workers, tasks)
 }

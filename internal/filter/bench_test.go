@@ -1,0 +1,38 @@
+package filter_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/filter"
+)
+
+// BenchmarkApplySequential is the single-worker reference of the filter
+// pass — the pipeline stage that dominates characterization at merged
+// full-trace volume.
+func BenchmarkApplySequential(b *testing.B) {
+	tr := parTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := filter.ApplyOpts(tr, filter.Options{Workers: 1})
+		if res.FinalSessions == 0 {
+			b.Fatal("no sessions retained")
+		}
+	}
+}
+
+// BenchmarkApplyParallel fans the per-connection rule passes over
+// GOMAXPROCS workers; on a multi-core host the chunked fan-out is the
+// speedup source, on a single core it measures the pool's overhead.
+func BenchmarkApplyParallel(b *testing.B) {
+	tr := parTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := filter.ApplyOpts(tr, filter.Options{Workers: runtime.GOMAXPROCS(0)})
+		if res.FinalSessions == 0 {
+			b.Fatal("no sessions retained")
+		}
+	}
+}

@@ -75,6 +75,46 @@ func Parse(s string) (GUID, error) {
 	return FromBytes(b)
 }
 
+// Uint64 folds the GUID's 14 entropy bytes into one word (the marker
+// bytes 8 and 15 are constant by convention and carry no entropy). It is
+// the hash key of Shard.
+func (g GUID) Uint64() uint64 {
+	var a, b uint64
+	for i := 0; i < 8; i++ {
+		a |= uint64(g[i]) << (8 * i)
+	}
+	for i := 9; i < 15; i++ {
+		b |= uint64(g[i]) << (8 * (i - 9))
+	}
+	// SplitMix64-style finalization so low-entropy GUIDs still spread.
+	x := a ^ (b * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Shard maps the GUID onto one of n buckets with the jump consistent hash
+// (Lamping & Veach, "A Fast, Minimal Memory, Consistent Hash Algorithm").
+// The assignment is consistent: growing n from k to k+1 moves only ≈1/(k+1)
+// of the keys, so a measurement fleet can add vantage nodes without
+// reshuffling which node observes which session. n ≤ 1 always returns 0.
+func (g GUID) Shard(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	key := g.Uint64()
+	var b, j int64 = -1, 0
+	for j < int64(n) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
 // Source generates GUIDs from a deterministic random stream. It is not safe
 // for concurrent use; give each goroutine its own Source.
 type Source struct {

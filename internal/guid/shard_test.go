@@ -1,0 +1,88 @@
+package guid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestShardStable(t *testing.T) {
+	src := NewSource(1, 2)
+	for i := 0; i < 100; i++ {
+		g := src.Next()
+		for _, n := range []int{1, 2, 7, 32} {
+			a, b := g.Shard(n), g.Shard(n)
+			if a != b {
+				t.Fatalf("Shard(%d) not deterministic: %d vs %d", n, a, b)
+			}
+			if a < 0 || a >= n {
+				t.Fatalf("Shard(%d) = %d out of range", n, a)
+			}
+		}
+		if g.Shard(0) != 0 || g.Shard(-3) != 0 || g.Shard(1) != 0 {
+			t.Fatal("degenerate bucket counts must map to 0")
+		}
+	}
+}
+
+func TestShardBalance(t *testing.T) {
+	// The jump hash must spread GUIDs near-uniformly: with 100k keys over
+	// 16 buckets each bucket expects 6250 ± a few hundred.
+	const keys, buckets = 100000, 16
+	src := NewSource(42, 0x600d)
+	counts := make([]int, buckets)
+	for i := 0; i < keys; i++ {
+		counts[src.Next().Shard(buckets)]++
+	}
+	want := float64(keys) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.10 {
+			t.Errorf("bucket %d holds %d keys, want ≈%.0f", b, c, want)
+		}
+	}
+}
+
+func TestShardConsistency(t *testing.T) {
+	// Growing the fleet from n to n+1 nodes must move only ≈1/(n+1) of the
+	// sessions, and every moved key must land on the new node n.
+	const keys = 50000
+	for _, n := range []int{1, 4, 9} {
+		src := NewSource(7, uint64(n))
+		moved := 0
+		for i := 0; i < keys; i++ {
+			g := src.Next()
+			before, after := g.Shard(n), g.Shard(n+1)
+			if before != after {
+				moved++
+				if after != n {
+					t.Fatalf("n=%d: key moved %d→%d, not to the new bucket", n, before, after)
+				}
+			}
+		}
+		frac := float64(moved) / keys
+		want := 1 / float64(n+1)
+		if math.Abs(frac-want)/want > 0.15 {
+			t.Errorf("n=%d→%d: moved fraction %.4f, want ≈%.4f", n, n+1, frac, want)
+		}
+	}
+}
+
+func TestUint64UsesEntropyBytes(t *testing.T) {
+	var a, b GUID
+	a[0], b[0] = 1, 2
+	if a.Uint64() == b.Uint64() {
+		t.Error("byte 0 must affect the fold")
+	}
+	a, b = GUID{}, GUID{}
+	a[9], b[9] = 1, 2
+	if a.Uint64() == b.Uint64() {
+		t.Error("byte 9 must affect the fold")
+	}
+	// Marker bytes are constant by convention; the fold ignores them so
+	// marked and unmarked forms of the same entropy agree.
+	a, b = GUID{}, GUID{}
+	a[8], b[8] = 0xFF, 0x00
+	a[15], b[15] = 0x00, 0x01
+	if a.Uint64() != b.Uint64() {
+		t.Error("marker bytes 8 and 15 must not affect the fold")
+	}
+}

@@ -1,0 +1,86 @@
+// Package par provides the bounded worker pool shared by the parallel
+// stages of the pipeline: core's figure/fit fan-out and filter's
+// per-connection rule passes both execute on it. Keeping the pool in one
+// place pins down the concurrency contract once: tasks must write only to
+// state no other task touches, so results are byte-identical for every
+// worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count option to an effective pool size,
+// pinning the convention once for every parallel stage of the pipeline:
+// 0 means GOMAXPROCS (machine-sized), anything below 1 means 1 (the
+// sequential reference mode).
+func Workers(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Run executes the tasks on a bounded worker pool. Each task must write
+// only to state no other task touches; with workers ≤ 1 the tasks run in
+// order on the calling goroutine, which is the reference sequential mode
+// the determinism tests compare against.
+func Run(workers int, tasks []func()) {
+	if workers <= 1 || len(tasks) <= 1 {
+		for _, task := range tasks {
+			task()
+		}
+		return
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	ch := make(chan func())
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for task := range ch {
+				task()
+			}
+		}()
+	}
+	for _, task := range tasks {
+		ch <- task
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// Chunks partitions [0, n) into at most chunks contiguous ranges of
+// near-equal size and calls fn(index, lo, hi) for each. It is the index
+// arithmetic behind data-parallel loops: callers hand each range to one
+// Run task and reassemble per-range results in range order, which keeps
+// the combined output independent of execution order.
+func Chunks(n, chunks int, fn func(i, lo, hi int)) int {
+	if n <= 0 {
+		return 0
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	i := 0
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		fn(i, lo, hi)
+		i++
+	}
+	return i
+}

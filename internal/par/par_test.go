@@ -1,0 +1,111 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersConvention(t *testing.T) {
+	if got := Workers(0); got < 1 {
+		t.Errorf("Workers(0) = %d, want machine-sized (>= 1)", got)
+	}
+	for _, n := range []int{-5, -1} {
+		if got := Workers(n); got != 1 {
+			t.Errorf("Workers(%d) = %d, want 1 (sequential)", n, got)
+		}
+	}
+	for _, n := range []int{1, 3, 64} {
+		if got := Workers(n); got != n {
+			t.Errorf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestRunExecutesEveryTask(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		var n atomic.Int64
+		tasks := make([]func(), 37)
+		for i := range tasks {
+			tasks[i] = func() { n.Add(1) }
+		}
+		Run(workers, tasks)
+		if got := n.Load(); got != 37 {
+			t.Errorf("workers=%d: ran %d tasks, want 37", workers, got)
+		}
+	}
+}
+
+func TestRunSequentialOrder(t *testing.T) {
+	// workers <= 1 is the reference mode: tasks run in order on the
+	// calling goroutine.
+	var order []int
+	tasks := make([]func(), 10)
+	for i := range tasks {
+		tasks[i] = func() { order = append(order, i) }
+	}
+	Run(1, tasks)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order violated: %v", order)
+		}
+	}
+}
+
+func TestRunDisjointWrites(t *testing.T) {
+	out := make([]int, 1000)
+	tasks := make([]func(), len(out))
+	for i := range tasks {
+		tasks[i] = func() { out[i] = i * i }
+	}
+	Run(8, tasks)
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestChunksCoverExactly(t *testing.T) {
+	for _, tc := range []struct{ n, chunks int }{
+		{0, 4}, {1, 4}, {4, 4}, {5, 4}, {100, 7}, {7, 100}, {10, 0},
+	} {
+		covered := make([]bool, tc.n)
+		prevHi := 0
+		k := Chunks(tc.n, tc.chunks, func(i, lo, hi int) {
+			if lo != prevHi {
+				t.Fatalf("n=%d chunks=%d: range %d starts at %d, want %d", tc.n, tc.chunks, i, lo, prevHi)
+			}
+			if hi <= lo {
+				t.Fatalf("n=%d chunks=%d: empty range [%d,%d)", tc.n, tc.chunks, lo, hi)
+			}
+			for j := lo; j < hi; j++ {
+				covered[j] = true
+			}
+			prevHi = hi
+		})
+		if tc.n == 0 {
+			if k != 0 {
+				t.Fatalf("n=0: got %d chunks", k)
+			}
+			continue
+		}
+		if prevHi != tc.n {
+			t.Fatalf("n=%d chunks=%d: covered up to %d", tc.n, tc.chunks, prevHi)
+		}
+		want := tc.chunks
+		if want < 1 {
+			want = 1
+		}
+		if want > tc.n {
+			want = tc.n
+		}
+		if k > want {
+			t.Fatalf("n=%d chunks=%d: produced %d ranges", tc.n, tc.chunks, k)
+		}
+		for j, c := range covered {
+			if !c {
+				t.Fatalf("n=%d chunks=%d: index %d not covered", tc.n, tc.chunks, j)
+			}
+		}
+	}
+}

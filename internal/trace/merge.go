@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"sort"
+	"strings"
+)
+
+// Merge unions per-vantage traces into one deduplicated, time-ordered
+// trace — the collection step of a distributed measurement deployment,
+// where N cooperating ultrapeers each record a shard of the overlay and
+// the shards are merged into the full-volume view.
+//
+// The merged trace is independent of the order in which the inputs are
+// given: connections are re-identified by a total order over their
+// observable record (start, address, end, user agent, mode, close kind,
+// and the full query list), assigned fresh dense IDs in that order, and
+// their queries re-sorted into one global receive-time order. Two
+// connection records that compare equal in *every* observable — the same
+// session captured by two vantages with identical query streams — are
+// duplicates and collapse to one, with their per-session query records
+// deducted from the aggregate QUERY counters so len(Queries) stays equal
+// to Counts.QueryHop1. Aggregate counters for the unattributed firehose
+// (PING/PONG/QUERYHIT totals, sampled pong/hit records) are summed
+// as-observed: each vantage genuinely received those messages, and
+// per-session deduction is only possible for per-session records.
+//
+// Seed, Scale and the sampling rates are taken from the inputs, which a
+// fleet produces identically; Days is the maximum over inputs and Nodes
+// the sum (inputs with Nodes == 0 count as single-vantage traces).
+func Merge(traces ...*Trace) *Trace {
+	if len(traces) == 0 {
+		return &Trace{Nodes: 0}
+	}
+	out := &Trace{
+		Seed:           traces[0].Seed,
+		Scale:          traces[0].Scale,
+		PongSampleRate: traces[0].PongSampleRate,
+		HitSampleRate:  traces[0].HitSampleRate,
+	}
+	total := 0
+	for _, t := range traces {
+		if t.Days > out.Days {
+			out.Days = t.Days
+		}
+		if t.Nodes > 0 {
+			out.Nodes += t.Nodes
+		} else {
+			out.Nodes++
+		}
+		out.Counts.Ping += t.Counts.Ping
+		out.Counts.Pong += t.Counts.Pong
+		out.Counts.Query += t.Counts.Query
+		out.Counts.QueryHit += t.Counts.QueryHit
+		out.Counts.Push += t.Counts.Push
+		out.Counts.Bye += t.Counts.Bye
+		out.Counts.QueryHop1 += t.Counts.QueryHop1
+		total += len(t.Conns)
+	}
+
+	// One record per input connection, carrying its query list in the
+	// input's (receive-order) sequence.
+	type rec struct {
+		c  *Conn
+		qs []*Query
+	}
+	recs := make([]rec, 0, total)
+	nq := 0
+	for _, t := range traces {
+		byConn := t.QueriesPerConn()
+		for i := range t.Conns {
+			recs = append(recs, rec{c: &t.Conns[i], qs: byConn[i]})
+		}
+		nq += len(t.Queries)
+	}
+
+	cmp := func(a, b *rec) int {
+		if c := compareConn(a.c, b.c); c != 0 {
+			return c
+		}
+		return compareQueryLists(a.qs, b.qs)
+	}
+	sort.Slice(recs, func(i, j int) bool { return cmp(&recs[i], &recs[j]) < 0 })
+
+	out.Conns = make([]Conn, 0, total)
+	out.Queries = make([]Query, 0, nq)
+	for i := range recs {
+		r := &recs[i]
+		if i > 0 && cmp(&recs[i-1], r) == 0 {
+			// Exact duplicate observation of the same session: drop it and
+			// deduct its per-session query records from the aggregates.
+			out.Counts.Query -= uint64(len(r.qs))
+			out.Counts.QueryHop1 -= uint64(len(r.qs))
+			continue
+		}
+		id := uint64(len(out.Conns))
+		c := *r.c
+		c.ID = id
+		out.Conns = append(out.Conns, c)
+		for _, q := range r.qs {
+			nq := *q
+			nq.ConnID = id
+			out.Queries = append(out.Queries, nq)
+		}
+	}
+	sort.Slice(out.Queries, func(i, j int) bool {
+		return compareQuery(&out.Queries[i], &out.Queries[j]) < 0
+	})
+
+	for _, t := range traces {
+		out.Pongs = append(out.Pongs, t.Pongs...)
+		out.Hits = append(out.Hits, t.Hits...)
+	}
+	sort.Slice(out.Pongs, func(i, j int) bool { return comparePong(&out.Pongs[i], &out.Pongs[j]) < 0 })
+	sort.Slice(out.Hits, func(i, j int) bool { return compareHit(&out.Hits[i], &out.Hits[j]) < 0 })
+	return out
+}
+
+func cmpInt[T int | int64 | uint64 | uint32 | uint8](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// compareConn is a total order over connection records that never reads
+// the (input-dependent) ID field.
+func compareConn(a, b *Conn) int {
+	if c := cmpInt(int64(a.Start), int64(b.Start)); c != 0 {
+		return c
+	}
+	if c := a.Addr.Compare(b.Addr); c != 0 {
+		return c
+	}
+	if c := cmpInt(int64(a.End), int64(b.End)); c != 0 {
+		return c
+	}
+	if c := strings.Compare(a.UserAgent, b.UserAgent); c != 0 {
+		return c
+	}
+	if c := cmpInt(boolInt(a.Ultrapeer), boolInt(b.Ultrapeer)); c != 0 {
+		return c
+	}
+	return cmpInt(boolInt(a.SilentClose), boolInt(b.SilentClose))
+}
+
+// compareQuery orders queries by receive time with full-record
+// tie-breaking, so the merged global stream is a total order.
+func compareQuery(a, b *Query) int {
+	if c := cmpInt(int64(a.At), int64(b.At)); c != 0 {
+		return c
+	}
+	if c := cmpInt(a.ConnID, b.ConnID); c != 0 {
+		return c
+	}
+	if c := strings.Compare(a.Text, b.Text); c != 0 {
+		return c
+	}
+	if c := cmpInt(boolInt(a.SHA1), boolInt(b.SHA1)); c != 0 {
+		return c
+	}
+	if c := cmpInt(a.TTL, b.TTL); c != 0 {
+		return c
+	}
+	if c := cmpInt(a.Hops, b.Hops); c != 0 {
+		return c
+	}
+	return cmpInt(a.Hits, b.Hits)
+}
+
+// compareQueryLists orders two same-connection query lists element-wise in
+// their recorded order (never re-sorting: the within-session sequence is
+// part of the session's identity).
+func compareQueryLists(a, b []*Query) int {
+	if c := cmpInt(int64(len(a)), int64(len(b))); c != 0 {
+		return c
+	}
+	for i := range a {
+		qa, qb := *a[i], *b[i]
+		qa.ConnID, qb.ConnID = 0, 0 // identity excludes input-dependent IDs
+		if c := compareQuery(&qa, &qb); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func comparePong(a, b *Pong) int {
+	if c := cmpInt(int64(a.At), int64(b.At)); c != 0 {
+		return c
+	}
+	if c := a.Addr.Compare(b.Addr); c != 0 {
+		return c
+	}
+	if c := cmpInt(a.SharedFiles, b.SharedFiles); c != 0 {
+		return c
+	}
+	return cmpInt(a.Hops, b.Hops)
+}
+
+func compareHit(a, b *Hit) int {
+	if c := cmpInt(int64(a.At), int64(b.At)); c != 0 {
+		return c
+	}
+	if c := a.Addr.Compare(b.Addr); c != 0 {
+		return c
+	}
+	return cmpInt(a.Hops, b.Hops)
+}

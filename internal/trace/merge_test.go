@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func mkConn(id uint64, start, end Time, addr string, agent string) Conn {
+	return Conn{
+		ID: id, Start: start, End: end,
+		Addr: netip.MustParseAddr(addr), UserAgent: agent,
+	}
+}
+
+// twoNodeTraces builds a small synthetic two-vantage capture with
+// interleaved session starts, one equal-start collision across nodes, and
+// queries on both sides.
+func twoNodeTraces() (*Trace, *Trace) {
+	a := &Trace{
+		Seed: 7, Scale: 0.5, Days: 2, Nodes: 1,
+		PongSampleRate: 0.1, HitSampleRate: 0.1,
+		Conns: []Conn{
+			mkConn(0, 10*time.Second, 100*time.Second, "24.0.0.1", "LimeWire/3.8.10"),
+			mkConn(1, 30*time.Second, 400*time.Second, "24.0.0.2", "BearShare/4.3.1"),
+			mkConn(2, 50*time.Second, 55*time.Second, "82.0.0.1", "Shareaza/1.8.8.0"),
+		},
+		Queries: []Query{
+			{ConnID: 0, At: 20 * time.Second, Text: "madonna", TTL: 6, Hops: 1},
+			{ConnID: 1, At: 40 * time.Second, Text: "radiohead", TTL: 6, Hops: 1},
+			{ConnID: 1, At: 90 * time.Second, Text: "coldplay", TTL: 6, Hops: 1},
+		},
+		Pongs: []Pong{{At: 15 * time.Second, Addr: netip.MustParseAddr("24.0.0.1"), SharedFiles: 12, Hops: 1}},
+		Hits:  []Hit{{At: 70 * time.Second, Addr: netip.MustParseAddr("61.0.0.9"), Hops: 4}},
+	}
+	a.Counts = MessageCounts{Ping: 5, Pong: 4, Query: 30, QueryHit: 1, QueryHop1: 3}
+	b := &Trace{
+		Seed: 7, Scale: 0.5, Days: 2, Nodes: 1,
+		PongSampleRate: 0.1, HitSampleRate: 0.1,
+		Conns: []Conn{
+			mkConn(0, 20*time.Second, 300*time.Second, "24.0.0.3", "Morpheus/3.0.3"),
+			// Same start instant as a's conn 1: the address tie-break keeps
+			// the order total.
+			mkConn(1, 30*time.Second, 90*time.Second, "24.0.0.4", "LimeWire/3.8.10"),
+		},
+		Queries: []Query{
+			{ConnID: 0, At: 25 * time.Second, Text: "u2", TTL: 6, Hops: 1},
+			{ConnID: 1, At: 40 * time.Second, Text: "nirvana", TTL: 6, Hops: 1},
+		},
+		Pongs: []Pong{{At: 22 * time.Second, Addr: netip.MustParseAddr("24.0.0.3"), SharedFiles: 7, Hops: 1}},
+	}
+	b.Counts = MessageCounts{Ping: 3, Pong: 2, Query: 20, QueryHit: 0, QueryHop1: 2}
+	return a, b
+}
+
+func serialize(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestMergeOrderIndependent(t *testing.T) {
+	a, b := twoNodeTraces()
+	ab := serialize(t, Merge(a, b))
+	ba := serialize(t, Merge(b, a))
+	if !bytes.Equal(ab, ba) {
+		t.Fatal("merge depends on input order")
+	}
+}
+
+func TestMergeTimeOrderAndDenseIDs(t *testing.T) {
+	a, b := twoNodeTraces()
+	m := Merge(a, b)
+	if len(m.Conns) != 5 {
+		t.Fatalf("merged %d conns, want 5", len(m.Conns))
+	}
+	for i := range m.Conns {
+		if m.Conns[i].ID != uint64(i) {
+			t.Fatalf("conn %d has ID %d, want dense", i, m.Conns[i].ID)
+		}
+		if i > 0 && m.Conns[i].Start < m.Conns[i-1].Start {
+			t.Fatalf("conns not time-ordered at %d", i)
+		}
+	}
+	for i := range m.Queries {
+		q := &m.Queries[i]
+		if i > 0 && q.At < m.Queries[i-1].At {
+			t.Fatalf("queries not time-ordered at %d", i)
+		}
+		c := &m.Conns[q.ConnID]
+		if q.At < c.Start || q.At > c.End {
+			t.Fatalf("query %d at %v outside its remapped session [%v,%v]", i, q.At, c.Start, c.End)
+		}
+	}
+	if len(m.Queries) != 5 {
+		t.Fatalf("merged %d queries, want 5", len(m.Queries))
+	}
+}
+
+func TestMergeMetadataAndCounts(t *testing.T) {
+	a, b := twoNodeTraces()
+	m := Merge(a, b)
+	if m.Nodes != 2 {
+		t.Errorf("Nodes = %d, want 2", m.Nodes)
+	}
+	if m.Seed != 7 || m.Scale != 0.5 || m.Days != 2 {
+		t.Errorf("metadata not carried: %+v", m)
+	}
+	want := MessageCounts{Ping: 8, Pong: 6, Query: 50, QueryHit: 1, QueryHop1: 5}
+	if m.Counts != want {
+		t.Errorf("counts = %+v, want %+v", m.Counts, want)
+	}
+	if len(m.Pongs) != 2 || len(m.Hits) != 1 {
+		t.Errorf("pongs/hits not unioned: %d/%d", len(m.Pongs), len(m.Hits))
+	}
+}
+
+func TestMergeDeduplicates(t *testing.T) {
+	a, _ := twoNodeTraces()
+	// A second vantage that observed the exact same sessions (identical
+	// records and query streams, different IDs): the union must collapse
+	// them and deduct the duplicate per-session query records.
+	dup := &Trace{
+		Seed: 7, Scale: 0.5, Days: 2, Nodes: 1,
+		PongSampleRate: 0.1, HitSampleRate: 0.1,
+		Conns: []Conn{
+			mkConn(0, 30*time.Second, 400*time.Second, "24.0.0.2", "BearShare/4.3.1"),
+		},
+		Queries: []Query{
+			{ConnID: 0, At: 40 * time.Second, Text: "radiohead", TTL: 6, Hops: 1},
+			{ConnID: 0, At: 90 * time.Second, Text: "coldplay", TTL: 6, Hops: 1},
+		},
+	}
+	dup.Counts = MessageCounts{Query: 2, QueryHop1: 2}
+	m := Merge(a, dup)
+	if len(m.Conns) != 3 {
+		t.Fatalf("merged %d conns, want 3 (duplicate collapsed)", len(m.Conns))
+	}
+	if len(m.Queries) != 3 {
+		t.Fatalf("merged %d queries, want 3", len(m.Queries))
+	}
+	if m.Counts.QueryHop1 != uint64(len(m.Queries)) {
+		t.Fatalf("QueryHop1 %d != recorded queries %d after dedup", m.Counts.QueryHop1, len(m.Queries))
+	}
+	// Near-duplicate (different end time) must NOT collapse.
+	dup.Conns[0].End = 401 * time.Second
+	m = Merge(a, dup)
+	if len(m.Conns) != 4 {
+		t.Fatalf("near-duplicate collapsed: %d conns, want 4", len(m.Conns))
+	}
+}
+
+func TestMergeSingleIsIdentityForSimulatedShape(t *testing.T) {
+	// A trace already in dense-ID, time-ordered form (what a vantage
+	// emits) must pass through Merge unchanged.
+	a, _ := twoNodeTraces()
+	m := Merge(a)
+	ab, mb := serialize(t, a), serialize(t, m)
+	if !bytes.Equal(ab, mb) {
+		t.Fatal("merge of one well-formed trace is not the identity")
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	m := Merge()
+	if len(m.Conns) != 0 || len(m.Queries) != 0 || m.Nodes != 0 {
+		t.Fatalf("empty merge produced %+v", m)
+	}
+	one := Merge(&Trace{})
+	if one.Nodes != 1 {
+		t.Fatalf("merge of one zero-nodes trace: Nodes = %d, want 1", one.Nodes)
+	}
+}

@@ -115,6 +115,11 @@ type Trace struct {
 	Seed  uint64
 	Scale float64
 	Days  int
+	// Nodes is the number of vantage points that contributed: 1 for a
+	// single-ultrapeer capture, N for a merged multi-vantage fleet trace
+	// (see Merge). Zero in traces written before the field existed and
+	// means 1.
+	Nodes int
 	// Counts aggregates all received messages (Table 1).
 	Counts MessageCounts
 	// Conns holds every direct connection.
@@ -131,15 +136,57 @@ type Trace struct {
 	HitSampleRate float64
 }
 
-// QueriesByConn builds an index from connection ID to that connection's
-// queries, in receive order. Connections without queries are absent.
-func (t *Trace) QueriesByConn() map[uint64][]*Query {
-	idx := make(map[uint64][]*Query)
+// QueriesPerConn indexes the trace's queries by connection position: the
+// i-th element holds Conns[i]'s queries in receive order (possibly nil).
+// Simulated and merged traces use the dense ID convention (Conn.ID ==
+// index), for which the index is built with direct addressing; imported
+// traces with arbitrary IDs fall back to a map. Queries referencing no
+// known connection are dropped. The hot consumers (filter, merge) use
+// this positional form rather than a map keyed by connection ID: it
+// allocates one slice header per connection instead of a hash table over
+// millions of entries.
+func (t *Trace) QueriesPerConn() [][]*Query {
+	out := make([][]*Query, len(t.Conns))
+	// Pre-size each connection's slice with a counting pass so the index
+	// costs exactly two scans and no reallocation.
+	counts := make([]uint32, len(t.Conns))
+	dense := true
+	for i := range t.Conns {
+		if t.Conns[i].ID != uint64(i) {
+			dense = false
+			break
+		}
+	}
+	pos := func(id uint64) (int, bool) {
+		if id < uint64(len(out)) {
+			return int(id), true
+		}
+		return 0, false
+	}
+	if !dense {
+		m := make(map[uint64]int, len(t.Conns))
+		for i := range t.Conns {
+			m[t.Conns[i].ID] = i
+		}
+		pos = func(id uint64) (int, bool) { p, ok := m[id]; return p, ok }
+	}
+	for i := range t.Queries {
+		if p, ok := pos(t.Queries[i].ConnID); ok {
+			counts[p]++
+		}
+	}
+	for i, c := range counts {
+		if c > 0 {
+			out[i] = make([]*Query, 0, c)
+		}
+	}
 	for i := range t.Queries {
 		q := &t.Queries[i]
-		idx[q.ConnID] = append(idx[q.ConnID], q)
+		if p, ok := pos(q.ConnID); ok {
+			out[p] = append(out[p], q)
+		}
 	}
-	return idx
+	return out
 }
 
 const magic = "p2pquery-trace/1"
@@ -215,6 +262,7 @@ type traceWire struct {
 	Seed           uint64
 	Scale          float64
 	Days           int
+	Nodes          int
 	Counts         MessageCounts
 	Conns          []connWire
 	Queries        []Query
@@ -255,7 +303,7 @@ func addr4(a netip.Addr) [4]byte {
 
 func wireTrace(t *Trace) *traceWire {
 	wt := &traceWire{
-		Seed: t.Seed, Scale: t.Scale, Days: t.Days, Counts: t.Counts,
+		Seed: t.Seed, Scale: t.Scale, Days: t.Days, Nodes: t.Nodes, Counts: t.Counts,
 		Queries:        t.Queries,
 		PongSampleRate: t.PongSampleRate,
 		HitSampleRate:  t.HitSampleRate,
@@ -280,7 +328,7 @@ func wireTrace(t *Trace) *traceWire {
 
 func unwireTrace(wt *traceWire) *Trace {
 	t := &Trace{
-		Seed: wt.Seed, Scale: wt.Scale, Days: wt.Days, Counts: wt.Counts,
+		Seed: wt.Seed, Scale: wt.Scale, Days: wt.Days, Nodes: wt.Nodes, Counts: wt.Counts,
 		Queries:        wt.Queries,
 		PongSampleRate: wt.PongSampleRate,
 		HitSampleRate:  wt.HitSampleRate,

@@ -103,18 +103,40 @@ func TestConnDuration(t *testing.T) {
 	}
 }
 
-func TestQueriesByConn(t *testing.T) {
+func TestQueriesPerConn(t *testing.T) {
 	tr := sampleTrace()
-	idx := tr.QueriesByConn()
-	if len(idx) != 1 {
-		t.Fatalf("index has %d conns", len(idx))
+	idx := tr.QueriesPerConn()
+	if len(idx) != len(tr.Conns) {
+		t.Fatalf("index has %d slots, want %d", len(idx), len(tr.Conns))
 	}
 	qs := idx[0]
 	if len(qs) != 2 || qs[0].Text != "blue song" || !qs[1].SHA1 {
 		t.Fatalf("conn 0 queries = %+v", qs)
 	}
-	if _, ok := idx[1]; ok {
-		t.Fatal("queryless connection should be absent from index")
+	if len(idx[1]) != 0 {
+		t.Fatal("queryless connection should have no queries")
+	}
+}
+
+func TestQueriesPerConnSparseIDs(t *testing.T) {
+	// Imported traces may use arbitrary connection IDs; the positional
+	// index must fall back to ID mapping, keep receive order, and drop
+	// queries that reference no known connection.
+	tr := &Trace{
+		Conns: []Conn{{ID: 100}, {ID: 7}},
+		Queries: []Query{
+			{ConnID: 7, At: 1 * time.Second, Text: "a"},
+			{ConnID: 100, At: 2 * time.Second, Text: "b"},
+			{ConnID: 7, At: 3 * time.Second, Text: "c"},
+			{ConnID: 999, At: 4 * time.Second, Text: "orphan"},
+		},
+	}
+	idx := tr.QueriesPerConn()
+	if len(idx[0]) != 1 || idx[0][0].Text != "b" {
+		t.Fatalf("conn at position 0 (ID 100) queries = %+v", idx[0])
+	}
+	if len(idx[1]) != 2 || idx[1][0].Text != "a" || idx[1][1].Text != "c" {
+		t.Fatalf("conn at position 1 (ID 7) queries = %+v", idx[1])
 	}
 }
 

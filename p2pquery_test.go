@@ -55,6 +55,24 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeFleet drives the multi-vantage entry point: the merged
+// trace must carry the node count and characterize end to end.
+func TestFacadeFleet(t *testing.T) {
+	cfg := DefaultSimulation(7, 0.002)
+	cfg.Workload.Days = 1
+	tr := SimulateFleet(cfg, 3)
+	if tr.Nodes != 3 {
+		t.Fatalf("merged trace Nodes = %d, want 3", tr.Nodes)
+	}
+	if len(tr.Conns) == 0 || len(tr.Queries) == 0 {
+		t.Fatal("empty merged trace")
+	}
+	c := Characterize(tr)
+	if len(c.Sessions) == 0 {
+		t.Fatal("no sessions characterized from merged trace")
+	}
+}
+
 func TestFacadeDeterminism(t *testing.T) {
 	cfg := DefaultSimulation(11, 0.001)
 	cfg.Workload.Days = 1
