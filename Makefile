@@ -25,7 +25,7 @@ bench:
 	@echo wrote BENCH.json
 
 # bench-ci is the fast CI variant: one iteration per benchmark, emitting
-# JSON *and* gating against the committed PR-2 baseline so hot-path
+# JSON *and* gating against the committed PR-4 baseline so hot-path
 # regressions fail the build instead of scrolling by in logs. The
 # tolerances are deliberately generous — CI compares a single
 # -benchtime=1x iteration on an arbitrary runner against numbers recorded
@@ -33,22 +33,32 @@ bench:
 # finer-grained tracking uses `make bench` snapshots across PRs.
 bench-ci:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./... | \
-		$(GO) run ./cmd/benchjson -compare BENCH_pr2.json \
+		$(GO) run ./cmd/benchjson -compare BENCH_pr4.json \
 			-tolerance 8 -ns-slack 100000 -alloc-tolerance 2 -alloc-slack 256
 
-# speedup-check proves the parallel characterization pipeline on a
-# multi-core host: ≥ 2× at 4 workers (CI runs this on its 4-vCPU runner;
-# on a single core it fails by construction — that is the point).
+# speedup-check proves the two parallel stages on a multi-core host, each
+# ≥ 2× over its sequential reference at 4 workers: the characterization
+# pipeline (PR 2/3) and the sharded simulation engine (PR 4). CI runs this
+# on its 4-vCPU runner; on a single core it fails by construction — that
+# is the point. The simulate pair uses a fixed iteration count: each
+# iteration is a full ~0.5 s fleet simulation, so two are plenty.
 speedup-check:
-	$(GO) test -run '^$$' -bench 'BenchmarkCharacterizeFull(Sequential|Parallel)$$' -benchtime=2s -benchmem . | \
-		$(GO) run ./cmd/benchjson -speedup 'BenchmarkCharacterizeFullSequential:BenchmarkCharacterizeFullParallel:2.0'
+	{ $(GO) test -run '^$$' -bench 'BenchmarkCharacterizeFull(Sequential|Parallel)$$' -benchtime=2s -benchmem . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSimulateFleet(Sequential|Parallel)$$' -benchtime=2x -benchmem . ; } | \
+		$(GO) run ./cmd/benchjson \
+			-speedup 'BenchmarkCharacterizeFullSequential:BenchmarkCharacterizeFullParallel:2.0' \
+			-speedup 'BenchmarkSimulateFleetSequential:BenchmarkSimulateFleetParallel:2.0'
 
 # fullscale reproduces the paper's entire trace volume through the
 # multi-vantage measurement fabric: 40 days at scale 1.0 across 48
 # ultrapeer nodes records all ≈4.36 M arrivals (per-node 200-connection
-# caps never bind; see BENCH_pr3.json for the recorded run).
+# caps never bind; see BENCH_pr4.json for the recorded run). The
+# simulation runs on the parallel sharded engine; SIMWORKERS bounds its
+# goroutines (0 = machine-sized) and the trace is byte-identical for
+# every value.
+SIMWORKERS ?= 0
 fullscale:
-	$(GO) run ./cmd/analyze -simulate -scale 1.0 -days 40 -nodes 48 -only summary -perf
+	$(GO) run ./cmd/analyze -simulate -scale 1.0 -days 40 -nodes 48 -simworkers $(SIMWORKERS) -only summary -perf
 
 # fullscale-single is the paper's literal single-vantage deployment, whose
 # 200-connection cap limits the recorded trace to ≈197 k connections

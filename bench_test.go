@@ -19,6 +19,7 @@ import (
 	"repro/internal/capture"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/engine"
 	"repro/internal/filter"
 	"repro/internal/geo"
 	"repro/internal/guid"
@@ -403,6 +404,47 @@ func BenchmarkCharacterizeFullParallel(b *testing.B) {
 		c := core.CharacterizeOpts(tr, core.Options{Workers: runtime.GOMAXPROCS(0)})
 		if len(c.Sessions) == 0 {
 			b.Fatal("no sessions")
+		}
+	}
+}
+
+// benchFleetConfig is the fleet deployment the simulate speedup pair
+// runs: big enough that per-node event execution dominates the sequential
+// partition phase and the merge, small enough for CI's -benchtime=1x.
+// Keep it in lockstep with benchCfg in internal/engine/bench_test.go —
+// that file measures this same workload's sequential partition share, the
+// Amdahl bound ROADMAP cites for the speedup gate's headroom.
+func benchFleetConfig() capture.FleetConfig {
+	cfg := capture.DefaultConfig(2004, 0.05)
+	cfg.Workload.Days = 2
+	return capture.FleetConfig{Node: cfg, Nodes: 8}
+}
+
+// BenchmarkSimulateFleetSequential runs the 8-node fleet on the
+// historical shared-scheduler sequential path — the reference the
+// engine's speedup is measured against (and the byte-identity oracle its
+// tests pin).
+func BenchmarkSimulateFleetSequential(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := capture.NewFleet(benchFleetConfig()).Run()
+		if len(tr.Conns) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkSimulateFleetParallel runs the same fleet on the sharded
+// engine at GOMAXPROCS workers. On a multi-core host the per-node event
+// loops are the speedup source (CI gates ≥ 2× at 4 vCPUs via `make
+// speedup-check`); on a single core it measures the engine's overhead:
+// the pre-partition pass plus the per-node arrival-chain replay.
+func BenchmarkSimulateFleetParallel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := engine.New(engine.Config{Fleet: benchFleetConfig(), Workers: runtime.GOMAXPROCS(0)}).Run()
+		if len(tr.Conns) == 0 {
+			b.Fatal("empty trace")
 		}
 	}
 }

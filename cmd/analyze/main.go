@@ -16,10 +16,15 @@
 // characterizes the merged trace — with N sized so the per-node
 // 200-connection caps don't bind, the fleet records the *entire* arrival
 // stream where a single node is cap-limited to ≈197 k connections.
-// -workers bounds the characterization worker pool (0 = GOMAXPROCS, 1 =
-// sequential); -perf appends a machine-readable wall-clock / peak-RSS
-// accounting line to stderr, which is how the full-scale numbers in
-// BENCH_pr2.json and BENCH_pr3.json were recorded.
+// -simworkers bounds the parallel sharded simulation engine (0 =
+// GOMAXPROCS; each vantage node's event loop runs on its own goroutine;
+// the trace is byte-identical for every value) and -workers bounds the
+// characterization worker pool (0 = GOMAXPROCS, 1 = sequential). -ksboot N
+// replaces the Lilliefors-biased asymptotic KS p-values of the appendix
+// fits with parametric-bootstrap p-values from N replicates. -perf appends
+// a machine-readable wall-clock / peak-RSS accounting line to stderr —
+// simulate and characterize phases separately — which is how the
+// full-scale numbers in BENCH_pr*.json were recorded.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 
 	"repro/internal/capture"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/geo"
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -66,8 +72,10 @@ func main() {
 	scale := flag.Float64("scale", 0.01, "fraction of the paper's arrival rate; 1.0 = full scale (with -simulate)")
 	days := flag.Int("days", 4, "trace length in days; the paper measured 40 (with -simulate)")
 	nodes := flag.Int("nodes", 1, "ultrapeer vantage points; >1 shards arrivals across a measurement fleet and characterizes the merged trace (with -simulate)")
+	simWorkers := flag.Int("simworkers", 0, "simulation engine worker pool size (0 = GOMAXPROCS, 1 = sequential); trace is byte-identical for every value (with -simulate)")
 	workers := flag.Int("workers", 0, "characterization worker pool size (0 = GOMAXPROCS, 1 = sequential)")
-	perf := flag.Bool("perf", false, "print a wall-clock/peak-RSS accounting line to stderr")
+	ksboot := flag.Int("ksboot", 0, "parametric-bootstrap replicates for the appendix-fit KS p-values (0 = asymptotic Lilliefors-biased p-values)")
+	perf := flag.Bool("perf", false, "print a wall-clock/peak-RSS accounting line to stderr, simulate and characterize phases separately")
 	flag.Parse()
 	render, ok := sections[*only]
 	if !ok {
@@ -78,25 +86,33 @@ func main() {
 	var tr *trace.Trace
 	start := time.Now()
 	var simulated time.Duration
+	var simulatePeakRSS int64
 	var st capture.FleetStats
 	var maxPeak int
 	switch {
 	case *simulate:
 		if flag.NArg() != 0 {
-			fmt.Fprintln(os.Stderr, "usage: analyze -simulate [-seed N] [-scale F] [-days D] [-nodes N]")
+			fmt.Fprintln(os.Stderr, "usage: analyze -simulate [-seed N] [-scale F] [-days D] [-nodes N] [-simworkers W]")
 			os.Exit(2)
 		}
 		cfg := capture.DefaultConfig(*seed, *scale)
 		cfg.Workload.Days = *days
-		fleet := capture.NewFleet(capture.FleetConfig{Node: cfg, Nodes: *nodes})
-		tr = fleet.Run()
-		st = fleet.Stats()
+		eng := engine.New(engine.Config{
+			Fleet:   capture.FleetConfig{Node: cfg, Nodes: *nodes},
+			Workers: *simWorkers,
+		})
+		tr = eng.Run()
+		st = eng.Stats()
 		for _, ns := range st.PerNode {
 			if ns.PeakConns > maxPeak {
 				maxPeak = ns.PeakConns
 			}
 		}
 		simulated = time.Since(start)
+		// VmHWM is monotone, so the value right after the simulate phase is
+		// that phase's own peak; the end-of-process value is the overall
+		// peak, which at full volume the characterize phase sets.
+		simulatePeakRSS = peakRSSBytes()
 	case flag.NArg() == 1:
 		var err error
 		tr, err = trace.ReadFile(flag.Arg(0))
@@ -110,7 +126,7 @@ func main() {
 	}
 
 	charStart := time.Now()
-	c := core.CharacterizeOpts(tr, core.Options{Workers: *workers})
+	c := core.CharacterizeOpts(tr, core.Options{Workers: *workers, KSBootstrap: *ksboot})
 	characterized := time.Since(charStart)
 	if err := render(os.Stdout, c); err != nil {
 		fmt.Fprintf(os.Stderr, "rendering: %v\n", err)
@@ -124,13 +140,14 @@ func main() {
 		if trNodes == 0 {
 			trNodes = 1
 		}
-		// Arrival accounting and per-node peaks are measurements of the
-		// simulation run, not properties a saved trace records — they are
-		// only emitted on the -simulate path, never as misleading zeros.
+		// Arrival accounting, per-node peaks and the simulate phase's own
+		// wall-clock / peak RSS are measurements of the simulation run, not
+		// properties a saved trace records — they are only emitted on the
+		// -simulate path, never as misleading zeros.
 		simFields := ""
 		if *simulate {
-			simFields = fmt.Sprintf(`"arrivals":%d,"rejected_arrivals":%d,"max_peak_conns":%d,"simulate_s":%.2f,`,
-				st.Arrivals, st.Rejected, maxPeak, simulated.Seconds())
+			simFields = fmt.Sprintf(`"arrivals":%d,"rejected_arrivals":%d,"max_peak_conns":%d,"simulate_s":%.2f,"simulate_peak_rss_bytes":%d,"simworkers":%d,`,
+				st.Arrivals, st.Rejected, maxPeak, simulated.Seconds(), simulatePeakRSS, *simWorkers)
 		}
 		fmt.Fprintf(os.Stderr,
 			`{"conns":%d,%s"nodes":%d,"hop1_queries":%d,"characterize_s":%.2f,"total_s":%.2f,"peak_rss_bytes":%d,"workers":%d,"scale":%g,"days":%d}`+"\n",

@@ -90,10 +90,56 @@ func TestCLIAnalyzeSimulateFleet(t *testing.T) {
 	if !strings.Contains(stdout.String(), "Headline measures") {
 		t.Errorf("summary section missing:\n%s", stdout.String())
 	}
-	for _, want := range []string{`"nodes":3`, `"arrivals":`, `"max_peak_conns":`} {
+	// The perf line reports the simulate and characterize phases
+	// separately: wall-clock and peak RSS each.
+	for _, want := range []string{`"nodes":3`, `"arrivals":`, `"max_peak_conns":`,
+		`"simulate_s":`, `"simulate_peak_rss_bytes":`, `"simworkers":`,
+		`"characterize_s":`, `"peak_rss_bytes":`} {
 		if !strings.Contains(stderr.String(), want) {
 			t.Errorf("perf line missing %q: %s", want, stderr.String())
 		}
+	}
+}
+
+// TestCLIAnalyzeSimWorkersByteIdentical pins the engine's determinism
+// contract end to end through the CLI: the rendered report must be
+// byte-identical for every -simworkers value.
+func TestCLIAnalyzeSimWorkersByteIdentical(t *testing.T) {
+	bin := buildAnalyze(t)
+	run := func(workers string) string {
+		out, err := exec.Command(bin, "-simulate", "-seed", "5", "-scale", "0.004", "-days", "1",
+			"-nodes", "3", "-simworkers", workers, "-only", "summary").Output()
+		if err != nil {
+			t.Fatalf("analyze -simworkers %s: %v", workers, err)
+		}
+		return string(out)
+	}
+	ref := run("1")
+	for _, w := range []string{"2", "4", "0"} {
+		if got := run(w); got != ref {
+			t.Errorf("-simworkers %s output differs from -simworkers 1", w)
+		}
+	}
+}
+
+// TestCLIAnalyzeKSBootstrap drives the -ksboot flag: the fits table must
+// tag its verdicts with the bootstrap source.
+func TestCLIAnalyzeKSBootstrap(t *testing.T) {
+	bin := buildAnalyze(t)
+	trace := smallTrace(t)
+	out, err := exec.Command(bin, "-only", "fits", "-ksboot", "9", trace).CombinedOutput()
+	if err != nil {
+		t.Fatalf("analyze -ksboot: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "(boot)") {
+		t.Errorf("fits output missing bootstrap verdict tag:\n%s", out)
+	}
+	out, err = exec.Command(bin, "-only", "fits", trace).CombinedOutput()
+	if err != nil {
+		t.Fatalf("analyze fits: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "(asym)") {
+		t.Errorf("fits output missing asymptotic verdict tag:\n%s", out)
 	}
 }
 

@@ -10,7 +10,7 @@
 //	go test -run '^$' -bench . -benchmem ./... | benchjson [-pretty]
 //	    [-compare old.json [-tolerance F] [-ns-slack NS]
 //	     [-alloc-tolerance F] [-alloc-slack N]]
-//	    [-speedup SLOW:FAST:MIN]
+//	    [-speedup SLOW:FAST:MIN ...]
 //
 // The output object records the host context lines (goos, goarch, cpu,
 // pkg) and one entry per benchmark result with iterations, ns/op and —
@@ -32,8 +32,10 @@
 //
 // -speedup takes SLOW:FAST:MIN (two benchmark names and a factor) and
 // exits 1 unless ns/op(SLOW) ≥ MIN × ns/op(FAST) in the current run — CI
-// uses it on a multi-core runner to *prove* the parallel characterization
-// speedup instead of promising it.
+// uses it on a multi-core runner to *prove* the parallel speedups instead
+// of promising them. The flag repeats, one spec per gated pair (the
+// characterization pipeline and the sharded simulation engine each have
+// their own); every spec is checked and any failure fails the run.
 package main
 
 import (
@@ -73,7 +75,8 @@ func main() {
 	nsSlack := flag.Float64("ns-slack", 5000, "absolute ns/op allowance on top of the ratio, shielding sub-microsecond benchmarks from timer noise (with -compare)")
 	allocTolerance := flag.Float64("alloc-tolerance", 1.25, "allowed allocs/op ratio over the baseline before failing (with -compare)")
 	allocSlack := flag.Int64("alloc-slack", 64, "absolute allocs/op allowance on top of the ratio (with -compare)")
-	speedup := flag.String("speedup", "", "SLOW:FAST:MIN — require ns/op(SLOW) ≥ MIN × ns/op(FAST) in this run")
+	var speedups speedupSpecs
+	flag.Var(&speedups, "speedup", "SLOW:FAST:MIN — require ns/op(SLOW) ≥ MIN × ns/op(FAST) in this run (repeatable)")
 	flag.Parse()
 
 	var out Output
@@ -133,8 +136,8 @@ func main() {
 			failed = true
 		}
 	}
-	if *speedup != "" {
-		ok, err := checkSpeedup(os.Stderr, out.Benchmarks, *speedup)
+	for _, spec := range speedups {
+		ok, err := checkSpeedup(os.Stderr, out.Benchmarks, spec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: -speedup: %v\n", err)
 			os.Exit(2)
@@ -146,6 +149,19 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// speedupSpecs accumulates repeated -speedup flags.
+type speedupSpecs []string
+
+func (s *speedupSpecs) String() string { return strings.Join(*s, ",") }
+
+func (s *speedupSpecs) Set(v string) error {
+	if strings.TrimSpace(v) == "" {
+		return fmt.Errorf("empty -speedup spec")
+	}
+	*s = append(*s, v)
+	return nil
 }
 
 type gateConfig struct {

@@ -177,3 +177,23 @@ func TestCheckSpeedup(t *testing.T) {
 		t.Error("malformed spec did not error")
 	}
 }
+
+// TestSpeedupSpecsAccumulate pins the repeatable-flag behavior: every
+// -speedup occurrence is kept and empty specs are rejected, so a CI
+// pipeline can gate the characterization and simulation pairs in one
+// invocation.
+func TestSpeedupSpecsAccumulate(t *testing.T) {
+	var s speedupSpecs
+	if err := s.Set("A:B:2.0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("C:D:3.0"); err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 || s[0] != "A:B:2.0" || s[1] != "C:D:3.0" {
+		t.Fatalf("specs = %v", s)
+	}
+	if err := s.Set("  "); err == nil {
+		t.Error("blank spec accepted")
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	repro [-seed N] [-scale F] [-days N] [-nodes N] [-trace FILE] [-maxconns N]
+//	repro [-seed N] [-scale F] [-days N] [-nodes N] [-simworkers W] [-ksboot B] [-trace FILE] [-maxconns N]
 //
 // At -scale 1.0 the simulation generates the paper's full 4.36 M
 // connections; the default 0.05 finishes in tens of seconds and is more
@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/capture"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/report"
 )
 
@@ -32,6 +33,8 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "fraction of the paper's connection volume")
 	days := flag.Int("days", 40, "measurement period in days")
 	nodes := flag.Int("nodes", 1, "ultrapeer vantage points; >1 shards arrivals across a measurement fleet")
+	simWorkers := flag.Int("simworkers", 0, "simulation engine worker pool size (0 = GOMAXPROCS, 1 = sequential); the trace is byte-identical for every value")
+	ksboot := flag.Int("ksboot", 0, "parametric-bootstrap replicates for the appendix-fit KS p-values (0 = asymptotic)")
 	tracePath := flag.String("trace", "", "optional path to save the raw trace")
 	maxConns := flag.Int("maxconns", 200, "simultaneous connection cap per node (the paper's node held 200)")
 	flag.Parse()
@@ -42,9 +45,12 @@ func main() {
 
 	fmt.Printf("simulating %d days at scale %.3g across %d node(s) (seed %d)...\n", *days, *scale, *nodes, *seed)
 	start := time.Now()
-	fleet := capture.NewFleet(capture.FleetConfig{Node: cfg, Nodes: *nodes})
-	tr := fleet.Run()
-	st := fleet.Stats()
+	eng := engine.New(engine.Config{
+		Fleet:   capture.FleetConfig{Node: cfg, Nodes: *nodes},
+		Workers: *simWorkers,
+	})
+	tr := eng.Run()
+	st := eng.Stats()
 	fmt.Printf("simulated %d connections, %d hop-1 queries, %d total messages in %v (rejected %d at the per-node %d-conn cap)\n\n",
 		len(tr.Conns), len(tr.Queries), tr.Counts.Total(), time.Since(start).Round(time.Millisecond),
 		st.Rejected, cfg.MaxConns)
@@ -58,7 +64,7 @@ func main() {
 	}
 
 	start = time.Now()
-	c := core.Characterize(tr)
+	c := core.CharacterizeOpts(tr, core.Options{KSBootstrap: *ksboot})
 	fmt.Printf("characterized %d retained sessions in %v\n\n",
 		len(c.Sessions), time.Since(start).Round(time.Millisecond))
 

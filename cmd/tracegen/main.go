@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/capture"
+	"repro/internal/engine"
 )
 
 func main() {
@@ -17,6 +18,7 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "fraction of the paper's connection volume")
 	days := flag.Int("days", 40, "measurement period in days")
 	nodes := flag.Int("nodes", 1, "ultrapeer vantage points; >1 shards arrivals across a measurement fleet and writes the merged trace")
+	simWorkers := flag.Int("simworkers", 0, "simulation engine worker pool size (0 = GOMAXPROCS, 1 = sequential); the trace is byte-identical for every value")
 	out := flag.String("o", "gnutella.trace", "output trace file")
 	jsonl := flag.String("jsonl", "", "optional JSONL export path")
 	flag.Parse()
@@ -25,11 +27,14 @@ func main() {
 	cfg.Workload.Days = *days
 
 	start := time.Now()
-	fleet := capture.NewFleet(capture.FleetConfig{Node: cfg, Nodes: *nodes})
-	tr := fleet.Run()
-	st := fleet.Stats()
+	eng := engine.New(engine.Config{
+		Fleet:   capture.FleetConfig{Node: cfg, Nodes: *nodes},
+		Workers: *simWorkers,
+	})
+	tr := eng.Run()
+	st := eng.Stats()
 	fmt.Printf("simulated %d connections / %d messages across %d node(s) in %v (%d arrivals, %d rejected)\n",
-		len(tr.Conns), tr.Counts.Total(), fleet.NodeCount(),
+		len(tr.Conns), tr.Counts.Total(), eng.NodeCount(),
 		time.Since(start).Round(time.Millisecond), st.Arrivals, st.Rejected)
 
 	if err := tr.WriteFile(*out); err != nil {

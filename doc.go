@@ -30,7 +30,45 @@
 // laws for query popularity (Figure 11), maximum-likelihood fitters that
 // recover each family from measured samples, and the Kolmogorov–Smirnov
 // distance — with asymptotic p-values (dist.KSPValue) that let the report
-// auto-reject fits — used to score the recovered fits.
+// auto-reject fits — used to score the recovered fits. Because the
+// asymptotic p-values are computed on the fitting sample itself, their
+// acceptances are Lilliefors-biased; core.Options.KSBootstrap switches the
+// verdicts to parametric-bootstrap p-values (dist.KSPValueBootstrap, fixed
+// per-slot seeds) whose acceptances are trustworthy too, and the report
+// tags every verdict with its source.
+//
+// # Parallel simulation engine
+//
+// internal/engine executes the multi-vantage simulation itself in
+// parallel: a sharded discrete-event engine that pre-partitions the
+// arrival stream (replaying the arrival process and its GUID stream once,
+// sequentially, and splitting sessions by guid.Shard), then runs every
+// vantage node's event loop on its own goroutine with its own virtual
+// clock, random streams and calendar-queue scheduler, joining the
+// per-node traces with trace.Merge.
+//
+// The determinism contract is exact, not statistical: shard → node →
+// goroutine, and the merge is order-independent. Events with equal
+// timestamps fire in schedule-FIFO order of the sequential fleet's single
+// global sequence; each node replays the whole arrival chain (one trivial
+// event per foreign arrival), which preserves the relative schedule order
+// of exactly the events that node observes, so every per-node trace — and
+// therefore the merged trace — is byte-identical to the sequential
+// capture.Fleet for every worker count, with a one-node engine run
+// reproducing the historical single-vantage Sim byte for byte (all pinned
+// by test, and wired through p2pquery.SimulateFleet and the -simworkers
+// flag of cmd/analyze, cmd/tracegen and cmd/repro).
+//
+// Underneath it, simtime.Scheduler is now an interface with two
+// order-equivalent implementations: the original container/heap
+// HeapScheduler and a Brown calendar queue (CalendarScheduler) with lazy
+// cancellation and deterministic (timestamp, FIFO) tie-breaking —
+// property- and fuzz-tested to pop identical sequences, ties,
+// cancellations and far-future gaps included. The engine selects the
+// calendar queue on benchmark evidence (BenchmarkSchedulerHold at
+// 10^4–10^7 pending events; snapshot in BENCH_pr4.json): O(1) amortized
+// enqueue/dequeue where the heap pays O(log n) on the full-volume run's
+// event counts.
 //
 // # Concurrency model
 //

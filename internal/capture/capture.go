@@ -175,17 +175,18 @@ func (s *Sim) Run() *trace.Trace {
 // streams coincide with the historical single-node simulator, so a
 // one-node fleet reproduces the original Sim trace.
 type vantage struct {
-	cfg    Config
-	sched  *simtime.Scheduler
-	node   *overlay.Node
-	rng    *rand.Rand
-	guids  *guid.Source
-	params *model.Params
-	geoReg *geo.Registry
-	vocab  *vocab.Vocabulary
-	out    *trace.Trace
-	conns  map[int]*simConn
-	nextID int
+	cfg     Config
+	nodeIdx int
+	sched   simtime.Scheduler
+	node    *overlay.Node
+	rng     *rand.Rand
+	guids   *guid.Source
+	params  *model.Params
+	geoReg  *geo.Registry
+	vocab   *vocab.Vocabulary
+	out     *trace.Trace
+	conns   map[int]*simConn
+	nextID  int
 	// peak tracks the maximum simultaneous connection count, the
 	// cap-sizing diagnostic of FleetStats.
 	peak int
@@ -205,20 +206,22 @@ type vantage struct {
 	dayOfCount  int
 }
 
-// newVantage builds node idx of a fleet. Per-node random streams are
-// salted by the node index; index 0 reproduces the historical single-node
-// streams exactly.
-func newVantage(f *Fleet, idx int) *vantage {
-	cfg := f.cfg.Node
+// newVantage builds node idx of a fleet-style deployment around the given
+// scheduler — the fleet's shared event loop, or a node-private one when
+// internal/engine runs each vantage on its own goroutine. Per-node random
+// streams are salted by the node index; index 0 reproduces the historical
+// single-node streams exactly.
+func newVantage(cfg Config, idx int, sched simtime.Scheduler, sh *SharedModel) *vantage {
 	salt := uint64(idx) * 0x9e3779b97f4a7c15
 	s := &vantage{
 		cfg:         cfg,
-		sched:       f.sched,
+		nodeIdx:     idx,
+		sched:       sched,
 		rng:         rand.New(rand.NewPCG(cfg.Workload.Seed, 0xca9107e^salt)),
 		guids:       guid.NewSource(cfg.Workload.Seed, 0x600d^salt),
-		params:      f.params,
-		geoReg:      f.geoReg,
-		vocab:       f.vocab,
+		params:      sh.params,
+		geoReg:      sh.geoReg,
+		vocab:       sh.vocab,
 		conns:       make(map[int]*simConn),
 		pongSeen:    make(map[int]bool),
 		dayKeyCount: make(map[string]int),

@@ -2,12 +2,9 @@ package capture
 
 import (
 	"repro/internal/behavior"
-	"repro/internal/geo"
 	"repro/internal/guid"
-	"repro/internal/model"
 	"repro/internal/simtime"
 	"repro/internal/trace"
-	"repro/internal/vocab"
 )
 
 // FleetConfig parameterizes a multi-vantage measurement deployment.
@@ -71,11 +68,9 @@ type FleetStats struct {
 // the order in which per-node traces are merged (pinned by test).
 type Fleet struct {
 	cfg       FleetConfig
-	sched     *simtime.Scheduler
+	sched     simtime.Scheduler
 	gen       *behavior.Generator
-	params    *model.Params
-	geoReg    *geo.Registry
-	vocab     *vocab.Vocabulary
+	shared    *SharedModel
 	sessGUIDs *guid.Source
 	nodes     []*vantage
 	arrivals  uint64
@@ -88,21 +83,20 @@ func NewFleet(cfg FleetConfig) *Fleet {
 	if cfg.Nodes < 1 {
 		cfg.Nodes = 1
 	}
+	gen := behavior.NewGenerator(cfg.Node.Workload)
 	f := &Fleet{
 		cfg:    cfg,
 		sched:  simtime.NewScheduler(),
-		gen:    behavior.NewGenerator(cfg.Node.Workload),
-		geoReg: geo.Default(),
+		gen:    gen,
+		shared: NewSharedModel(gen),
 		// The session-GUID stream is its own source so that sharding
 		// never perturbs the per-node streams: a one-node fleet draws
 		// exactly the historical single-node trace.
-		sessGUIDs: guid.NewSource(cfg.Node.Workload.Seed, 0x5e5510b),
+		sessGUIDs: guid.NewSource(cfg.Node.Workload.Seed, SessionGUIDSalt),
 	}
-	f.params = f.gen.Workload().Params()
-	f.vocab = f.gen.Workload().Vocabulary()
 	f.nodes = make([]*vantage, cfg.Nodes)
 	for i := range f.nodes {
-		f.nodes[i] = newVantage(f, i)
+		f.nodes[i] = newVantage(cfg.Node, i, f.sched, f.shared)
 	}
 	return f
 }

@@ -13,6 +13,7 @@ package core
 
 import (
 	"math"
+	"math/rand/v2"
 	"time"
 
 	"repro/internal/analysis"
@@ -95,18 +96,41 @@ type Fits struct {
 // appendix fit by its KS p-value.
 const FitAlpha = 0.05
 
+// KSSource identifies how a fit's KS p-value (and therefore its verdict)
+// was computed — surfaced in the report so a reader knows whether an
+// acceptance is trustworthy.
+type KSSource uint8
+
+const (
+	// KSAsymptotic is the Stephens finite-n asymptotic p-value
+	// (dist.KSPValue), computed on the fitting sample itself: rejections
+	// are trustworthy, acceptances optimistic (the Lilliefors effect).
+	KSAsymptotic KSSource = iota
+	// KSBootstrapped is the parametric-bootstrap p-value
+	// (dist.KSPValueBootstrap): every replicate pays the same
+	// fitted-on-itself bias, so acceptances are trustworthy too.
+	KSBootstrapped
+)
+
+func (s KSSource) String() string {
+	if s == KSBootstrapped {
+		return "bootstrap"
+	}
+	return "asymptotic"
+}
+
 // LognormalFit is a fitted lognormal with sample context.
 type LognormalFit struct {
 	OK    bool
 	N     int
 	Model dist.Lognormal
 	KS    float64 // Kolmogorov–Smirnov distance of the fit on its data
-	// KSP is the asymptotic p-value of KS at N, and Rejected the verdict
-	// at FitAlpha. The p-value is computed on the fitting sample itself,
-	// so rejections are trustworthy and acceptances optimistic (see
-	// dist.KSPValue).
-	KSP      float64
-	Rejected bool
+	// KSP is the p-value of KS at N and Rejected the verdict at FitAlpha;
+	// KSPSource records how the p-value was computed (asymptotic by
+	// default; parametric bootstrap with Options.KSBootstrap > 0).
+	KSP       float64
+	KSPSource KSSource
+	Rejected  bool
 }
 
 // BodyTailFit is a fitted two-component mixture with sample context.
@@ -115,9 +139,10 @@ type BodyTailFit struct {
 	N   int
 	Fit dist.BodyTailFit
 	KS  float64
-	// KSP and Rejected: see LognormalFit.
-	KSP      float64
-	Rejected bool
+	// KSP, KSPSource and Rejected: see LognormalFit.
+	KSP       float64
+	KSPSource KSSource
+	Rejected  bool
 }
 
 // Splits used by the appendix fits, from the paper's tables.
@@ -173,15 +198,65 @@ func CharacterizeOpts(tr *trace.Trace, opts Options) *Characterization {
 		func() { c.Table3 = analysis.ComputeTable3(sessions, tr.Days) },
 		func() { c.HitRates = analysis.ComputeHitRates(tr) },
 	})
-	c.Fits = fitAll(sessions, workers)
+	c.Fits = fitAll(sessions, workers, opts.KSBootstrap)
 	return c
+}
+
+// ksBootSeedBase salts the per-slot bootstrap replicate streams. Each fit
+// slot XORs in its (table, region, period, bucket) coordinates, so every
+// slot draws an independent but fixed stream — the report stays
+// byte-identical across worker counts and runs.
+const ksBootSeedBase = 0x4b5b007d
+
+// minKSBootstrapReplicates is the smallest replicate count whose minimum
+// attainable p-value, 1/(B+1), lies strictly below FitAlpha — with fewer
+// replicates a bootstrap verdict could never reject, silently turning the
+// "trustworthy" source into an all-accept stamp. Requested counts below
+// this floor are raised to it.
+const minKSBootstrapReplicates = 20
+
+// bootCfg carries one fit slot's bootstrap configuration; b == 0 means
+// asymptotic p-values.
+type bootCfg struct {
+	b    int
+	seed uint64
+}
+
+func slotBoot(replicates, table, region, period, bucket int) bootCfg {
+	if replicates > 0 && replicates < minKSBootstrapReplicates {
+		replicates = minKSBootstrapReplicates
+	}
+	return bootCfg{
+		b: replicates,
+		seed: ksBootSeedBase ^ uint64(table)<<24 ^ uint64(region)<<16 ^
+			uint64(period)<<8 ^ uint64(bucket),
+	}
+}
+
+// ksVerdict scores an observed KS distance: parametric bootstrap when the
+// slot asks for it (falling back to asymptotic — whose rejections are
+// still trustworthy — when the family cannot be refit reliably enough to
+// reach the replicate target), Stephens' asymptotic p-value otherwise.
+func ksVerdict(ks float64, n int, boot bootCfg,
+	sample func(rng *rand.Rand, n int) []float64,
+	distance func(xs []float64) float64) (p float64, src KSSource, rejected bool) {
+	if boot.b > 0 {
+		bp := dist.KSPValueBootstrap(ks, dist.BootstrapSpec{
+			N: n, B: boot.b, Seed: boot.seed, Sample: sample, Distance: distance,
+		})
+		if !math.IsNaN(bp) {
+			return bp, KSBootstrapped, bp < FitAlpha
+		}
+	}
+	p = dist.KSPValue(ks, n)
+	return p, KSAsymptotic, dist.KSReject(ks, n, FitAlpha)
 }
 
 // fitAll computes the appendix fits from conditioned samples: one pass
 // over the sessions feeds the per-(region, period, bucket) sample slices,
 // then every independent fit runs as its own task on the worker pool,
 // writing to its own slot.
-func fitAll(sessions []analysis.Session, workers int) Fits {
+func fitAll(sessions []analysis.Session, workers int, ksBootstrap int) Fits {
 	f := Fits{
 		PassiveDuration: map[geo.Region][2]BodyTailFit{},
 		NumQueries:      map[geo.Region]LognormalFit{},
@@ -255,39 +330,44 @@ func fitAll(sessions []analysis.Session, workers int) Fits {
 	var tasks []func()
 	for ri := range regions {
 		r := regions[ri]
+		ri := ri
 		// A.2 — queries per session: counts are rounded-and-floored, so
 		// the interval-censored fitter recovers the continuous lognormal.
-		tasks = append(tasks, func() { nq[ri] = fitLognormalCounts(numQ[r]) })
+		tasks = append(tasks, func() {
+			nq[ri] = fitLognormalCounts(numQ[r], slotBoot(ksBootstrap, 2, ri, 0, 0))
+		})
 		for p := 0; p < 2; p++ {
+			p := p
 			// A.1 — passive durations.
 			tasks = append(tasks, func() {
 				xs := passive[key{r, p == 0, 0}]
 				pd[ri][p] = fitBodyTail(xs, func(v []float64) (dist.BodyTailFit, error) {
 					return dist.FitBimodalLognormal(v, passiveBodyLo, passiveSplit)
-				})
+				}, slotBoot(ksBootstrap, 1, ri, p, 0))
 			})
 			// A.4 — interarrival times.
 			tasks = append(tasks, func() {
 				xs := iat[key{r, p == 0, 0}]
 				ia[ri][p] = fitBodyTail(xs, func(v []float64) (dist.BodyTailFit, error) {
 					return dist.FitLognormalPareto(v, 0, iatSplit)
-				})
+				}, slotBoot(ksBootstrap, 4, ri, p, 0))
 			})
 			split := firstQuerySplitPeak
 			if Period(p) == OffPeak {
 				split = firstQuerySplitOffPeak
 			}
 			for b := 0; b < 3; b++ {
+				b := b
 				// A.3 — time until first query.
 				tasks = append(tasks, func() {
 					xs := firstQ[key{r, p == 0, b}]
 					fq[ri][p][b] = fitBodyTail(xs, func(v []float64) (dist.BodyTailFit, error) {
 						return dist.FitWeibullLognormal(v, 0, split)
-					})
+					}, slotBoot(ksBootstrap, 3, ri, p, b))
 				})
 				// A.5 — time after last query.
 				tasks = append(tasks, func() {
-					al[ri][p][b] = fitLognormal(afterLast[key{r, p == 0, b}])
+					al[ri][p][b] = fitLognormal(afterLast[key{r, p == 0, b}], slotBoot(ksBootstrap, 5, ri, p, b))
 				})
 			}
 		}
@@ -303,7 +383,7 @@ func fitAll(sessions []analysis.Session, workers int) Fits {
 	return f
 }
 
-func fitLognormalCounts(xs []float64) LognormalFit {
+func fitLognormalCounts(xs []float64, boot bootCfg) LognormalFit {
 	if len(xs) < minFitSamples {
 		return LognormalFit{N: len(xs)}
 	}
@@ -312,10 +392,32 @@ func fitLognormalCounts(xs []float64) LognormalFit {
 		return LognormalFit{N: len(xs)}
 	}
 	ks := ksRoundedCounts(xs, m)
-	p := dist.KSPValue(ks, len(xs))
+	p, src, rej := ksVerdict(ks, len(xs), boot,
+		func(rng *rand.Rand, n int) []float64 {
+			// Replicates mimic the generating process the fitter assumes:
+			// continuous lognormal draws rounded to counts, with the k=1
+			// cell absorbing everything below (matching ksRoundedCounts'
+			// censoring).
+			out := make([]float64, n)
+			for i := range out {
+				k := math.Round(m.Sample(rng))
+				if k < 1 {
+					k = 1
+				}
+				out[i] = k
+			}
+			return out
+		},
+		func(v []float64) float64 {
+			m2, err := dist.FitLognormalCounts(v)
+			if err != nil {
+				return math.NaN()
+			}
+			return ksRoundedCounts(v, m2)
+		})
 	return LognormalFit{
 		OK: true, N: len(xs), Model: m, KS: ks,
-		KSP: p, Rejected: dist.KSReject(ks, len(xs), FitAlpha),
+		KSP: p, KSPSource: src, Rejected: rej,
 	}
 }
 
@@ -350,7 +452,7 @@ func ksRoundedCounts(xs []float64, m dist.Lognormal) float64 {
 	return maxD
 }
 
-func fitLognormal(xs []float64) LognormalFit {
+func fitLognormal(xs []float64, boot bootCfg) LognormalFit {
 	if len(xs) < minFitSamples {
 		return LognormalFit{N: len(xs)}
 	}
@@ -358,19 +460,29 @@ func fitLognormal(xs []float64) LognormalFit {
 	if err != nil {
 		return LognormalFit{N: len(xs)}
 	}
-	return lognormalVerdict(xs, m)
-}
-
-func lognormalVerdict(xs []float64, m dist.Lognormal) LognormalFit {
 	ks := dist.KS(xs, m)
-	p := dist.KSPValue(ks, len(xs))
+	p, src, rej := ksVerdict(ks, len(xs), boot,
+		func(rng *rand.Rand, n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = m.Sample(rng)
+			}
+			return out
+		},
+		func(v []float64) float64 {
+			m2, err := dist.FitLognormal(v)
+			if err != nil {
+				return math.NaN()
+			}
+			return dist.KS(v, m2)
+		})
 	return LognormalFit{
 		OK: true, N: len(xs), Model: m, KS: ks,
-		KSP: p, Rejected: dist.KSReject(ks, len(xs), FitAlpha),
+		KSP: p, KSPSource: src, Rejected: rej,
 	}
 }
 
-func fitBodyTail(xs []float64, fit func([]float64) (dist.BodyTailFit, error)) BodyTailFit {
+func fitBodyTail(xs []float64, fit func([]float64) (dist.BodyTailFit, error), boot bootCfg) BodyTailFit {
 	if len(xs) < minFitSamples {
 		return BodyTailFit{N: len(xs)}
 	}
@@ -378,11 +490,26 @@ func fitBodyTail(xs []float64, fit func([]float64) (dist.BodyTailFit, error)) Bo
 	if err != nil {
 		return BodyTailFit{N: len(xs)}
 	}
-	ks := dist.KS(xs, bt.Mixture())
-	p := dist.KSPValue(ks, len(xs))
+	mix := bt.Mixture()
+	ks := dist.KS(xs, mix)
+	p, src, rej := ksVerdict(ks, len(xs), boot,
+		func(rng *rand.Rand, n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = mix.Sample(rng)
+			}
+			return out
+		},
+		func(v []float64) float64 {
+			bt2, err := fit(v)
+			if err != nil {
+				return math.NaN()
+			}
+			return dist.KS(v, bt2.Mixture())
+		})
 	return BodyTailFit{
 		OK: true, N: len(xs), Fit: bt, KS: ks,
-		KSP: p, Rejected: dist.KSReject(ks, len(xs), FitAlpha),
+		KSP: p, KSPSource: src, Rejected: rej,
 	}
 }
 

@@ -11,6 +11,18 @@ type Options struct {
 	// mode. Output is byte-identical across all settings: every task
 	// writes to its own slot and no task consumes another's output.
 	Workers int
+	// KSBootstrap, when positive, replaces the asymptotic KS p-values of
+	// the appendix fits with parametric-bootstrap p-values from this many
+	// replicates (dist.KSPValueBootstrap), fixing the Lilliefors bias that
+	// makes asymptotic acceptances optimistic. Every fit slot draws its
+	// replicates from a fixed slot-specific seed, so the report stays
+	// byte-identical across worker counts. 0 keeps the asymptotic
+	// p-values. Each replicate refits the slot's model family, so cost
+	// grows linearly: 99 is a sensible sharpness/cost point. Positive
+	// values below 20 are raised to 20 — the smallest count whose minimum
+	// attainable p-value 1/(B+1) can still reject at FitAlpha; below it a
+	// bootstrap verdict would be an all-accept stamp.
+	KSBootstrap int
 }
 
 // resolve applies the Options defaults (the shared par.Workers

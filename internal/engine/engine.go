@@ -1,0 +1,232 @@
+// Package engine is the parallel execution layer of the measurement
+// simulation: a sharded discrete-event engine that runs every vantage node
+// of a capture fleet on its own goroutine — its own virtual clock, its own
+// calendar-queue event scheduler, its own random streams — and joins the
+// per-node traces with trace.Merge into a result byte-identical to the
+// sequential capture.Fleet at every worker count.
+//
+// # Why this is possible
+//
+// The fleet's vantage nodes are independent given the arrival shard: a
+// node's event stream is generated entirely by its own arrivals and its
+// own per-node random streams, and the only cross-node state — the arrival
+// process, the session-GUID stream that shards it, and the read-only
+// SharedModel — is consumed in arrival order regardless of sharding. The
+// engine therefore runs in two phases:
+//
+//  1. Partition (sequential): replay the arrival process once, drawing the
+//     session GUIDs in the exact order the sequential fleet draws them,
+//     and split the sessions by guid.Shard into per-node lists.
+//  2. Execute (parallel): each node simulates on its own scheduler. To
+//     reproduce the shared scheduler's FIFO tie-break exactly, every node
+//     replays the *whole* arrival chain — one chain event per global
+//     arrival, each scheduling the next and dispatching only the node's
+//     own sessions. Foreign arrivals cost one trivial event each, which
+//     buys the determinism contract below; the real per-node work (tens
+//     of events per accepted session) dwarfs it.
+//
+// # Determinism contract (shard → node → goroutine, merge order-independent)
+//
+// In the sequential fleet, events with equal timestamps fire in schedule
+// (FIFO) order of one global sequence counter. A vantage's events are
+// scheduled only while (a) one of its own events fires or (b) an arrival-
+// chain event fires. Replaying the full chain on every node preserves the
+// relative schedule order of exactly that event subset, so the restriction
+// of the global fire order to one node's events equals the node's solo
+// fire order — ties included — and each per-node trace is byte-identical
+// to its sequential counterpart. trace.Merge is order-independent by total
+// order, so the merged trace is byte-identical too, for every Workers
+// value and for Workers == 1, and a one-node engine run reproduces the
+// historical single-vantage Sim byte for byte (all pinned by test).
+//
+// The engine holds the full partitioned session set in memory (the
+// sequential fleet generates lazily); at paper scale this is a few GB on
+// top of the trace itself, released progressively as nodes consume their
+// shards.
+package engine
+
+import (
+	"repro/internal/behavior"
+	"repro/internal/capture"
+	"repro/internal/guid"
+	"repro/internal/par"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a parallel fleet simulation.
+type Config struct {
+	// Fleet is the deployment exactly as capture.NewFleet takes it.
+	Fleet capture.FleetConfig
+	// Workers bounds the goroutines executing node event loops, following
+	// the shared par.Workers convention: 0 means GOMAXPROCS, values below
+	// 1 mean 1. The trace is byte-identical for every setting.
+	Workers int
+}
+
+// Engine is a parallel sharded fleet simulation. Create with New, execute
+// with Run; like capture.Fleet, a second Run returns the memoized trace.
+type Engine struct {
+	cfg Config
+	// newSched builds each node's scheduler. The calendar queue is the
+	// production choice — at the full-volume run's pending-event counts it
+	// beats the binary heap (see simtime's BenchmarkSchedulerHold and the
+	// committed BENCH_pr4.json) — while tests swap in the heap to pin that
+	// the engine's output does not depend on the implementation.
+	newSched func() simtime.Scheduler
+
+	ran        bool
+	merged     *trace.Trace
+	stats      capture.FleetStats
+	nodeTraces []*trace.Trace
+}
+
+// New builds an engine.
+func New(cfg Config) *Engine {
+	if cfg.Fleet.Nodes < 1 {
+		cfg.Fleet.Nodes = 1
+	}
+	return &Engine{
+		cfg:      cfg,
+		newSched: func() simtime.Scheduler { return simtime.NewCalendarScheduler() },
+	}
+}
+
+// NodeCount returns the number of vantage points.
+func (e *Engine) NodeCount() int { return e.cfg.Fleet.Nodes }
+
+// Run executes the full measurement period once and returns the merged
+// trace; subsequent calls return the same trace.
+func (e *Engine) Run() *trace.Trace {
+	e.run()
+	return e.merged
+}
+
+// Stats reports the fleet accounting, running the simulation first if
+// needed. The same identity as capture.FleetStats holds: Arrivals ==
+// Σ Conns + Σ Rejected over the per-node rows.
+func (e *Engine) Stats() capture.FleetStats {
+	e.run()
+	return e.stats
+}
+
+// NodeTraces returns each vantage's own trace in node order, running the
+// simulation first if needed. The slices alias the engine's records; treat
+// them as read-only.
+func (e *Engine) NodeTraces() []*trace.Trace {
+	e.run()
+	return e.nodeTraces
+}
+
+func (e *Engine) run() {
+	if e.ran {
+		return
+	}
+	e.ran = true
+
+	nodeCfg := e.cfg.Fleet.Node
+	part, shared := partitionArrivals(e.cfg.Fleet)
+	horizon := simtime.Time(nodeCfg.Workload.Days) * simtime.Day
+
+	nodes := e.cfg.Fleet.Nodes
+	e.nodeTraces = make([]*trace.Trace, nodes)
+	perNode := make([]capture.NodeStats, nodes)
+	tasks := make([]func(), nodes)
+	for i := range tasks {
+		i := i
+		tasks[i] = func() {
+			e.nodeTraces[i], perNode[i] = runNode(nodeCfg, i, e.newSched(), shared, part, horizon)
+		}
+	}
+	par.Run(par.Workers(e.Workers()), tasks)
+
+	e.merged = trace.Merge(e.nodeTraces...)
+	e.stats = capture.FleetStats{
+		Arrivals: uint64(len(part.starts)),
+		PerNode:  perNode,
+	}
+	for i := range perNode {
+		e.stats.Rejected += perNode[i].Rejected
+		e.stats.DroppedQueryEvents += perNode[i].DroppedQueryEvents
+	}
+}
+
+// Workers returns the configured worker bound (unresolved; 0 means
+// machine-sized).
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// partition is the pre-sharded arrival stream: every arrival instant in
+// chain order, each arrival's owning node, and the session objects split
+// per node (in the same chain order, so a node consumes its list front to
+// back).
+type partition struct {
+	starts  []simtime.Time
+	owner   []uint32
+	perNode [][]*behavior.Session
+}
+
+// partitionArrivals replays the arrival process to the horizon. The
+// generator and the session-GUID source are consumed in exactly the order
+// the sequential fleet consumes them — the fleet draws both inside the
+// arrival-chain events, which fire in generation order — so the sharding
+// is bit-equal to the fleet's.
+func partitionArrivals(cfg capture.FleetConfig) (*partition, *capture.SharedModel) {
+	gen := behavior.NewGenerator(cfg.Node.Workload)
+	shared := capture.NewSharedModel(gen)
+	guids := guid.NewSource(cfg.Node.Workload.Seed, capture.SessionGUIDSalt)
+	p := &partition{perNode: make([][]*behavior.Session, cfg.Nodes)}
+	for sess := gen.Next(); sess != nil; sess = gen.Next() {
+		g := guids.Next()
+		n := g.Shard(cfg.Nodes)
+		p.starts = append(p.starts, sess.Start)
+		p.owner = append(p.owner, uint32(n))
+		p.perNode[n] = append(p.perNode[n], sess)
+	}
+	return p, shared
+}
+
+// nodeRun is one vantage's event loop: the chain replay cursor plus the
+// node itself. It implements simtime.Event as the arrival-chain event —
+// one reusable object rescheduled for each chain position, so the chain
+// costs no per-event closure allocations.
+type nodeRun struct {
+	sched  simtime.Scheduler
+	node   *capture.Node
+	part   *partition
+	idx    uint32
+	k      int // next chain position
+	cursor int // next owned session
+}
+
+// Fire advances the arrival chain: schedule the next chain event first,
+// then dispatch the arrival if it is ours — the exact statement order of
+// the fleet's dispatcher, which the FIFO tie-break makes observable.
+func (r *nodeRun) Fire(now simtime.Time) {
+	k := r.k
+	r.k++
+	if r.k < len(r.part.starts) {
+		r.sched.Schedule(r.part.starts[r.k], r)
+	}
+	if r.part.owner[k] == r.idx {
+		mine := r.part.perNode[r.idx]
+		sess := mine[r.cursor]
+		// Release consumed sessions as the run progresses; at full volume
+		// the partitioned session set is the engine's main memory cost.
+		mine[r.cursor] = nil
+		r.cursor++
+		r.node.Arrive(now, sess)
+	}
+}
+
+// runNode simulates one vantage to the horizon on its own scheduler and
+// returns its trace and accounting row.
+func runNode(cfg capture.Config, idx int, sched simtime.Scheduler, shared *capture.SharedModel, part *partition, horizon simtime.Time) (*trace.Trace, capture.NodeStats) {
+	node := capture.NewNode(cfg, idx, sched, shared)
+	r := &nodeRun{sched: sched, node: node, part: part, idx: uint32(idx)}
+	if len(part.starts) > 0 {
+		sched.Schedule(part.starts[0], r)
+	}
+	sched.RunUntil(horizon)
+	node.FinalizeOpen(horizon)
+	return node.Trace(), node.Stats()
+}

@@ -370,7 +370,7 @@ func RenderFits(w io.Writer, c *core.Characterization) error {
 		measured := "insufficient data"
 		if fit.OK {
 			measured = fmt.Sprintf("LN(σ=%.3f, µ=%.3f) n=%d%s",
-				fit.Model.Sigma, fit.Model.Mu, fit.N, ksVerdict(fit.KSP, fit.Rejected))
+				fit.Model.Sigma, fit.Model.Mu, fit.N, ksVerdict(fit.KSP, fit.KSPSource, fit.Rejected))
 		}
 		rows = append(rows, []string{fmt.Sprintf("A.2 %s", regionNames[r]), measured, paper})
 	}
@@ -404,7 +404,7 @@ func RenderFits(w io.Writer, c *core.Characterization) error {
 		measured := "insufficient data"
 		if fit.OK {
 			measured = fmt.Sprintf("LN(σ=%.3f, µ=%.3f) n=%d KS=%.3f%s",
-				fit.Model.Sigma, fit.Model.Mu, fit.N, fit.KS, ksVerdict(fit.KSP, fit.Rejected))
+				fit.Model.Sigma, fit.Model.Mu, fit.N, fit.KS, ksVerdict(fit.KSP, fit.KSPSource, fit.Rejected))
 		}
 		rows = append(rows, []string{
 			fmt.Sprintf("A.5 NA peak %s queries", bucketA5[b]), measured, paperA5[b],
@@ -420,17 +420,23 @@ func fmtBodyTail(f core.BodyTailFit) string {
 	}
 	return fmt.Sprintf("body %.0f%% %v + %v (n=%d, KS=%.3f%s)",
 		100*f.Fit.BodyWeight, f.Fit.Body, f.Fit.Tail, f.N, f.KS,
-		ksVerdict(f.KSP, f.Rejected))
+		ksVerdict(f.KSP, f.KSPSource, f.Rejected))
 }
 
-// ksVerdict renders the KS acceptance verdict of a fit: the asymptotic
-// p-value, with an explicit marker when the fit is rejected at
-// core.FitAlpha.
-func ksVerdict(p float64, rejected bool) string {
-	if rejected {
-		return fmt.Sprintf(", p=%.3f REJECTED at α=%.2g", p, core.FitAlpha)
+// ksVerdict renders the KS acceptance verdict of a fit: the p-value
+// tagged with its source — "asym" for the Lilliefors-biased asymptotic
+// p-value (rejections trustworthy, acceptances optimistic) or "boot" for
+// the parametric bootstrap (both trustworthy; core.Options.KSBootstrap) —
+// with an explicit marker when the fit is rejected at core.FitAlpha.
+func ksVerdict(p float64, src core.KSSource, rejected bool) string {
+	tag := "asym"
+	if src == core.KSBootstrapped {
+		tag = "boot"
 	}
-	return fmt.Sprintf(", p=%.3f", p)
+	if rejected {
+		return fmt.Sprintf(", p=%.3f (%s) REJECTED at α=%.2g", p, tag, core.FitAlpha)
+	}
+	return fmt.Sprintf(", p=%.3f (%s)", p, tag)
 }
 
 // RenderHitRates prints the hit-rate extension (the paper's future work):

@@ -1,0 +1,290 @@
+package simtime
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// popTrace drives a scheduler through a scripted operation sequence and
+// records the exact pop order as (at, tag) pairs. The script is replayed
+// identically on every implementation, so equal traces mean equal order —
+// ties, cancellations and reentrant scheduling included.
+type popRecord struct {
+	at  Time
+	tag int
+}
+
+// opScript is a deterministic random operation mix: schedules (with
+// deliberately colliding timestamps), cancellations of random live
+// handles, events that schedule more events when they fire, and
+// far-future outliers that force the calendar across empty years.
+type opScript struct {
+	seed   uint64
+	n      int
+	spanNS int64
+	// tieEvery forces every k-th timestamp onto a small grid so exact
+	// collisions are common, not astronomically rare.
+	tieEvery int
+	// farEvery schedules every k-th event years past the rest.
+	farEvery int
+	// cancelFrac cancels roughly this fraction of scheduled events.
+	cancelFrac float64
+	// chainFrac makes roughly this fraction of events schedule a child
+	// when they fire (reentrant scheduling, like the probe machinery).
+	chainFrac float64
+}
+
+func (sc opScript) run(s Scheduler) []popRecord {
+	rng := rand.New(rand.NewPCG(sc.seed, 0xca1e4da5))
+	var trace []popRecord
+	var handles []Handle
+	tag := 0
+	schedule := func(at Time) {
+		myTag := tag
+		tag++
+		var ev Event
+		ev = EventFunc(func(now Time) {
+			trace = append(trace, popRecord{at: now, tag: myTag})
+			if rng.Float64() < sc.chainFrac {
+				childTag := tag
+				tag++
+				child := now + Time(rng.Int64N(sc.spanNS/4+1))
+				s.Schedule(child, EventFunc(func(n2 Time) {
+					trace = append(trace, popRecord{at: n2, tag: childTag})
+				}))
+			}
+			if len(handles) > 0 && rng.Float64() < sc.cancelFrac {
+				s.Cancel(handles[rng.IntN(len(handles))])
+			}
+		})
+		handles = append(handles, s.Schedule(at, ev))
+	}
+	for i := 0; i < sc.n; i++ {
+		var at Time
+		switch {
+		case sc.farEvery > 0 && i%sc.farEvery == sc.farEvery-1:
+			// Far past everything else: exercises the direct-search jump.
+			// The factor keeps the largest product well inside int64.
+			at = Time(sc.spanNS) * 50 * Time(1+rng.Int64N(4))
+		case sc.tieEvery > 0 && i%sc.tieEvery == 0:
+			at = Time(rng.Int64N(8)) * Time(sc.spanNS/8+1)
+		default:
+			at = Time(rng.Int64N(sc.spanNS))
+		}
+		schedule(at)
+		if rng.Float64() < sc.cancelFrac/2 {
+			s.Cancel(handles[rng.IntN(len(handles))])
+		}
+	}
+	s.Run()
+	return trace
+}
+
+// TestCalendarHeapEquivalence is the order-equivalence pin: across many
+// scripted workloads the calendar queue must pop the exact sequence the
+// heap pops — same timestamps, same FIFO tie resolution, same surviving
+// set after cancellations.
+func TestCalendarHeapEquivalence(t *testing.T) {
+	scripts := []opScript{
+		{seed: 1, n: 500, spanNS: int64(time.Hour), tieEvery: 3, cancelFrac: 0.2, chainFrac: 0.3},
+		{seed: 2, n: 2000, spanNS: int64(time.Second), tieEvery: 2, cancelFrac: 0.4, chainFrac: 0.1},
+		{seed: 3, n: 1000, spanNS: int64(40 * 24 * time.Hour), farEvery: 7, cancelFrac: 0.1, chainFrac: 0.2},
+		{seed: 4, n: 50, spanNS: 10, tieEvery: 1, cancelFrac: 0.3, chainFrac: 0.5}, // almost everything ties
+		{seed: 5, n: 3000, spanNS: int64(time.Millisecond), cancelFrac: 0.6, chainFrac: 0.05},
+		{seed: 6, n: 200, spanNS: int64(365 * 24 * time.Hour), farEvery: 2, chainFrac: 0.4}, // sparse, far-future heavy
+	}
+	for _, sc := range scripts {
+		heapTrace := sc.run(NewScheduler())
+		calTrace := sc.run(NewCalendarScheduler())
+		if len(heapTrace) != len(calTrace) {
+			t.Fatalf("seed %d: heap fired %d events, calendar %d", sc.seed, len(heapTrace), len(calTrace))
+		}
+		for i := range heapTrace {
+			if heapTrace[i] != calTrace[i] {
+				t.Fatalf("seed %d: pop %d differs: heap %v calendar %v", sc.seed, i, heapTrace[i], calTrace[i])
+			}
+		}
+		if len(heapTrace) == 0 {
+			t.Fatalf("seed %d: empty trace proves nothing", sc.seed)
+		}
+	}
+}
+
+// TestCalendarStepEquivalence drives both implementations one Step at a
+// time, checking clock, fired count and pending count after every pop —
+// the finer-grained version of the whole-trace comparison.
+func TestCalendarStepEquivalence(t *testing.T) {
+	mk := func(s Scheduler) []Handle {
+		rng := rand.New(rand.NewPCG(99, 42))
+		hs := make([]Handle, 0, 400)
+		for i := 0; i < 400; i++ {
+			at := Time(rng.Int64N(int64(time.Minute)))
+			if i%5 == 0 {
+				at = Time(rng.Int64N(4)) * 10 * Time(time.Second) // ties
+			}
+			hs = append(hs, s.Schedule(at, EventFunc(func(Time) {})))
+		}
+		for i := 0; i < len(hs); i += 3 {
+			s.Cancel(hs[i])
+		}
+		return hs
+	}
+	h, c := NewScheduler(), NewCalendarScheduler()
+	mk(h)
+	mk(c)
+	for {
+		if h.Pending() != c.Pending() {
+			t.Fatalf("pending: heap %d calendar %d", h.Pending(), c.Pending())
+		}
+		hOK, cOK := h.Step(), c.Step()
+		if hOK != cOK {
+			t.Fatalf("step: heap %v calendar %v", hOK, cOK)
+		}
+		if !hOK {
+			break
+		}
+		if h.Now() != c.Now() {
+			t.Fatalf("clock: heap %v calendar %v", h.Now(), c.Now())
+		}
+		if h.Fired() != c.Fired() {
+			t.Fatalf("fired: heap %d calendar %d", h.Fired(), c.Fired())
+		}
+	}
+}
+
+// TestCalendarFarFutureGap pins the direct-search escape: one near event
+// and one forty simulated years out must both fire, in order, without the
+// scan spinning bucket by bucket across the gap (the test would time out
+// if it did — the gap is ~10^9 default bucket widths).
+func TestCalendarFarFutureGap(t *testing.T) {
+	s := NewCalendarScheduler()
+	var order []int
+	s.Schedule(time.Second, EventFunc(func(Time) { order = append(order, 1) }))
+	s.Schedule(40*365*24*time.Hour, EventFunc(func(Time) { order = append(order, 2) }))
+	s.Schedule(80*365*24*time.Hour, EventFunc(func(Time) { order = append(order, 3) }))
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 80*365*24*time.Hour {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+// TestCalendarScheduleBehindScan pins the winStart pull-back: after the
+// scan has jumped ahead to reach a far-future event, an event scheduled at
+// the (much earlier) current time must still fire before later ones.
+func TestCalendarScheduleBehindScan(t *testing.T) {
+	s := NewCalendarScheduler()
+	var order []int
+	s.Schedule(time.Second, EventFunc(func(now Time) {
+		order = append(order, 1)
+		// The next pending event is a year out; the scan will jump to it.
+		// This event, scheduled "now", must preempt it.
+		s.Schedule(now+time.Second, EventFunc(func(Time) { order = append(order, 2) }))
+	}))
+	s.Schedule(365*24*time.Hour, EventFunc(func(Time) { order = append(order, 3) }))
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// TestCalendarCancelCompaction checks that a cancellation-heavy workload
+// (the probe re-arm pattern: schedule, cancel, schedule, cancel …) does
+// not accumulate dead items without bound.
+func TestCalendarCancelCompaction(t *testing.T) {
+	s := NewCalendarScheduler()
+	var h Handle
+	for i := 0; i < 100000; i++ {
+		s.Cancel(h)
+		h = s.Schedule(Time(i)*time.Millisecond+15*time.Second, EventFunc(func(Time) {}))
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	if s.dead > 10*calendarMinBuckets {
+		t.Fatalf("dead items not compacted: %d linger", s.dead)
+	}
+	s.Run()
+	if s.Fired() != 1 {
+		t.Fatalf("fired = %d, want 1", s.Fired())
+	}
+}
+
+// TestCalendarResizeKeepsOrder grows the queue far past the initial bucket
+// count and shrinks it back down, checking order across the resizes.
+func TestCalendarResizeKeepsOrder(t *testing.T) {
+	s := NewCalendarScheduler()
+	rng := rand.New(rand.NewPCG(7, 7))
+	n := 20000
+	for i := 0; i < n; i++ {
+		s.Schedule(Time(rng.Int64N(int64(time.Hour))), EventFunc(func(Time) {}))
+	}
+	last := Time(-1)
+	fired := 0
+	for s.Pending() > 0 {
+		before := s.Now()
+		if !s.Step() {
+			break
+		}
+		fired++
+		if s.Now() < before || s.Now() < last {
+			t.Fatalf("clock went backwards: %v after %v", s.Now(), last)
+		}
+		last = s.Now()
+	}
+	if fired != n {
+		t.Fatalf("fired %d of %d", fired, n)
+	}
+}
+
+// FuzzCalendarHeapEquivalence feeds arbitrary byte strings as operation
+// scripts to both implementations: each byte pair becomes a schedule (with
+// a coarse timestamp grid, so ties are dense) or a cancel, and the two pop
+// traces must match exactly.
+func FuzzCalendarHeapEquivalence(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 255, 254, 7, 7, 7, 9})
+	f.Add([]byte{10, 0, 10, 0, 10, 0, 200, 200})
+	f.Add([]byte{})
+	run := func(data []byte, s Scheduler) []popRecord {
+		var trace []popRecord
+		var handles []Handle
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			switch op % 4 {
+			case 0, 1: // schedule on a coarse grid: ties are the point
+				at := Time(arg%32) * Time(time.Second)
+				tag := i
+				handles = append(handles, s.Schedule(at, EventFunc(func(now Time) {
+					trace = append(trace, popRecord{at: now, tag: tag})
+				})))
+			case 2: // far-future schedule (bounded to stay inside int64)
+				at := Time(arg) * 1000 * Time(time.Hour)
+				tag := i
+				handles = append(handles, s.Schedule(at, EventFunc(func(now Time) {
+					trace = append(trace, popRecord{at: now, tag: tag})
+				})))
+			case 3: // cancel an arbitrary earlier handle
+				if len(handles) > 0 {
+					s.Cancel(handles[int(arg)%len(handles)])
+				}
+			}
+		}
+		s.Run()
+		return trace
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ht := run(data, NewScheduler())
+		ct := run(data, NewCalendarScheduler())
+		if len(ht) != len(ct) {
+			t.Fatalf("heap fired %d, calendar %d", len(ht), len(ct))
+		}
+		for i := range ht {
+			if ht[i] != ct[i] {
+				t.Fatalf("pop %d: heap %v calendar %v", i, ht[i], ct[i])
+			}
+		}
+	})
+}

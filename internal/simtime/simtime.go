@@ -62,11 +62,53 @@ type EventFunc func(now Time)
 // Fire implements Event.
 func (f EventFunc) Fire(now Time) { f(now) }
 
+// Scheduler is the discrete-event scheduler API: a virtual clock plus a
+// pending-event queue ordered by (timestamp, FIFO sequence). Two
+// implementations exist — HeapScheduler (container/heap binary heap) and
+// CalendarScheduler (Brown's calendar queue, O(1) amortized at large
+// pending counts) — and they are contractually order-equivalent: for the
+// same sequence of operations both fire the same events in the same order,
+// ties included (pinned by property and fuzz tests). No implementation is
+// safe for concurrent use; the simulation gives each event loop its own
+// scheduler so a given seed always produces an identical event order.
+type Scheduler interface {
+	// Now returns the current simulated time.
+	Now() Time
+	// Fired returns how many events have been executed.
+	Fired() uint64
+	// Pending returns the number of scheduled events not yet fired or
+	// cancelled.
+	Pending() int
+	// Schedule queues an event at an absolute simulated instant.
+	// Scheduling in the past (before Now) fires the event at the current
+	// time rather than rewinding the clock. Events with equal timestamps
+	// fire in Schedule order (FIFO), which keeps runs deterministic.
+	Schedule(at Time, e Event) Handle
+	// After queues an event delay after the current instant.
+	After(delay time.Duration, e Event) Handle
+	// Cancel removes a scheduled event. Cancelling an already-fired or
+	// already-cancelled event is a no-op.
+	Cancel(h Handle)
+	// Step fires the earliest pending event, advancing the clock to its
+	// timestamp. It reports false when no events remain.
+	Step() bool
+	// RunUntil fires events in order until the queue is empty or the next
+	// event lies strictly after the horizon. The clock finishes at the
+	// horizon (or at the last event, whichever is later).
+	RunUntil(horizon Time)
+	// Run drains the event queue completely.
+	Run()
+}
+
 type item struct {
 	at    Time
 	seq   uint64 // tie-break: FIFO among equal timestamps, keeps runs deterministic
 	event Event
-	index int // heap index; -1 once popped or cancelled
+	// index is -1 once the item has fired or been cancelled. While queued,
+	// the heap implementation stores the item's heap position here; the
+	// calendar implementation only uses the -1 sentinel (cancellation is
+	// lazy there — dead items are swept out when their bucket is scanned).
+	index int
 }
 
 // Handle identifies a scheduled event so it can be cancelled.
@@ -105,35 +147,35 @@ func (h *eventHeap) Pop() any {
 	return it
 }
 
-// Scheduler is a single-threaded discrete-event scheduler. It is not safe
-// for concurrent use; the simulation is deliberately sequential so that a
-// given seed always produces an identical event order.
-type Scheduler struct {
+// HeapScheduler is the binary-heap Scheduler implementation — the
+// reference the calendar queue is order-equivalence-tested against. It is
+// not safe for concurrent use.
+type HeapScheduler struct {
 	now    Time
 	seq    uint64
 	events eventHeap
 	fired  uint64
 }
 
-// NewScheduler returns a scheduler positioned at the trace epoch.
-func NewScheduler() *Scheduler {
-	return &Scheduler{}
+// NewScheduler returns a heap scheduler positioned at the trace epoch.
+func NewScheduler() *HeapScheduler {
+	return &HeapScheduler{}
 }
 
 // Now returns the current simulated time.
-func (s *Scheduler) Now() Time { return s.now }
+func (s *HeapScheduler) Now() Time { return s.now }
 
 // Fired returns how many events have been executed, a cheap progress and
 // complexity metric for benchmarks.
-func (s *Scheduler) Fired() uint64 { return s.fired }
+func (s *HeapScheduler) Fired() uint64 { return s.fired }
 
 // Pending returns the number of scheduled events not yet fired or cancelled.
-func (s *Scheduler) Pending() int { return len(s.events) }
+func (s *HeapScheduler) Pending() int { return len(s.events) }
 
 // Schedule queues an event at an absolute simulated instant. Scheduling in
 // the past (before Now) fires the event at the current time rather than
 // rewinding the clock.
-func (s *Scheduler) Schedule(at Time, e Event) Handle {
+func (s *HeapScheduler) Schedule(at Time, e Event) Handle {
 	if at < s.now {
 		at = s.now
 	}
@@ -144,13 +186,13 @@ func (s *Scheduler) Schedule(at Time, e Event) Handle {
 }
 
 // After queues an event delay after the current instant.
-func (s *Scheduler) After(delay time.Duration, e Event) Handle {
+func (s *HeapScheduler) After(delay time.Duration, e Event) Handle {
 	return s.Schedule(s.now+delay, e)
 }
 
 // Cancel removes a scheduled event. Cancelling an already-fired or
 // already-cancelled event is a no-op.
-func (s *Scheduler) Cancel(h Handle) {
+func (s *HeapScheduler) Cancel(h Handle) {
 	if h.it == nil || h.it.index == -1 {
 		return
 	}
@@ -160,7 +202,7 @@ func (s *Scheduler) Cancel(h Handle) {
 
 // Step fires the earliest pending event, advancing the clock to its
 // timestamp. It reports false when no events remain.
-func (s *Scheduler) Step() bool {
+func (s *HeapScheduler) Step() bool {
 	if len(s.events) == 0 {
 		return false
 	}
@@ -175,7 +217,7 @@ func (s *Scheduler) Step() bool {
 // lies strictly after the horizon. The clock finishes at the horizon (or at
 // the last event, whichever is later — the clock never exceeds events that
 // fired).
-func (s *Scheduler) RunUntil(horizon Time) {
+func (s *HeapScheduler) RunUntil(horizon Time) {
 	for len(s.events) > 0 && s.events[0].at <= horizon {
 		s.Step()
 	}
@@ -185,7 +227,7 @@ func (s *Scheduler) RunUntil(horizon Time) {
 }
 
 // Run drains the event queue completely.
-func (s *Scheduler) Run() {
+func (s *HeapScheduler) Run() {
 	for s.Step() {
 	}
 }

@@ -55,149 +55,174 @@ func TestAbsolute(t *testing.T) {
 	}
 }
 
+// eachScheduler runs a subtest against every Scheduler implementation; the
+// API contract is one contract, so every behavioral test runs on both.
+func eachScheduler(t *testing.T, f func(t *testing.T, s Scheduler)) {
+	t.Helper()
+	t.Run("heap", func(t *testing.T) { f(t, NewScheduler()) })
+	t.Run("calendar", func(t *testing.T) { f(t, NewCalendarScheduler()) })
+}
+
 func TestSchedulerOrdering(t *testing.T) {
-	s := NewScheduler()
-	var order []int
-	s.Schedule(3*time.Second, EventFunc(func(Time) { order = append(order, 3) }))
-	s.Schedule(1*time.Second, EventFunc(func(Time) { order = append(order, 1) }))
-	s.Schedule(2*time.Second, EventFunc(func(Time) { order = append(order, 2) }))
-	s.Run()
-	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
-		t.Fatalf("fire order = %v", order)
-	}
-	if s.Now() != 3*time.Second {
-		t.Fatalf("clock = %v, want 3s", s.Now())
-	}
-	if s.Fired() != 3 {
-		t.Fatalf("fired = %d, want 3", s.Fired())
-	}
+	eachScheduler(t, func(t *testing.T, s Scheduler) {
+		var order []int
+		s.Schedule(3*time.Second, EventFunc(func(Time) { order = append(order, 3) }))
+		s.Schedule(1*time.Second, EventFunc(func(Time) { order = append(order, 1) }))
+		s.Schedule(2*time.Second, EventFunc(func(Time) { order = append(order, 2) }))
+		s.Run()
+		if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+			t.Fatalf("fire order = %v", order)
+		}
+		if s.Now() != 3*time.Second {
+			t.Fatalf("clock = %v, want 3s", s.Now())
+		}
+		if s.Fired() != 3 {
+			t.Fatalf("fired = %d, want 3", s.Fired())
+		}
+	})
 }
 
 func TestSchedulerFIFOTieBreak(t *testing.T) {
-	s := NewScheduler()
-	var order []int
-	for i := 0; i < 10; i++ {
-		i := i
-		s.Schedule(time.Second, EventFunc(func(Time) { order = append(order, i) }))
-	}
-	s.Run()
-	for i, v := range order {
-		if v != i {
-			t.Fatalf("equal-timestamp events fired out of order: %v", order)
+	eachScheduler(t, func(t *testing.T, s Scheduler) {
+		var order []int
+		for i := 0; i < 10; i++ {
+			i := i
+			s.Schedule(time.Second, EventFunc(func(Time) { order = append(order, i) }))
 		}
-	}
+		s.Run()
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("equal-timestamp events fired out of order: %v", order)
+			}
+		}
+	})
 }
 
 func TestSchedulerCancel(t *testing.T) {
-	s := NewScheduler()
-	fired := false
-	h := s.Schedule(time.Second, EventFunc(func(Time) { fired = true }))
-	if h.Cancelled() {
-		t.Fatal("handle cancelled before firing")
-	}
-	s.Cancel(h)
-	if !h.Cancelled() {
-		t.Fatal("handle should report cancelled")
-	}
-	s.Run()
-	if fired {
-		t.Fatal("cancelled event fired")
-	}
-	s.Cancel(h) // double cancel is a no-op
+	eachScheduler(t, func(t *testing.T, s Scheduler) {
+		fired := false
+		h := s.Schedule(time.Second, EventFunc(func(Time) { fired = true }))
+		if h.Cancelled() {
+			t.Fatal("handle cancelled before firing")
+		}
+		s.Cancel(h)
+		if !h.Cancelled() {
+			t.Fatal("handle should report cancelled")
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("pending = %d after cancel, want 0", s.Pending())
+		}
+		s.Run()
+		if fired {
+			t.Fatal("cancelled event fired")
+		}
+		s.Cancel(h) // double cancel is a no-op
+	})
 }
 
 func TestSchedulerCancelMiddle(t *testing.T) {
-	s := NewScheduler()
-	var order []int
-	s.Schedule(1*time.Second, EventFunc(func(Time) { order = append(order, 1) }))
-	h := s.Schedule(2*time.Second, EventFunc(func(Time) { order = append(order, 2) }))
-	s.Schedule(3*time.Second, EventFunc(func(Time) { order = append(order, 3) }))
-	s.Cancel(h)
-	s.Run()
-	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
-		t.Fatalf("order = %v, want [1 3]", order)
-	}
+	eachScheduler(t, func(t *testing.T, s Scheduler) {
+		var order []int
+		s.Schedule(1*time.Second, EventFunc(func(Time) { order = append(order, 1) }))
+		h := s.Schedule(2*time.Second, EventFunc(func(Time) { order = append(order, 2) }))
+		s.Schedule(3*time.Second, EventFunc(func(Time) { order = append(order, 3) }))
+		s.Cancel(h)
+		s.Run()
+		if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+			t.Fatalf("order = %v, want [1 3]", order)
+		}
+	})
 }
 
 func TestScheduleInPastFiresNow(t *testing.T) {
-	s := NewScheduler()
-	s.Schedule(10*time.Second, EventFunc(func(now Time) {
-		s.Schedule(5*time.Second, EventFunc(func(now2 Time) {
-			if now2 != 10*time.Second {
-				t.Errorf("past event fired at %v, want clamped to 10s", now2)
-			}
+	eachScheduler(t, func(t *testing.T, s Scheduler) {
+		s.Schedule(10*time.Second, EventFunc(func(now Time) {
+			s.Schedule(5*time.Second, EventFunc(func(now2 Time) {
+				if now2 != 10*time.Second {
+					t.Errorf("past event fired at %v, want clamped to 10s", now2)
+				}
+			}))
 		}))
-	}))
-	s.Run()
-	if s.Now() != 10*time.Second {
-		t.Fatalf("clock = %v", s.Now())
-	}
+		s.Run()
+		if s.Now() != 10*time.Second {
+			t.Fatalf("clock = %v", s.Now())
+		}
+	})
 }
 
 func TestRunUntil(t *testing.T) {
-	s := NewScheduler()
-	var fired []Time
-	for i := 1; i <= 5; i++ {
-		at := Time(i) * time.Second
-		s.Schedule(at, EventFunc(func(now Time) { fired = append(fired, now) }))
-	}
-	s.RunUntil(3 * time.Second)
-	if len(fired) != 3 {
-		t.Fatalf("fired %d events, want 3", len(fired))
-	}
-	if s.Now() != 3*time.Second {
-		t.Fatalf("clock = %v, want 3s", s.Now())
-	}
-	if s.Pending() != 2 {
-		t.Fatalf("pending = %d, want 2", s.Pending())
-	}
-	// Horizon beyond all events advances the clock to the horizon.
-	s.RunUntil(time.Minute)
-	if s.Now() != time.Minute {
-		t.Fatalf("clock = %v, want 1m", s.Now())
-	}
+	eachScheduler(t, func(t *testing.T, s Scheduler) {
+		var fired []Time
+		for i := 1; i <= 5; i++ {
+			at := Time(i) * time.Second
+			s.Schedule(at, EventFunc(func(now Time) { fired = append(fired, now) }))
+		}
+		s.RunUntil(3 * time.Second)
+		if len(fired) != 3 {
+			t.Fatalf("fired %d events, want 3", len(fired))
+		}
+		if s.Now() != 3*time.Second {
+			t.Fatalf("clock = %v, want 3s", s.Now())
+		}
+		if s.Pending() != 2 {
+			t.Fatalf("pending = %d, want 2", s.Pending())
+		}
+		// Horizon beyond all events advances the clock to the horizon.
+		s.RunUntil(time.Minute)
+		if s.Now() != time.Minute {
+			t.Fatalf("clock = %v, want 1m", s.Now())
+		}
+	})
 }
 
 func TestEventsScheduledDuringRun(t *testing.T) {
-	s := NewScheduler()
-	count := 0
-	var chain func(now Time)
-	chain = func(now Time) {
-		count++
-		if count < 100 {
-			s.After(time.Second, EventFunc(chain))
-		}
-	}
-	s.Schedule(0, EventFunc(chain))
-	s.Run()
-	if count != 100 {
-		t.Fatalf("chain fired %d times, want 100", count)
-	}
-	if s.Now() != 99*time.Second {
-		t.Fatalf("clock = %v, want 99s", s.Now())
-	}
-}
-
-// Property: for any set of non-negative delays, events fire in sorted order.
-func TestPropertyFireOrderSorted(t *testing.T) {
-	f := func(delays []uint16) bool {
-		s := NewScheduler()
-		var fired []Time
-		for _, d := range delays {
-			s.Schedule(Time(d)*time.Millisecond, EventFunc(func(now Time) {
-				fired = append(fired, now)
-			}))
-		}
-		s.Run()
-		for i := 1; i < len(fired); i++ {
-			if fired[i] < fired[i-1] {
-				return false
+	eachScheduler(t, func(t *testing.T, s Scheduler) {
+		count := 0
+		var chain func(now Time)
+		chain = func(now Time) {
+			count++
+			if count < 100 {
+				s.After(time.Second, EventFunc(chain))
 			}
 		}
-		return len(fired) == len(delays)
+		s.Schedule(0, EventFunc(chain))
+		s.Run()
+		if count != 100 {
+			t.Fatalf("chain fired %d times, want 100", count)
+		}
+		if s.Now() != 99*time.Second {
+			t.Fatalf("clock = %v, want 99s", s.Now())
+		}
+	})
+}
+
+// Property: for any set of non-negative delays, events fire in sorted order
+// on both implementations.
+func TestPropertyFireOrderSorted(t *testing.T) {
+	eachSched := []func() Scheduler{
+		func() Scheduler { return NewScheduler() },
+		func() Scheduler { return NewCalendarScheduler() },
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
+	for _, mk := range eachSched {
+		f := func(delays []uint16) bool {
+			s := mk()
+			var fired []Time
+			for _, d := range delays {
+				s.Schedule(Time(d)*time.Millisecond, EventFunc(func(now Time) {
+					fired = append(fired, now)
+				}))
+			}
+			s.Run()
+			for i := 1; i < len(fired); i++ {
+				if fired[i] < fired[i-1] {
+					return false
+				}
+			}
+			return len(fired) == len(delays)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/capture"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/geo"
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -50,9 +51,23 @@ func Simulate(cfg SimulationConfig) *Trace {
 // paper's per-node methodology, returning the merged full-volume trace.
 // With nodes sized so no per-node 200-connection cap binds, the merged
 // trace records the entire arrival stream (≈4.36 M connections at scale
-// 1.0 over 40 days).
+// 1.0 over 40 days). The simulation runs on the parallel sharded engine
+// sized to the machine; the trace is byte-identical to the sequential
+// fleet (see SimulateFleetWorkers).
 func SimulateFleet(cfg SimulationConfig, nodes int) *Trace {
-	return capture.NewFleet(capture.FleetConfig{Node: cfg, Nodes: nodes}).Run()
+	return SimulateFleetWorkers(cfg, nodes, 0)
+}
+
+// SimulateFleetWorkers is SimulateFleet with an explicit simulation
+// worker-pool bound: each vantage node's event loop runs on its own
+// goroutine over a pool of workers goroutines (0 = GOMAXPROCS, 1 =
+// sequential). The merged trace is byte-identical for every setting —
+// the engine's determinism contract (see internal/engine).
+func SimulateFleetWorkers(cfg SimulationConfig, nodes, workers int) *Trace {
+	return engine.New(engine.Config{
+		Fleet:   capture.FleetConfig{Node: cfg, Nodes: nodes},
+		Workers: workers,
+	}).Run()
 }
 
 // Characterize applies the filter pipeline, all analyses and the appendix

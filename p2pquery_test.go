@@ -56,7 +56,8 @@ func TestFacadeEndToEnd(t *testing.T) {
 }
 
 // TestFacadeFleet drives the multi-vantage entry point: the merged
-// trace must carry the node count and characterize end to end.
+// trace must carry the node count, characterize end to end, and be
+// byte-identical for every simulation worker count.
 func TestFacadeFleet(t *testing.T) {
 	cfg := DefaultSimulation(7, 0.002)
 	cfg.Workload.Days = 1
@@ -70,6 +71,19 @@ func TestFacadeFleet(t *testing.T) {
 	c := Characterize(tr)
 	if len(c.Sessions) == 0 {
 		t.Fatal("no sessions characterized from merged trace")
+	}
+	var want bytes.Buffer
+	if err := tr.Write(&want); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		var got bytes.Buffer
+		if err := SimulateFleetWorkers(cfg, 3, workers).Write(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("SimulateFleetWorkers(%d) trace differs", workers)
+		}
 	}
 }
 
