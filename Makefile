@@ -17,24 +17,37 @@ race:
 	$(GO) test -race ./...
 
 # bench runs every benchmark in every package with allocation reporting
-# and writes the machine-readable result to BENCH.json (see BENCH_pr3.json
-# for the committed PR-3 snapshot). Sweeping ./... keeps new package-local
-# benchmarks (capture fleet, filter fan-out, vocab) tracked automatically.
+# and writes the machine-readable result to BENCH.json (see BENCH_pr5.json
+# for the committed PR-5 snapshot). Sweeping ./... keeps new package-local
+# benchmarks (capture fleet, filter fan-out, vocab, stream sketches)
+# tracked automatically. The phase run appends labeled wall-clock /
+# peak-RSS accountings for the streaming and batch engines at a fixed
+# small scale — the per-phase memory record BENCH_pr5.json pins and
+# bench-ci gates.
+PHASE_ARGS := -simulate -seed 2004 -scale 0.02 -days 2 -nodes 4 -only summary -perf
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1s ./... | $(GO) run ./cmd/benchjson -pretty > BENCH.json
+	{ $(GO) test -run '^$$' -bench . -benchmem -benchtime=1s ./... ; \
+	  $(GO) run ./cmd/analyze $(PHASE_ARGS) -stream -perflabel phase-stream 2>&1 >/dev/null ; \
+	  $(GO) run ./cmd/analyze $(PHASE_ARGS) -perflabel phase-batch 2>&1 >/dev/null ; } | \
+		$(GO) run ./cmd/benchjson -pretty > BENCH.json
 	@echo wrote BENCH.json
 
 # bench-ci is the fast CI variant: one iteration per benchmark, emitting
-# JSON *and* gating against the committed PR-4 baseline so hot-path
-# regressions fail the build instead of scrolling by in logs. The
-# tolerances are deliberately generous — CI compares a single
-# -benchtime=1x iteration on an arbitrary runner against numbers recorded
-# elsewhere — so only catastrophic (algorithmic) regressions trip it;
-# finer-grained tracking uses `make bench` snapshots across PRs.
+# JSON *and* gating against the committed PR-5 baseline so hot-path
+# regressions fail the build instead of scrolling by in logs — ns/op,
+# allocs/op AND the labeled phases' peak RSS (end-of-run and
+# simulate-phase), so the streaming engine's memory contract is enforced,
+# not promised. The tolerances are deliberately generous — CI compares a
+# single -benchtime=1x iteration on an arbitrary runner against numbers
+# recorded elsewhere — so only catastrophic (algorithmic) regressions
+# trip it; finer-grained tracking uses `make bench` snapshots across PRs.
 bench-ci:
-	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./... | \
-		$(GO) run ./cmd/benchjson -compare BENCH_pr4.json \
-			-tolerance 8 -ns-slack 100000 -alloc-tolerance 2 -alloc-slack 256
+	{ $(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./... ; \
+	  $(GO) run ./cmd/analyze $(PHASE_ARGS) -stream -perflabel phase-stream 2>&1 >/dev/null ; \
+	  $(GO) run ./cmd/analyze $(PHASE_ARGS) -perflabel phase-batch 2>&1 >/dev/null ; } | \
+		$(GO) run ./cmd/benchjson -compare BENCH_pr5.json \
+			-tolerance 8 -ns-slack 100000 -alloc-tolerance 2 -alloc-slack 256 \
+			-rss-tolerance 2 -rss-slack 134217728
 
 # speedup-check proves the two parallel stages on a multi-core host, each
 # ≥ 2× over its sequential reference at 4 workers: the characterization
@@ -52,13 +65,23 @@ speedup-check:
 # fullscale reproduces the paper's entire trace volume through the
 # multi-vantage measurement fabric: 40 days at scale 1.0 across 48
 # ultrapeer nodes records all ≈4.36 M arrivals (per-node 200-connection
-# caps never bind; see BENCH_pr4.json for the recorded run). The
-# simulation runs on the parallel sharded engine; SIMWORKERS bounds its
-# goroutines (0 = machine-sized) and the trace is byte-identical for
-# every value.
+# caps never bind; see BENCH_pr5.json for the recorded runs). STREAM=1
+# (the default) runs the bounded-memory streaming engine — bounded-
+# lookahead producer, per-node event emission, online k-way merge with
+# the live sketch layer — whose drained trace is byte-identical to the
+# batch path (compare `-tracehash` across STREAM=0/1) at a fraction of
+# the simulate-phase peak RSS. STREAM=0 selects the batch engine, where
+# SIMWORKERS bounds its goroutines (0 = machine-sized; the trace is
+# byte-identical for every value).
 SIMWORKERS ?= 0
+STREAM ?= 1
+ifeq ($(STREAM),1)
+STREAMFLAGS := -stream
+else
+STREAMFLAGS :=
+endif
 fullscale:
-	$(GO) run ./cmd/analyze -simulate -scale 1.0 -days 40 -nodes 48 -simworkers $(SIMWORKERS) -only summary -perf
+	$(GO) run ./cmd/analyze -simulate -scale 1.0 -days 40 -nodes 48 -simworkers $(SIMWORKERS) $(STREAMFLAGS) -tracehash -only summary -perf -perflabel fullscale
 
 # fullscale-single is the paper's literal single-vantage deployment, whose
 # 200-connection cap limits the recorded trace to ≈197 k connections

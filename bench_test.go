@@ -449,6 +449,22 @@ func BenchmarkSimulateFleetParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateFleetStream runs the same fleet in full streaming mode
+// — bounded-lookahead producer, per-node event emission, online k-way
+// merge — producing the byte-identical trace with bounded intermediate
+// state. Against BenchmarkSimulateFleetParallel it prices the streaming
+// layer; its payoff (the multi-GB simulate-phase RSS cut) only shows at
+// full scale, where `make fullscale` records it in the perf line.
+func BenchmarkSimulateFleetStream(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := engine.New(engine.Config{Fleet: benchFleetConfig()}).RunStream(nil)
+		if len(tr.Conns) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
 // BenchmarkCharacterizeScaleSweep reports ns/op and allocs of the full
 // pipeline across trace scales, the perf trajectory future PRs track.
 func BenchmarkCharacterizeScaleSweep(b *testing.B) {

@@ -24,7 +24,18 @@
 // fits with parametric-bootstrap p-values from N replicates. -perf appends
 // a machine-readable wall-clock / peak-RSS accounting line to stderr —
 // simulate and characterize phases separately — which is how the
-// full-scale numbers in BENCH_pr*.json were recorded.
+// full-scale numbers in BENCH_pr*.json were recorded; -perflabel tags the
+// line so cmd/benchjson can track phases across runs.
+//
+// -stream (with -simulate) runs the bounded-memory streaming engine: the
+// bounded-lookahead arrival producer feeds per-node event loops, each
+// vantage emits records into the streaming k-way merge as they finalize,
+// and the online sketch layer (internal/stream) prints its live
+// characterization before the standard report. The drained merged trace
+// is byte-identical to the batch path — verify with -tracehash, which
+// prints the trace's canonical SHA-256 either way — but neither the
+// partitioned session set nor per-node traces are ever held in memory,
+// which is what cuts the full-scale simulate-phase peak RSS.
 package main
 
 import (
@@ -33,6 +44,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/capture"
@@ -41,6 +54,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/stream"
 	"repro/internal/trace"
 )
 
@@ -76,6 +90,10 @@ func main() {
 	workers := flag.Int("workers", 0, "characterization worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	ksboot := flag.Int("ksboot", 0, "parametric-bootstrap replicates for the appendix-fit KS p-values (0 = asymptotic Lilliefors-biased p-values)")
 	perf := flag.Bool("perf", false, "print a wall-clock/peak-RSS accounting line to stderr, simulate and characterize phases separately")
+	streamMode := flag.Bool("stream", false, "with -simulate: run the bounded-memory streaming engine (bounded-lookahead producer, online k-way merge, live sketches) and print the online characterization; the drained trace is byte-identical to the batch path")
+	memLimit := flag.Int64("memlimit", -1, "soft Go memory limit in bytes (-1 = auto: 2 GiB in -stream mode, runtime default otherwise; 0 = always runtime default). The streaming engine's live state is bounded by design; the limit stops the collector's 2x headroom from inflating peak RSS over it")
+	traceHash := flag.Bool("tracehash", false, "print the trace's canonical SHA-256 to stderr (comparable across the batch and streaming paths)")
+	perfLabel := flag.String("perflabel", "", "label attached to the -perf accounting line, so benchjson can track phases across runs")
 	flag.Parse()
 	render, ok := sections[*only]
 	if !ok {
@@ -83,16 +101,41 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *streamMode && !*simulate {
+		fmt.Fprintln(os.Stderr, "-stream requires -simulate (streaming characterizes the simulation's live event stream)")
+		os.Exit(2)
+	}
+
+	// The streaming engine keeps its live state bounded (bounded producer,
+	// incremental merge), but with the default GC target the heap floats
+	// to ~2x the live set before a cycle runs, which is most of a batch
+	// run's footprint handed right back. A soft memory limit makes the
+	// collector enforce what the data structures already guarantee; it
+	// never OOMs — if live state truly needed more, the GC just runs
+	// harder. GOMEMLIMIT in the environment still wins over the auto
+	// default (SetMemoryLimit is only called when a limit is chosen here).
+	switch {
+	case *memLimit > 0:
+		debug.SetMemoryLimit(*memLimit)
+	case *memLimit < 0 && *streamMode && os.Getenv("GOMEMLIMIT") == "":
+		// 2 GiB holds the paper-scale streaming run (live peak ≈ 1.9 GB)
+		// with ≈250 MB of GC headroom and lands the process peak RSS near
+		// 2.3 GB — under half the batch engine's simulate-phase peak. At
+		// scales beyond the paper's, raise it with -memlimit or GOMEMLIMIT
+		// (a too-low soft limit degrades to extra GC, never OOM).
+		debug.SetMemoryLimit(2 << 30)
+	}
+
 	var tr *trace.Trace
 	start := time.Now()
 	var simulated time.Duration
-	var simulatePeakRSS int64
+	var simulatePeakRSS, simulateHeapLive int64
 	var st capture.FleetStats
 	var maxPeak int
 	switch {
 	case *simulate:
 		if flag.NArg() != 0 {
-			fmt.Fprintln(os.Stderr, "usage: analyze -simulate [-seed N] [-scale F] [-days D] [-nodes N] [-simworkers W]")
+			fmt.Fprintln(os.Stderr, "usage: analyze -simulate [-seed N] [-scale F] [-days D] [-nodes N] [-simworkers W] [-stream]")
 			os.Exit(2)
 		}
 		cfg := capture.DefaultConfig(*seed, *scale)
@@ -101,7 +144,22 @@ func main() {
 			Fleet:   capture.FleetConfig{Node: cfg, Nodes: *nodes},
 			Workers: *simWorkers,
 		})
-		tr = eng.Run()
+		if *streamMode {
+			// Streaming mode: bounded producer + per-node emission + online
+			// k-way merge, with the sketch layer riding the merge sink. The
+			// drained trace is byte-identical to eng.Run()'s; the phase's
+			// peak RSS is what the -stream flag exists to cut.
+			online := stream.NewOnline(stream.OnlineConfig{})
+			tr = eng.RunStream(online)
+			snap := online.Snapshot(10)
+			if err := snap.WriteText(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "rendering online snapshot: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stdout)
+		} else {
+			tr = eng.Run()
+		}
 		st = eng.Stats()
 		for _, ns := range st.PerNode {
 			if ns.PeakConns > maxPeak {
@@ -113,6 +171,9 @@ func main() {
 		// that phase's own peak; the end-of-process value is the overall
 		// peak, which at full volume the characterize phase sets.
 		simulatePeakRSS = peakRSSBytes()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		simulateHeapLive = int64(ms.HeapAlloc)
 	case flag.NArg() == 1:
 		var err error
 		tr, err = trace.ReadFile(flag.Arg(0))
@@ -123,6 +184,15 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "usage: analyze [-only SECTION] trace-file")
 		os.Exit(2)
+	}
+
+	if *traceHash {
+		h, err := tr.Hash()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace hash: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace sha256 %x\n", h)
 	}
 
 	charStart := time.Now()
@@ -146,12 +216,24 @@ func main() {
 		// -simulate path, never as misleading zeros.
 		simFields := ""
 		if *simulate {
-			simFields = fmt.Sprintf(`"arrivals":%d,"rejected_arrivals":%d,"max_peak_conns":%d,"simulate_s":%.2f,"simulate_peak_rss_bytes":%d,"simworkers":%d,`,
-				st.Arrivals, st.Rejected, maxPeak, simulated.Seconds(), simulatePeakRSS, *simWorkers)
+			// Streaming mode ignores the worker pool (every node runs its
+			// own goroutine, throttled by the producer window), so the
+			// accounting reports 0 there rather than an echoed flag that
+			// had no effect.
+			perfWorkers := *simWorkers
+			if *streamMode {
+				perfWorkers = 0
+			}
+			simFields = fmt.Sprintf(`"arrivals":%d,"rejected_arrivals":%d,"max_peak_conns":%d,"simulate_s":%.2f,"simulate_peak_rss_bytes":%d,"simulate_heap_live_bytes":%d,"simworkers":%d,"stream":%v,`,
+				st.Arrivals, st.Rejected, maxPeak, simulated.Seconds(), simulatePeakRSS, simulateHeapLive, perfWorkers, *streamMode)
+		}
+		labelField := ""
+		if *perfLabel != "" {
+			labelField = fmt.Sprintf(`"label":%q,`, *perfLabel)
 		}
 		fmt.Fprintf(os.Stderr,
-			`{"conns":%d,%s"nodes":%d,"hop1_queries":%d,"characterize_s":%.2f,"total_s":%.2f,"peak_rss_bytes":%d,"workers":%d,"scale":%g,"days":%d}`+"\n",
-			len(tr.Conns), simFields, trNodes, len(tr.Queries),
+			`{%s"conns":%d,%s"nodes":%d,"hop1_queries":%d,"characterize_s":%.2f,"total_s":%.2f,"peak_rss_bytes":%d,"workers":%d,"scale":%g,"days":%d}`+"\n",
+			labelField, len(tr.Conns), simFields, trNodes, len(tr.Queries),
 			characterized.Seconds(),
 			time.Since(start).Seconds(), peakRSSBytes(), *workers, tr.Scale, tr.Days)
 	}

@@ -183,3 +183,59 @@ func TestCLIAnalyzeBadUsage(t *testing.T) {
 		}
 	}
 }
+
+// TestCLIAnalyzeStreamMatchesBatch drives the streaming engine through
+// the CLI: the online characterization block must print, the perf line
+// must carry the streaming phase fields, and the canonical trace hash
+// must equal the batch path's — the full-scale acceptance check at test
+// scale.
+func TestCLIAnalyzeStreamMatchesBatch(t *testing.T) {
+	bin := buildAnalyze(t)
+	run := func(extra ...string) (stdout, stderr string) {
+		t.Helper()
+		args := append([]string{"-simulate", "-seed", "11", "-scale", "0.004", "-days", "1",
+			"-nodes", "3", "-tracehash", "-only", "summary", "-perf"}, extra...)
+		cmd := exec.Command(bin, args...)
+		var so, se strings.Builder
+		cmd.Stdout = &so
+		cmd.Stderr = &se
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("analyze %v: %v\nstderr: %s", args, err, se.String())
+		}
+		return so.String(), se.String()
+	}
+	batchOut, batchErr := run()
+	streamOut, streamErr := run("-stream")
+
+	for _, want := range []string{"Online characterization", "top keyword sets", "Headline measures"} {
+		if !strings.Contains(streamOut, want) {
+			t.Errorf("-stream output missing %q", want)
+		}
+	}
+	if strings.Contains(batchOut, "Online characterization") {
+		t.Error("batch output unexpectedly contains the online block")
+	}
+	if !strings.Contains(streamErr, `"stream":true`) {
+		t.Errorf("perf line missing stream marker: %s", streamErr)
+	}
+
+	hashOf := func(stderr string) string {
+		t.Helper()
+		for _, line := range strings.Split(stderr, "\n") {
+			if strings.HasPrefix(line, "trace sha256 ") {
+				return strings.TrimPrefix(line, "trace sha256 ")
+			}
+		}
+		t.Fatalf("no trace hash in stderr: %s", stderr)
+		return ""
+	}
+	if hb, hs := hashOf(batchErr), hashOf(streamErr); hb != hs {
+		t.Errorf("trace hashes differ: batch %s stream %s", hb, hs)
+	}
+
+	// The report itself (below the online block) must be byte-identical:
+	// same drained trace, same characterization.
+	if i := strings.Index(streamOut, "Headline measures"); i < 0 || streamOut[i:] != batchOut {
+		t.Error("report section differs between batch and streaming runs")
+	}
+}

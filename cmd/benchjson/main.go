@@ -17,6 +17,13 @@
 // when -benchmem was given — B/op and allocs/op. Unrecognized lines are
 // ignored, so PASS/ok trailers and mixed test output are harmless.
 //
+// Labeled `analyze -perf -perflabel L` accounting lines riding the same
+// stdin are collected as "phases": wall-clock and peak RSS per pipeline
+// phase. -compare gates their peak RSS (end-of-run and simulate-phase)
+// against the baseline's phases with -rss-tolerance/-rss-slack, so a
+// memory regression in the streaming engine fails the build exactly like
+// an ns/op regression does.
+//
 // -compare reads a baseline JSON file and exits 1 when a benchmark
 // regressed: ns/op above old×tolerance+ns-slack, or allocs/op above
 // old×alloc-tolerance+alloc-slack. The baseline may be plain benchjson
@@ -60,12 +67,30 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
+// Phase is one labeled accounting line as `analyze -perf -perflabel L`
+// emits it: wall-clock and peak RSS per pipeline phase. Phases ride the
+// same stdin as benchmark lines (pipe the analyze run's stderr in after
+// the bench sweep) and are gated by -compare like ns/op is — peak RSS
+// regressions fail the build alongside time regressions.
+type Phase struct {
+	Label           string  `json:"label"`
+	Conns           int64   `json:"conns,omitempty"`
+	Arrivals        int64   `json:"arrivals,omitempty"`
+	Stream          bool    `json:"stream,omitempty"`
+	SimulateS       float64 `json:"simulate_s,omitempty"`
+	SimulatePeakRSS int64   `json:"simulate_peak_rss_bytes,omitempty"`
+	CharacterizeS   float64 `json:"characterize_s,omitempty"`
+	TotalS          float64 `json:"total_s,omitempty"`
+	PeakRSS         int64   `json:"peak_rss_bytes,omitempty"`
+}
+
 // Output is the whole report.
 type Output struct {
 	GOOS       string   `json:"goos,omitempty"`
 	GOARCH     string   `json:"goarch,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
+	Phases     []Phase  `json:"phases,omitempty"`
 }
 
 func main() {
@@ -75,6 +100,8 @@ func main() {
 	nsSlack := flag.Float64("ns-slack", 5000, "absolute ns/op allowance on top of the ratio, shielding sub-microsecond benchmarks from timer noise (with -compare)")
 	allocTolerance := flag.Float64("alloc-tolerance", 1.25, "allowed allocs/op ratio over the baseline before failing (with -compare)")
 	allocSlack := flag.Int64("alloc-slack", 64, "absolute allocs/op allowance on top of the ratio (with -compare)")
+	rssTolerance := flag.Float64("rss-tolerance", 1.6, "allowed peak-RSS ratio over the baseline phase before failing (with -compare)")
+	rssSlack := flag.Int64("rss-slack", 64<<20, "absolute peak-RSS allowance in bytes on top of the ratio, shielding small runs from runtime noise (with -compare)")
 	var speedups speedupSpecs
 	flag.Var(&speedups, "speedup", "SLOW:FAST:MIN — require ns/op(SLOW) ≥ MIN × ns/op(FAST) in this run (repeatable)")
 	flag.Parse()
@@ -98,6 +125,13 @@ func main() {
 			if r, ok := parseBench(line); ok {
 				r.Pkg = pkg
 				out.Benchmarks = append(out.Benchmarks, r)
+			}
+		case strings.HasPrefix(line, "{"):
+			// A labeled analyze -perf accounting line riding the same
+			// stream; unlabeled perf lines and other JSON are ignored.
+			var ph Phase
+			if err := json.Unmarshal([]byte(line), &ph); err == nil && ph.Label != "" && ph.PeakRSS > 0 {
+				out.Phases = append(out.Phases, ph)
 			}
 		}
 	}
@@ -123,16 +157,29 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare: no benchmark results on stdin — did the bench run fail?")
 			os.Exit(2)
 		}
-		baseline, err := loadBaseline(*compare)
+		baseline, basePhases, err := loadBaseline(*compare)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+			os.Exit(2)
+		}
+		// Same backstop as the empty-benchmarks check above: a baseline
+		// with phases but a run producing none means the phase-accounting
+		// commands themselves broke (the pipeline discards their exit
+		// codes) — the RSS gate must not pass vacuously with every phase
+		// RETIRED.
+		if len(basePhases) > 0 && len(out.Phases) == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare: baseline has phases but this run produced none — did the analyze -perf runs fail?")
 			os.Exit(2)
 		}
 		gate := gateConfig{
 			tolerance: *tolerance, nsSlack: *nsSlack,
 			allocTolerance: *allocTolerance, allocSlack: *allocSlack,
+			rssTolerance: *rssTolerance, rssSlack: *rssSlack,
 		}
 		if !compareResults(os.Stderr, out.Benchmarks, baseline, gate) {
+			failed = true
+		}
+		if !comparePhases(os.Stderr, out.Phases, basePhases, gate) {
 			failed = true
 		}
 	}
@@ -169,6 +216,8 @@ type gateConfig struct {
 	nsSlack        float64
 	allocTolerance float64
 	allocSlack     int64
+	rssTolerance   float64
+	rssSlack       int64
 }
 
 // compareResults reports every benchmark's delta against the baseline to
@@ -224,6 +273,56 @@ func compareResults(w io.Writer, cur []Result, baseline map[string]Result, gate 
 	return ok
 }
 
+// comparePhases gates the labeled phase accountings' peak RSS figures —
+// the end-of-run process peak and, when the phase recorded one, the
+// simulate phase's own peak (the number the streaming engine exists to
+// cut). Phases present on only one side are reported but never fail.
+func comparePhases(w io.Writer, cur []Phase, baseline map[string]Phase, gate gateConfig) bool {
+	ok := true
+	seen := map[string]bool{}
+	exceeds := func(now, old int64) bool {
+		return old > 0 && now > int64(float64(old)*gate.rssTolerance)+gate.rssSlack
+	}
+	for _, p := range cur {
+		old, found := baseline[p.Label]
+		seen[p.Label] = true
+		if !found {
+			fmt.Fprintf(w, "benchjson: NEW      phase %-42s %12d peak RSS bytes (no baseline)\n", p.Label, p.PeakRSS)
+			continue
+		}
+		status := "ok"
+		if exceeds(p.PeakRSS, old.PeakRSS) {
+			status = "REGRESSED peak RSS"
+			ok = false
+		}
+		if exceeds(p.SimulatePeakRSS, old.SimulatePeakRSS) {
+			if status == "ok" {
+				status = "REGRESSED simulate RSS"
+			} else {
+				status += "+simulate"
+			}
+			ok = false
+		}
+		fmt.Fprintf(w, "benchjson: %-8s phase %-42s rss %12d → %12d  simulate rss %12d → %12d\n",
+			status, p.Label, old.PeakRSS, p.PeakRSS, old.SimulatePeakRSS, p.SimulatePeakRSS)
+	}
+	var missing []string
+	for label := range baseline {
+		if !seen[label] {
+			missing = append(missing, label)
+		}
+	}
+	sort.Strings(missing)
+	for _, label := range missing {
+		fmt.Fprintf(w, "benchjson: RETIRED  phase %s (in baseline, not in this run)\n", label)
+	}
+	if !ok {
+		fmt.Fprintf(w, "benchjson: FAIL — phase peak-RSS regression beyond tolerance (×%.2f+%d bytes)\n",
+			gate.rssTolerance, gate.rssSlack)
+	}
+	return ok
+}
+
 // checkSpeedup parses SLOW:FAST:MIN and verifies the ratio on the
 // current run's results.
 func checkSpeedup(w io.Writer, cur []Result, spec string) (bool, error) {
@@ -271,14 +370,14 @@ func checkSpeedup(w io.Writer, cur []Result, spec string) (bool, error) {
 // precedence over map-keyed entries ("BenchmarkFoo": {"ns_per_op": ...});
 // among entries of equal precedence the smallest ns/op wins, so the
 // result is deterministic whatever the walk order.
-func loadBaseline(path string) (map[string]Result, error) {
+func loadBaseline(path string) (map[string]Result, map[string]Phase, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var v any
 	if err := json.Unmarshal(raw, &v); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	type entry struct {
 		r         Result
@@ -297,10 +396,31 @@ func loadBaseline(path string) (map[string]Result, error) {
 			found[r.Name] = entry{r, fromArray}
 		}
 	}
+	phases := map[string]Phase{}
+	addPhase := func(m map[string]any) {
+		label, _ := m["label"].(string)
+		rss, _ := m["peak_rss_bytes"].(float64)
+		if label == "" || rss <= 0 {
+			return
+		}
+		num := func(key string) float64 {
+			f, _ := m[key].(float64)
+			return f
+		}
+		phases[label] = Phase{
+			Label:           label,
+			PeakRSS:         int64(rss),
+			SimulatePeakRSS: int64(num("simulate_peak_rss_bytes")),
+			SimulateS:       num("simulate_s"),
+			CharacterizeS:   num("characterize_s"),
+			TotalS:          num("total_s"),
+		}
+	}
 	var walk func(v any)
 	walk = func(v any) {
 		switch t := v.(type) {
 		case map[string]any:
+			addPhase(t)
 			for k, sub := range t {
 				if strings.HasPrefix(k, "Benchmark") {
 					if m, ok := sub.(map[string]any); ok {
@@ -323,13 +443,13 @@ func loadBaseline(path string) (map[string]Result, error) {
 	}
 	walk(v)
 	if len(found) == 0 {
-		return nil, fmt.Errorf("%s: no benchmark entries found", path)
+		return nil, nil, fmt.Errorf("%s: no benchmark entries found", path)
 	}
 	out := make(map[string]Result, len(found))
 	for name, e := range found {
 		out[name] = e.r
 	}
-	return out, nil
+	return out, phases, nil
 }
 
 func resultFromMap(name string, m map[string]any) Result {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -66,7 +67,7 @@ func TestLoadBaselinePlainOutput(t *testing.T) {
 		{"name":"BenchmarkFoo","ns_per_op":1000,"allocs_per_op":10},
 		{"name":"BenchmarkBar","ns_per_op":250.5}
 	]}`)
-	base, err := loadBaseline(path)
+	base, _, err := loadBaseline(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestLoadBaselineCuratedSnapshot(t *testing.T) {
 			{"name": "BenchmarkFoo", "ns_per_op": 1200, "allocs_per_op": 30}
 		]}
 	}`)
-	base, err := loadBaseline(path)
+	base, _, err := loadBaseline(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestLoadBaselineCuratedSnapshot(t *testing.T) {
 func TestLoadBaselineAgainstCommittedSnapshot(t *testing.T) {
 	// The real committed baseline must parse and contain the headline
 	// pipeline benchmark.
-	base, err := loadBaseline("../../BENCH_pr2.json")
+	base, _, err := loadBaseline("../../BENCH_pr2.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,5 +196,83 @@ func TestSpeedupSpecsAccumulate(t *testing.T) {
 	}
 	if err := s.Set("  "); err == nil {
 		t.Error("blank spec accepted")
+	}
+}
+
+func TestLoadBaselinePhases(t *testing.T) {
+	path := writeBaseline(t, `{
+		"benchmarks": [{"name": "BenchmarkFoo", "ns_per_op": 10}],
+		"phases": [
+			{"label":"stream-ci","peak_rss_bytes":100000000,"simulate_peak_rss_bytes":60000000,"simulate_s":1.5}
+		]
+	}`)
+	_, phases, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := phases["stream-ci"]
+	if !ok {
+		t.Fatalf("phase not found: %+v", phases)
+	}
+	if p.PeakRSS != 100000000 || p.SimulatePeakRSS != 60000000 {
+		t.Errorf("phase fields: %+v", p)
+	}
+}
+
+func TestComparePhasesGates(t *testing.T) {
+	baseline := map[string]Phase{
+		"stable":  {Label: "stable", PeakRSS: 1 << 30, SimulatePeakRSS: 1 << 29},
+		"retired": {Label: "retired", PeakRSS: 1},
+	}
+	gate := gateConfig{rssTolerance: 1.5, rssSlack: 1 << 20}
+
+	var sb strings.Builder
+	ok := comparePhases(&sb, []Phase{
+		{Label: "stable", PeakRSS: 1 << 30, SimulatePeakRSS: 1 << 29},
+		{Label: "new", PeakRSS: 42},
+	}, baseline, gate)
+	if !ok {
+		t.Fatalf("within-tolerance phases failed:\n%s", sb.String())
+	}
+	for _, want := range []string{"NEW", "RETIRED"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	sb.Reset()
+	if comparePhases(&sb, []Phase{
+		{Label: "stable", PeakRSS: 2 << 30, SimulatePeakRSS: 1 << 29},
+	}, baseline, gate) {
+		t.Fatalf("peak-RSS regression passed:\n%s", sb.String())
+	}
+
+	// A simulate-phase-only regression must fail too: the streaming
+	// engine's whole point is that phase's bound.
+	sb.Reset()
+	if comparePhases(&sb, []Phase{
+		{Label: "stable", PeakRSS: 1 << 30, SimulatePeakRSS: 3 << 29},
+	}, baseline, gate) {
+		t.Fatalf("simulate-RSS regression passed:\n%s", sb.String())
+	}
+}
+
+func TestStdinPhaseLineParsed(t *testing.T) {
+	// The main loop recognizes labeled perf lines on stdin; this pins the
+	// filter logic (label and peak_rss_bytes required).
+	lines := []string{
+		`{"label":"stream-ci","conns":5,"peak_rss_bytes":12345,"stream":true}`,
+		`{"conns":5,"peak_rss_bytes":99}`, // unlabeled: ignored
+		`{"label":"x"}`,                   // no RSS: ignored
+	}
+	var phases []Phase
+	for _, line := range lines {
+		var ph Phase
+		if err := json.Unmarshal([]byte(line), &ph); err == nil && ph.Label != "" && ph.PeakRSS > 0 {
+			phases = append(phases, ph)
+		}
+	}
+	if len(phases) != 1 || phases[0].Label != "stream-ci" || !phases[0].Stream {
+		t.Errorf("phase filtering wrong: %+v", phases)
 	}
 }

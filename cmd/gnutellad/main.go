@@ -4,14 +4,24 @@
 // handshake metadata and hop-1 queries to stderr, and serves query hits
 // from an optional shared-file list.
 //
+// With -metrics ADDR it also serves the live online characterization of
+// everything it has ingested — Space-Saving top-K keyword ranking,
+// streaming duration/interarrival quantiles, sliding-window arrival and
+// query rates (internal/stream) — as JSON at http://ADDR/metrics: the
+// daemon-side half of the streaming pipeline, characterizing wire traffic
+// as it arrives with bounded state.
+//
 // It pairs with examples/livecapture, which connects synthetic clients
 // and runs the filter pipeline on what the daemon observed.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"log"
+	"net"
+	"net/http"
 	"net/netip"
 	"os"
 	"strings"
@@ -20,6 +30,8 @@ import (
 
 	"repro/internal/guid"
 	"repro/internal/overlay"
+	"repro/internal/stream"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -27,6 +39,7 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:6346", "listen address")
 	library := flag.String("library", "", "optional file with one shared file name per line")
+	metrics := flag.String("metrics", "", "optional HTTP address serving the live online characterization at /metrics")
 	flag.Parse()
 
 	var files []overlay.SharedFile
@@ -54,6 +67,18 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	log.Printf("gnutellad listening on %s (%d shared files)", l.Addr(), len(files))
+	if *metrics != "" {
+		ml, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatalf("metrics listen: %v", err)
+		}
+		log.Printf("metrics on http://%s/metrics", ml.Addr())
+		go func() {
+			if err := http.Serve(ml, d.metricsHandler()); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
 	for {
 		peer, err := l.Accept()
 		if err != nil {
@@ -69,12 +94,19 @@ type daemon struct {
 	mu     sync.Mutex
 	node   *overlay.Node
 	peers  map[int]*transport.Peer
+	opened map[int]time.Duration // conn id → start (trace time)
 	nextID int
 	start  time.Time
+	online *stream.Online
 }
 
 func newDaemon(files []overlay.SharedFile) *daemon {
-	d := &daemon{peers: make(map[int]*transport.Peer), start: time.Now()}
+	d := &daemon{
+		peers:  make(map[int]*transport.Peer),
+		opened: make(map[int]time.Duration),
+		start:  time.Now(),
+		online: stream.NewOnline(stream.OnlineConfig{}),
+	}
 	d.node = overlay.New(overlay.Config{
 		Self:      guid.NewSource(uint64(time.Now().UnixNano()), 1).Next(),
 		Ultrapeer: true,
@@ -92,6 +124,7 @@ func newDaemon(files []overlay.SharedFile) *daemon {
 		OnMessage: func(conn int, env wire.Envelope) {
 			if q, ok := env.Payload.(*wire.Query); ok && env.Header.Hops == 1 {
 				log.Printf("conn %d query %q (sha1=%v)", conn, q.SearchText, q.HasSHA1())
+				d.online.ObserveQuery(time.Since(d.start), q.SearchText, q.HasSHA1())
 			}
 		},
 		GUIDs: guid.NewSource(uint64(time.Now().UnixNano()), 2),
@@ -99,11 +132,26 @@ func newDaemon(files []overlay.SharedFile) *daemon {
 	return d
 }
 
+// metricsHandler serves the online characterization snapshot as JSON.
+func (d *daemon) metricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d.online.Snapshot(20)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
 func (d *daemon) serve(peer *transport.Peer) {
 	d.mu.Lock()
 	id := d.nextID
 	d.nextID++
 	d.peers[id] = peer
+	d.opened[id] = time.Since(d.start)
 	d.node.AddConn(id, peer.Info().Ultrapeer)
 	d.mu.Unlock()
 	log.Printf("conn %d from %s (%s, ultrapeer=%v)",
@@ -113,8 +161,17 @@ func (d *daemon) serve(peer *transport.Peer) {
 		d.mu.Lock()
 		d.node.RemoveConn(id)
 		delete(d.peers, id)
+		start := d.opened[id]
+		delete(d.opened, id)
 		d.mu.Unlock()
 		peer.Close()
+		// The session record is final at close: feed it to the online
+		// layer (queries were observed individually at receipt).
+		d.online.MergedSession(&trace.Conn{
+			ID:    uint64(id),
+			Start: start,
+			End:   time.Since(d.start),
+		}, nil)
 		log.Printf("conn %d closed", id)
 	}()
 

@@ -70,6 +70,50 @@
 // enqueue/dequeue where the heap pays O(log n) on the full-volume run's
 // event counts.
 //
+// # Streaming pipeline
+//
+// internal/stream turns the batch reproducer into a system that can
+// characterize traffic as it arrives, with bounded state — the mode a
+// production deployment serving a live overlay needs, and the mode the
+// paper's own 40-day capture actually ran in. Three layers compose:
+//
+//   - A typed, backpressured event stream: vantage nodes built in
+//     streaming-sink mode (capture.NewNodeStream) emit session open /
+//     close, query, pong and hit records into bounded channels the moment
+//     each record is final, instead of retaining a per-node trace. The
+//     engine's bounded-lookahead producer (engine.Config.Lookahead)
+//     replaces the eager pre-partition: the arrival chain is published
+//     incrementally through a conservative time-window synchronizer and
+//     each node's undelivered sessions are capped, so the in-flight
+//     session set is nodes × Lookahead instead of the whole measurement
+//     period.
+//   - A streaming k-way merge (stream.Merger): per-node streams are
+//     unioned into the global deduplicated, time-ordered, densely
+//     re-identified order incrementally — a completed session retires the
+//     moment no still-open or future session can precede it (the emission
+//     barrier) — and draining to completion yields a trace byte-identical
+//     to batch trace.Merge (pinned by test; stream.MergeTraces is the
+//     engine's production merge path, with trace.Merge kept as the
+//     reference oracle).
+//   - An online characterization layer (stream.Online): Space-Saving
+//     top-K keyword ranking (exact while distinct keys fit capacity,
+//     ≤ N/m overestimation beyond), Greenwald–Khanna quantile summaries
+//     for session duration and query interarrival (rank error ≤ ε·n,
+//     default ε = 0.001), sliding-window arrival/query rates, and exact
+//     streaming counters (the under-64 s share among them). Because it
+//     rides the merge sink, its snapshots are deterministic — a pure
+//     function of the merged stream, independent of goroutine
+//     interleaving — and pinned against batch-exact oracles by test.
+//
+// Entry points: engine.RunStream / p2pquery.SimulateFleetStream run the
+// whole pipeline (merged trace byte-identical to the batch engine at a
+// fraction of the simulate-phase peak RSS); `analyze -simulate -stream`
+// prints the online characterization above the standard report and
+// `-tracehash` the canonical SHA-256 that proves the two paths equal;
+// cmd/gnutellad -metrics serves the live snapshot of wire-ingested
+// traffic as JSON; examples/livecapture feeds the same layer from
+// loopback TCP.
+//
 // # Concurrency model
 //
 // The characterization pipeline is parallel by default, end to end. The

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"net/netip"
+	"os"
 	"sync"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/guid"
 	"repro/internal/overlay"
+	"repro/internal/stream"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -39,10 +41,18 @@ type node struct {
 	conns   []trace.Conn
 	queries []trace.Query
 	counts  trace.MessageCounts
+
+	// online characterizes the stream live as it arrives off the sockets
+	// — the same sketch layer cmd/gnutellad serves over HTTP.
+	online *stream.Online
 }
 
 func newNode() *node {
-	n := &node{peers: make(map[int]*transport.Peer), start: time.Now()}
+	n := &node{
+		peers:  make(map[int]*transport.Peer),
+		start:  time.Now(),
+		online: stream.NewOnline(stream.OnlineConfig{}),
+	}
 	n.overlay = overlay.New(overlay.Config{
 		Self:      guid.NewSource(42, 1).Next(),
 		Ultrapeer: true,
@@ -76,6 +86,7 @@ func (n *node) record(conn int, env wire.Envelope) {
 				Text: m.SearchText, SHA1: m.HasSHA1(),
 				TTL: env.Header.TTL, Hops: env.Header.Hops,
 			})
+			n.online.ObserveQuery(now, m.SearchText, m.HasSHA1())
 		}
 	case *wire.QueryHit:
 		n.counts.QueryHit++
@@ -114,7 +125,10 @@ func (n *node) serve(peer *transport.Peer) {
 	n.overlay.RemoveConn(id)
 	delete(n.peers, id)
 	n.conns[id].End = time.Since(n.start)
+	rec := n.conns[id]
 	n.mu.Unlock()
+	// The session record is final at close; queries were observed live.
+	n.online.MergedSession(&rec, nil)
 }
 
 // playClient connects one synthetic client and replays its session script
@@ -221,6 +235,10 @@ func main() {
 
 	fmt.Printf("\nnode observed: %d connections, %d hop-1 queries (%d QUERY, %d BYE)\n",
 		len(tr.Conns), len(tr.Queries), tr.Counts.Query, tr.Counts.Bye)
+	snap := n.online.Snapshot(5)
+	if err := snap.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 	res := filter.Apply(tr)
 	fmt.Printf("filter pipeline: rule1=%d rule2=%d rule3(sessions)=%d final=%d queries / %d sessions\n",
 		res.Rule1SHA1, res.Rule2Duplicates, res.Rule3Sessions, res.FinalQueries, res.FinalSessions)

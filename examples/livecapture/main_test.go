@@ -18,7 +18,7 @@ func TestLivecaptureRuns(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run: %v\n%s", err, out)
 	}
-	for _, want := range []string{"node observed", "hop-1 queries"} {
+	for _, want := range []string{"node observed", "hop-1 queries", "Online characterization"} {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/overlay"
 	"repro/internal/simtime"
+	"repro/internal/stream"
 	"repro/internal/trace"
 	"repro/internal/vocab"
 	"repro/internal/wire"
@@ -137,6 +138,11 @@ type simConn struct {
 	probeH   simtime.Handle
 	probed   bool
 	closed   bool
+	// rec and queries accumulate the connection's record in streaming-sink
+	// mode, where completed sessions are emitted and released instead of
+	// retained in the vantage's trace (see vantage.sink).
+	rec     trace.Conn
+	queries []trace.Query
 }
 
 // Sim is one single-vantage measurement run — the paper's literal
@@ -198,6 +204,15 @@ type vantage struct {
 	droppedQueryEvents uint64
 	// pongSeen marks connections whose hop-1 self-pong was recorded.
 	pongSeen map[int]bool
+	// sink, when non-nil, switches the vantage into streaming mode: every
+	// record is emitted into the event stream the moment it is final —
+	// session records at close, pong/hit records at receipt — and nothing
+	// accumulates in out except the aggregate counters (shipped in the
+	// stream trailer). The simulation itself is identical bit for bit:
+	// sink mode changes where records go, never what the vantage does, so
+	// the drained merged stream equals the batch merged trace (pinned by
+	// internal/engine's equivalence tests).
+	sink *stream.Producer
 	// dayKeyCount tracks how often each keyword set was queried today at
 	// this vantage, the popularity proxy of the hit-response model (each
 	// monitor estimates popularity from its own shard, as a real
@@ -273,13 +288,19 @@ func (s *vantage) arrive(now simtime.Time, sess *behavior.Session) {
 		c.silent = s.rng.Float64() < s.cfg.SilentCloseFraction
 	}
 	s.conns[id] = c
-	s.out.Conns = append(s.out.Conns, trace.Conn{
+	rec := trace.Conn{
 		ID:        uint64(id),
 		Start:     now,
 		Addr:      sess.Addr(),
 		Ultrapeer: sess.Ultrapeer,
 		UserAgent: sess.UserAgent,
-	})
+	}
+	if s.sink != nil {
+		c.rec = rec
+		s.sink.Open(uint64(id), now)
+	} else {
+		s.out.Conns = append(s.out.Conns, rec)
+	}
 	s.node.AddConn(id, sess.Ultrapeer)
 	if cc := s.node.ConnCount(); cc > s.peak {
 		s.peak = cc
@@ -525,7 +546,14 @@ func (s *vantage) scheduleResponses(conn int, queryIdx int, q *wire.Query, at si
 			}
 			_, a4 := s.remoteRegionAddr(now)
 			hops := s.remoteHops()
-			s.out.Queries[queryIdx].Hits++
+			// The query record is still in flight (its session has not
+			// closed — checked above), so the hit counter can be bumped in
+			// place in either storage mode.
+			if s.sink != nil {
+				cs.queries[queryIdx].Hits++
+			} else {
+				s.out.Queries[queryIdx].Hits++
+			}
 			s.deliver(cs, now, wire.Envelope{
 				Header: wire.Header{GUID: s.guids.Next(), Type: wire.TypeQueryHit, TTL: 7 - hops, Hops: hops},
 				Payload: &wire.QueryHit{
@@ -593,6 +621,15 @@ func (s *vantage) finalize(c *simConn, end simtime.Time, silent bool) {
 	s.sched.Cancel(c.probeH)
 	s.node.RemoveConn(c.id)
 	delete(s.conns, c.id)
+	if s.sink != nil {
+		// The record is final: no response event bumps a hit counter after
+		// close (they check closed first). Emit and release.
+		c.rec.End = end
+		c.rec.SilentClose = silent
+		s.sink.Close(uint64(c.id), end, &stream.SessionRecord{Conn: c.rec, Queries: c.queries})
+		c.queries = nil
+		return
+	}
 	rec := &s.out.Conns[c.id]
 	rec.End = end
 	rec.SilentClose = silent
@@ -613,15 +650,22 @@ func (s *vantage) record(conn int, env wire.Envelope) {
 		s.out.Counts.Query++
 		if env.Header.Hops == 1 {
 			s.out.Counts.QueryHop1++
-			s.out.Queries = append(s.out.Queries, trace.Query{
+			q := trace.Query{
 				ConnID: uint64(conn),
 				At:     at,
 				Text:   m.SearchText,
 				SHA1:   m.HasSHA1(),
 				TTL:    env.Header.TTL,
 				Hops:   env.Header.Hops,
-			})
-			s.scheduleResponses(conn, len(s.out.Queries)-1, m, at)
+			}
+			if s.sink != nil {
+				cs := s.conns[conn]
+				cs.queries = append(cs.queries, q)
+				s.scheduleResponses(conn, len(cs.queries)-1, m, at)
+			} else {
+				s.out.Queries = append(s.out.Queries, q)
+				s.scheduleResponses(conn, len(s.out.Queries)-1, m, at)
+			}
 		}
 	case *wire.Pong:
 		s.out.Counts.Pong++
@@ -630,19 +674,30 @@ func (s *vantage) record(conn int, env wire.Envelope) {
 			// no new information (same peer, same library).
 			if !s.pongSeen[conn] {
 				s.pongSeen[conn] = true
-				s.out.Pongs = append(s.out.Pongs, trace.Pong{
-					At: at, Addr: m.Addr, SharedFiles: m.SharedFiles, Hops: 1,
-				})
+				s.recordPong(trace.Pong{At: at, Addr: m.Addr, SharedFiles: m.SharedFiles, Hops: 1})
 			}
 		} else if s.rng.Float64() < s.cfg.PongSampleRate {
-			s.out.Pongs = append(s.out.Pongs, trace.Pong{
-				At: at, Addr: m.Addr, SharedFiles: m.SharedFiles, Hops: env.Header.Hops,
-			})
+			s.recordPong(trace.Pong{At: at, Addr: m.Addr, SharedFiles: m.SharedFiles, Hops: env.Header.Hops})
 		}
 	case *wire.QueryHit:
 		s.out.Counts.QueryHit++
 		if s.rng.Float64() < s.cfg.HitSampleRate {
-			s.out.Hits = append(s.out.Hits, trace.Hit{At: at, Addr: m.Addr, Hops: env.Header.Hops})
+			rec := trace.Hit{At: at, Addr: m.Addr, Hops: env.Header.Hops}
+			if s.sink != nil {
+				s.sink.Hit(rec)
+			} else {
+				s.out.Hits = append(s.out.Hits, rec)
+			}
 		}
 	}
+}
+
+// recordPong stores or emits one pong record depending on the vantage's
+// mode.
+func (s *vantage) recordPong(rec trace.Pong) {
+	if s.sink != nil {
+		s.sink.Pong(rec)
+		return
+	}
+	s.out.Pongs = append(s.out.Pongs, rec)
 }

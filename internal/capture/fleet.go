@@ -176,7 +176,7 @@ func (f *Fleet) Stats() FleetStats {
 	for i, n := range f.nodes {
 		st.PerNode[i] = NodeStats{
 			Node:               i,
-			Conns:              len(n.out.Conns),
+			Conns:              n.nextID,
 			Rejected:           n.rejected,
 			PeakConns:          n.peak,
 			DroppedQueryEvents: n.droppedQueryEvents,

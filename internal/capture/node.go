@@ -5,6 +5,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/model"
 	"repro/internal/simtime"
+	"repro/internal/stream"
 	"repro/internal/trace"
 	"repro/internal/vocab"
 )
@@ -56,6 +57,20 @@ func NewNode(cfg Config, idx int, sched simtime.Scheduler, sh *SharedModel) *Nod
 	return &Node{v: newVantage(cfg, idx, sched, sh)}
 }
 
+// NewNodeStream builds the same vantage in streaming-sink mode: records
+// are emitted into the producer as they finalize — session records at
+// close, pong/hit records at receipt — and released, instead of
+// accumulating in the node's trace. The simulation's event and random
+// streams are bit-identical to the retained mode; only record storage
+// differs, so draining the emitted stream reproduces the batch trace
+// (pinned by internal/engine's streaming equivalence tests). Trace() on a
+// streaming node returns an empty record set (aggregate counters only).
+func NewNodeStream(cfg Config, idx int, sched simtime.Scheduler, sh *SharedModel, sink *stream.Producer) *Node {
+	n := &Node{v: newVantage(cfg, idx, sched, sh)}
+	n.v.sink = sink
+	return n
+}
+
 // Arrive delivers one session arrival assigned to this vantage, exactly as
 // the Fleet's dispatcher does: the node accepts it subject to its MaxConns
 // cap and schedules the session's message events on its scheduler.
@@ -74,15 +89,33 @@ func (n *Node) FinalizeOpen(horizon simtime.Time) {
 	}
 }
 
+// FinishStream emits the streaming trailer — the aggregate message
+// counters plus the trace metadata the merge folds into the merged trace
+// — and flushes the producer. Call it once, after FinalizeOpen, on a node
+// built with NewNodeStream.
+func (n *Node) FinishStream(horizon simtime.Time) {
+	v := n.v
+	v.sink.Done(horizon, &stream.End{
+		Counts:         v.out.Counts,
+		Seed:           v.out.Seed,
+		Scale:          v.out.Scale,
+		Days:           v.out.Days,
+		Nodes:          1,
+		PongSampleRate: v.out.PongSampleRate,
+		HitSampleRate:  v.out.HitSampleRate,
+	})
+}
+
 // Trace returns the node's own recorded trace.
 func (n *Node) Trace() *trace.Trace { return n.v.out }
 
 // Stats returns the node's accounting row, shaped exactly like the
-// Fleet's per-node stats.
+// Fleet's per-node stats. nextID counts accepted arrivals, so the row is
+// identical in retained and streaming modes.
 func (n *Node) Stats() NodeStats {
 	return NodeStats{
 		Node:               n.v.nodeIdx,
-		Conns:              len(n.v.out.Conns),
+		Conns:              n.v.nextID,
 		Rejected:           n.v.rejected,
 		PeakConns:          n.v.peak,
 		DroppedQueryEvents: n.v.droppedQueryEvents,

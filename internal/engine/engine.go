@@ -51,6 +51,7 @@ import (
 	"repro/internal/guid"
 	"repro/internal/par"
 	"repro/internal/simtime"
+	"repro/internal/stream"
 	"repro/internal/trace"
 )
 
@@ -58,10 +59,22 @@ import (
 type Config struct {
 	// Fleet is the deployment exactly as capture.NewFleet takes it.
 	Fleet capture.FleetConfig
-	// Workers bounds the goroutines executing node event loops, following
-	// the shared par.Workers convention: 0 means GOMAXPROCS, values below
-	// 1 mean 1. The trace is byte-identical for every setting.
+	// Workers bounds the goroutines executing node event loops in the
+	// eager mode, following the shared par.Workers convention: 0 means
+	// GOMAXPROCS, values below 1 mean 1. The trace is byte-identical for
+	// every setting. In bounded mode (Lookahead > 0, and always under
+	// RunStream) every node runs its own goroutine and throttling comes
+	// from the producer window instead — a blocked node parks, so the OS
+	// scheduler sizes the effective parallelism.
 	Workers int
+	// Lookahead > 0 replaces the eager pre-partition with the bounded
+	// producer: the arrival chain is published incrementally through a
+	// conservative time-window synchronizer and each node's undelivered
+	// sessions are capped at Lookahead, so the in-flight session set is
+	// nodes × Lookahead instead of the whole measurement period (the few
+	// GB the eager partition holds at paper scale). 0 keeps the eager
+	// path. The trace is byte-identical either way (pinned by test).
+	Lookahead int
 }
 
 // Engine is a parallel sharded fleet simulation. Create with New, execute
@@ -79,6 +92,9 @@ type Engine struct {
 	merged     *trace.Trace
 	stats      capture.FleetStats
 	nodeTraces []*trace.Trace
+	// peakPending is the streaming merge's high-water mark of completed
+	// sessions held behind the emission barrier (RunStream only).
+	peakPending int
 }
 
 // New builds an engine.
@@ -124,6 +140,18 @@ func (e *Engine) run() {
 	}
 	e.ran = true
 
+	if e.cfg.Lookahead > 0 {
+		e.runBounded(nil)
+	} else {
+		e.runEager()
+	}
+	// The production merge is the streaming k-way merge (fed the
+	// materialized per-node traces here); batch trace.Merge remains the
+	// reference oracle the equivalence tests compare against.
+	e.merged = stream.MergeTraces(e.nodeTraces...)
+}
+
+func (e *Engine) runEager() {
 	nodeCfg := e.cfg.Fleet.Node
 	part, shared := partitionArrivals(e.cfg.Fleet)
 	horizon := simtime.Time(nodeCfg.Workload.Days) * simtime.Day
@@ -140,7 +168,6 @@ func (e *Engine) run() {
 	}
 	par.Run(par.Workers(e.Workers()), tasks)
 
-	e.merged = trace.Merge(e.nodeTraces...)
 	e.stats = capture.FleetStats{
 		Arrivals: uint64(len(part.starts)),
 		PerNode:  perNode,
@@ -150,6 +177,10 @@ func (e *Engine) run() {
 		e.stats.DroppedQueryEvents += perNode[i].DroppedQueryEvents
 	}
 }
+
+// PeakPending reports the streaming merge's high-water mark of completed
+// sessions held behind the emission barrier; 0 unless RunStream ran.
+func (e *Engine) PeakPending() int { return e.peakPending }
 
 // Workers returns the configured worker bound (unresolved; 0 means
 // machine-sized).

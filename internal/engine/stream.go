@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/behavior"
+	"repro/internal/capture"
+	"repro/internal/guid"
+	"repro/internal/simtime"
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+// DefaultLookahead is the bounded producer's per-node session window: how
+// many undelivered sessions one vantage's queue may hold before the
+// producer blocks. 48 nodes × 1024 sessions bounds the in-flight session
+// set to ≈50 k objects at any instant — versus the 4.36 M the eager
+// pre-partition holds at paper scale.
+const DefaultLookahead = 1024
+
+// chainChunk is one slab of the published arrival chain. Chunked storage
+// lets readers index concurrently while the producer appends: a slab is
+// never reallocated, and the chunk directory is replaced copy-on-write.
+const chainChunkSize = 8192
+
+type chainChunk struct {
+	start [chainChunkSize]simtime.Time
+	owner [chainChunkSize]uint32
+}
+
+// chain is the incrementally published arrival chain — the conservative
+// synchronizer of the bounded producer. The producer appends (start,
+// owner) pairs and advances the published length; node event loops read
+// entry k+1 before firing chain position k, blocking (conservatively,
+// in the Chandy–Misra sense: a node's clock never advances past the last
+// published arrival instant) until the producer has published it or
+// declared the chain complete. The fast path is two atomic loads; the
+// mutex is only taken to sleep and to publish.
+type chain struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	dir    atomic.Pointer[[]*chainChunk]
+	n      atomic.Int64
+	closed atomic.Bool
+}
+
+func newChain() *chain {
+	c := &chain{}
+	c.cond = sync.NewCond(&c.mu)
+	empty := []*chainChunk{}
+	c.dir.Store(&empty)
+	return c
+}
+
+// at reads a published entry. The caller must know k < published length.
+func (c *chain) at(k int64) (simtime.Time, uint32) {
+	ch := (*c.dir.Load())[k/chainChunkSize]
+	i := k % chainChunkSize
+	return ch.start[i], ch.owner[i]
+}
+
+// get blocks until entry k is published or the chain ends before it; ok
+// reports whether the entry exists.
+func (c *chain) get(k int64) (simtime.Time, uint32, bool) {
+	if k < c.n.Load() {
+		st, ow := c.at(k)
+		return st, ow, true
+	}
+	c.mu.Lock()
+	for k >= c.n.Load() && !c.closed.Load() {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+	if k >= c.n.Load() {
+		return 0, 0, false
+	}
+	st, ow := c.at(k)
+	return st, ow, true
+}
+
+// publish appends a batch of entries and wakes waiting readers. Only the
+// producer goroutine calls it.
+func (c *chain) publish(starts []simtime.Time, owners []uint32) {
+	n := c.n.Load()
+	dir := *c.dir.Load()
+	for i := range starts {
+		k := n + int64(i)
+		if int(k/chainChunkSize) == len(dir) {
+			grown := make([]*chainChunk, len(dir), len(dir)+1)
+			copy(grown, dir)
+			grown = append(grown, &chainChunk{})
+			dir = grown
+			c.dir.Store(&dir)
+		}
+		ch := dir[k/chainChunkSize]
+		ch.start[k%chainChunkSize] = starts[i]
+		ch.owner[k%chainChunkSize] = owners[i]
+	}
+	c.mu.Lock()
+	c.n.Store(n + int64(len(starts)))
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// finish marks the chain complete and wakes all readers.
+func (c *chain) finish() {
+	c.mu.Lock()
+	c.closed.Store(true)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// produceArrivals is the bounded producer: it replays the arrival process
+// in the exact order the sequential fleet draws it — generator and
+// session-GUID streams consumed identically, so the sharding is bit-equal
+// to the eager partition — but publishes the chain incrementally and
+// hands each session to its owner's bounded queue, blocking when that
+// queue is full. Publication order is chain-before-session: by the time a
+// node can fire chain position k, session k is already in (or on its way
+// into) its owner's queue, and sessions arrive on each queue in exactly
+// the order the node consumes them.
+//
+// Deadlock freedom: the producer blocks only on the slowest node's full
+// queue; that node always has a queue's worth of sessions whose chain
+// prefix is fully published, so it drains; every other node either
+// progresses on published entries or sleeps in chain.get, holding no
+// resource the producer needs.
+func produceArrivals(cfg capture.FleetConfig, gen *behavior.Generator, ch *chain, queues []chan *behavior.Session) uint64 {
+	guids := guid.NewSource(cfg.Node.Workload.Seed, capture.SessionGUIDSalt)
+	const batch = 512
+	starts := make([]simtime.Time, 0, batch)
+	owners := make([]uint32, 0, batch)
+	sessions := make([]*behavior.Session, 0, batch)
+	var total uint64
+	flush := func() {
+		if len(starts) == 0 {
+			return
+		}
+		ch.publish(starts, owners)
+		for i, s := range sessions {
+			queues[owners[i]] <- s
+		}
+		starts, owners, sessions = starts[:0], owners[:0], sessions[:0]
+	}
+	for sess := gen.Next(); sess != nil; sess = gen.Next() {
+		g := guids.Next()
+		n := g.Shard(cfg.Nodes)
+		starts = append(starts, sess.Start)
+		owners = append(owners, uint32(n))
+		sessions = append(sessions, sess)
+		total++
+		if len(starts) == batch {
+			flush()
+		}
+	}
+	flush()
+	ch.finish()
+	for _, q := range queues {
+		close(q)
+	}
+	return total
+}
+
+// boundedRun is one vantage's event loop against the incrementally
+// published chain: the bounded-mode counterpart of nodeRun, firing the
+// identical event sequence (schedule-next-then-dispatch, same FIFO
+// tie-break) with the full session set replaced by a Lookahead-deep
+// queue.
+type boundedRun struct {
+	sched simtime.Scheduler
+	node  *capture.Node
+	ch    *chain
+	queue <-chan *behavior.Session
+	idx   uint32
+	k     int64
+}
+
+// Fire advances the arrival chain exactly as nodeRun.Fire does; the only
+// difference is where the next instant and the owned session come from
+// (the published chain and the bounded queue, both of which may block
+// this node's goroutine until the producer catches up).
+func (r *boundedRun) Fire(now simtime.Time) {
+	k := r.k
+	r.k++
+	if next, _, ok := r.ch.get(r.k); ok {
+		r.sched.Schedule(next, r)
+	}
+	if _, owner := r.ch.at(k); owner == r.idx {
+		r.node.Arrive(now, <-r.queue)
+	}
+}
+
+// runNodeBounded simulates one vantage to the horizon against the
+// bounded producer, in retained mode (tr non-nil) or streaming-sink mode.
+func runNodeBounded(cfg capture.Config, idx int, sched simtime.Scheduler, shared *capture.SharedModel,
+	ch *chain, queue <-chan *behavior.Session, horizon simtime.Time, sink *stream.Producer) *capture.Node {
+	var node *capture.Node
+	if sink != nil {
+		node = capture.NewNodeStream(cfg, idx, sched, shared, sink)
+	} else {
+		node = capture.NewNode(cfg, idx, sched, shared)
+	}
+	r := &boundedRun{sched: sched, node: node, ch: ch, queue: queue, idx: uint32(idx)}
+	if first, _, ok := ch.get(0); ok {
+		sched.Schedule(first, r)
+	}
+	sched.RunUntil(horizon)
+	node.FinalizeOpen(horizon)
+	if sink != nil {
+		node.FinishStream(horizon)
+	}
+	return node
+}
+
+// runBounded executes the whole fleet against the bounded producer. Every
+// node runs on its own goroutine regardless of Workers — a blocked node
+// parks its goroutine, so concurrency is throttled by the window, not by
+// a task pool — and the producer runs on one more. In streaming mode
+// (sink != nil) each node emits into its own stream.Producer over the
+// merger's intake and per-node traces are never materialized.
+func (e *Engine) runBounded(intake chan<- stream.Batch) {
+	nodeCfg := e.cfg.Fleet.Node
+	gen := behavior.NewGenerator(nodeCfg.Workload)
+	shared := capture.NewSharedModel(gen)
+	horizon := simtime.Time(nodeCfg.Workload.Days) * simtime.Day
+
+	nodes := e.cfg.Fleet.Nodes
+	la := e.cfg.Lookahead
+	if la <= 0 {
+		la = DefaultLookahead
+	}
+	ch := newChain()
+	queues := make([]chan *behavior.Session, nodes)
+	for i := range queues {
+		queues[i] = make(chan *behavior.Session, la)
+	}
+
+	var arrivals uint64
+	var prodWG sync.WaitGroup
+	prodWG.Add(1)
+	go func() {
+		defer prodWG.Done()
+		arrivals = produceArrivals(e.cfg.Fleet, gen, ch, queues)
+	}()
+
+	e.nodeTraces = make([]*trace.Trace, nodes)
+	perNode := make([]capture.NodeStats, nodes)
+	var wg sync.WaitGroup
+	for i := 0; i < nodes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var sink *stream.Producer
+			if intake != nil {
+				sink = stream.NewProducer(i, intake)
+			}
+			node := runNodeBounded(nodeCfg, i, e.newSched(), shared, ch, queues[i], horizon, sink)
+			e.nodeTraces[i] = node.Trace()
+			perNode[i] = node.Stats()
+		}(i)
+	}
+	wg.Wait()
+	prodWG.Wait()
+
+	e.stats = capture.FleetStats{Arrivals: arrivals, PerNode: perNode}
+	for i := range perNode {
+		e.stats.Rejected += perNode[i].Rejected
+		e.stats.DroppedQueryEvents += perNode[i].DroppedQueryEvents
+	}
+}
+
+// RunStream executes the simulation in full streaming mode and returns
+// the drained merged trace: the bounded producer feeds per-node event
+// loops, each vantage emits records into the streaming k-way merge as
+// they finalize, and sink (which may be nil) observes every merged
+// session in the global merged order as it retires. Per-node traces and
+// the partitioned session set are never materialized — at paper scale
+// this is what cuts the simulate-phase peak RSS — and the returned trace
+// is byte-identical to Run()'s (pinned by test, verified at full volume
+// by equal trace hashes). Subsequent calls return the memoized trace.
+func (e *Engine) RunStream(sink stream.Sink) *trace.Trace {
+	if e.ran {
+		return e.merged
+	}
+	e.ran = true
+	merger := stream.NewMerger(e.cfg.Fleet.Nodes, sink)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.runBounded(merger.Intake())
+	}()
+	e.merged = merger.Run()
+	wg.Wait()
+	e.nodeTraces = nil // streaming nodes hold no records
+	e.peakPending = merger.PeakPending()
+	return e.merged
+}

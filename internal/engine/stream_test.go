@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+// TestBoundedLookaheadMatchesEager pins satellite byte-identity: the
+// bounded producer (conservative time-window synchronizer, per-node
+// session queues) must reproduce the eager pre-partition's merged trace
+// byte for byte, across node counts and aggressively small windows (a
+// 1-session window maximizes synchronizer round trips).
+func TestBoundedLookaheadMatchesEager(t *testing.T) {
+	for _, nodes := range []int{1, 3, 4} {
+		want := traceBytes(t, New(Config{Fleet: testCfg(2004, 2, nodes), Workers: 4}).Run())
+		for _, la := range []int{1, 7, 1024} {
+			e := New(Config{Fleet: testCfg(2004, 2, nodes), Lookahead: la})
+			got := traceBytes(t, e.Run())
+			if !bytes.Equal(want, got) {
+				t.Fatalf("nodes=%d lookahead=%d: bounded trace differs from eager", nodes, la)
+			}
+		}
+	}
+}
+
+// TestBoundedMatchesSequentialFleet closes the loop to the original
+// reference: bounded engine vs the sequential capture.Fleet.
+func TestBoundedMatchesSequentialFleet(t *testing.T) {
+	fleet := capture.NewFleet(testCfg(7, 2, 3))
+	want := traceBytes(t, fleet.Run())
+	got := traceBytes(t, New(Config{Fleet: testCfg(7, 2, 3), Lookahead: 64}).Run())
+	if !bytes.Equal(want, got) {
+		t.Fatal("bounded engine differs from sequential fleet")
+	}
+}
+
+// TestBoundedStatsMatchEager: the accounting identity must survive the
+// bounded producer.
+func TestBoundedStatsMatchEager(t *testing.T) {
+	eager := New(Config{Fleet: testCfg(11, 2, 3), Workers: 2})
+	eager.Run()
+	bounded := New(Config{Fleet: testCfg(11, 2, 3), Lookahead: 16})
+	bounded.Run()
+	es, bs := eager.Stats(), bounded.Stats()
+	if es.Arrivals != bs.Arrivals || es.Rejected != bs.Rejected || es.DroppedQueryEvents != bs.DroppedQueryEvents {
+		t.Fatalf("aggregate stats differ: eager %+v bounded %+v", es, bs)
+	}
+	for i := range es.PerNode {
+		if es.PerNode[i] != bs.PerNode[i] {
+			t.Fatalf("node %d stats differ: eager %+v bounded %+v", i, es.PerNode[i], bs.PerNode[i])
+		}
+	}
+}
+
+// TestRunStreamMatchesBatch is the streaming tentpole's acceptance pin:
+// the drained merged trace of a full streaming run — bounded producer,
+// per-node event emission, k-way online merge — must be byte-identical to
+// the batch engine's merged trace, across node counts.
+func TestRunStreamMatchesBatch(t *testing.T) {
+	for _, nodes := range []int{1, 3, 4} {
+		want := traceBytes(t, New(Config{Fleet: testCfg(2004, 2, nodes), Workers: 4}).Run())
+		e := New(Config{Fleet: testCfg(2004, 2, nodes)})
+		got := traceBytes(t, e.RunStream(nil))
+		if !bytes.Equal(want, got) {
+			t.Fatalf("nodes=%d: streaming run differs from batch engine", nodes)
+		}
+		if e.NodeTraces() != nil {
+			t.Fatal("streaming run retained per-node traces")
+		}
+	}
+}
+
+// TestRunStreamHashMatchesBatch: the canonical trace hash — what the
+// full-scale run compares — agrees between the two paths.
+func TestRunStreamHashMatchesBatch(t *testing.T) {
+	batch := New(Config{Fleet: testCfg(3, 1, 3), Workers: 2}).Run()
+	streamed := New(Config{Fleet: testCfg(3, 1, 3)}).RunStream(nil)
+	hb, err := batch.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := streamed.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb != hs {
+		t.Fatalf("trace hashes differ: batch %x stream %x", hb, hs)
+	}
+}
+
+// TestRunStreamStats: streaming accounting equals the batch engine's.
+func TestRunStreamStats(t *testing.T) {
+	batch := New(Config{Fleet: testCfg(5, 1, 3), Workers: 2})
+	batch.Run()
+	str := New(Config{Fleet: testCfg(5, 1, 3)})
+	str.RunStream(nil)
+	bs, ss := batch.Stats(), str.Stats()
+	if bs.Arrivals != ss.Arrivals || bs.Rejected != ss.Rejected {
+		t.Fatalf("stats differ: batch %+v stream %+v", bs, ss)
+	}
+	for i := range bs.PerNode {
+		if bs.PerNode[i] != ss.PerNode[i] {
+			t.Fatalf("node %d stats differ: batch %+v stream %+v", i, bs.PerNode[i], ss.PerNode[i])
+		}
+	}
+	if str.PeakPending() == 0 {
+		t.Fatal("streaming run reported no pending high-water mark")
+	}
+}
+
+// TestRunStreamOnlineDeterministic: the online layer riding the merge
+// sink must produce identical snapshots across runs (the emission order
+// is deterministic regardless of goroutine interleaving), and its exact
+// counters must match the drained trace.
+func TestRunStreamOnlineDeterministic(t *testing.T) {
+	run := func() (stream.Snapshot, *trace.Trace) {
+		online := stream.NewOnline(stream.OnlineConfig{})
+		e := New(Config{Fleet: testCfg(13, 2, 3)})
+		tr := e.RunStream(online)
+		return online.Snapshot(10), tr
+	}
+	a, tr := run()
+	b, _ := run()
+	if a.Sessions != b.Sessions || a.Queries != b.Queries || a.Duration != b.Duration ||
+		a.Interarrival != b.Interarrival || a.ArrivalsPerHour != b.ArrivalsPerHour ||
+		a.QueriesPerHour != b.QueriesPerHour || a.Under64Fraction != b.Under64Fraction {
+		t.Fatalf("online snapshots differ across runs:\n%+v\n%+v", a, b)
+	}
+	if len(a.TopKeywords) != len(b.TopKeywords) {
+		t.Fatal("top-K lengths differ across runs")
+	}
+	for i := range a.TopKeywords {
+		if a.TopKeywords[i] != b.TopKeywords[i] {
+			t.Fatalf("top-K differs at %d: %+v vs %+v", i, a.TopKeywords[i], b.TopKeywords[i])
+		}
+	}
+	if a.Sessions != uint64(len(tr.Conns)) {
+		t.Fatalf("online sessions %d != drained conns %d", a.Sessions, len(tr.Conns))
+	}
+	if a.Queries != uint64(len(tr.Queries)) {
+		t.Fatalf("online queries %d != drained queries %d", a.Queries, len(tr.Queries))
+	}
+	exact := stream.Exact(tr, 10)
+	if a.Under64Fraction != exact.Under64Fraction {
+		t.Fatalf("under-64 share differs from exact: %g vs %g", a.Under64Fraction, exact.Under64Fraction)
+	}
+}

@@ -1,0 +1,373 @@
+package stream
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Sink observes the merged stream as it retires: one call per merged
+// session, in the final merged order, with the final dense connection ID
+// already assigned. The online characterization layer implements Sink; a
+// nil sink is allowed. Calls happen on the merger's goroutine.
+type Sink interface {
+	MergedSession(c *trace.Conn, qs []trace.Query)
+}
+
+// Merger is the streaming k-way merge: it consumes the event streams of k
+// producers and incrementally produces the union in the global
+// deduplicated, time-ordered, densely re-identified order — the same
+// total order batch trace.Merge sorts into, but emitted online. A session
+// retires the moment the emission barrier passes it: no still-open
+// session and no future arrival on any input can precede it in the merged
+// order, because per-input arrivals come in start order (the watermark
+// contract) and open sessions are announced before they complete.
+//
+// Draining a Merger to completion yields a trace byte-identical to
+// trace.Merge over the same per-node traces (pinned by test), and the
+// emission order — hence everything a Sink computes — is deterministic,
+// independent of producer goroutine interleaving: ordering decisions are
+// made by record keys and barriers, never by arrival timing.
+type Merger struct {
+	intake chan Batch
+	inputs []inputState
+	sink   Sink
+
+	pending sessHeap
+	last    *SessionRecord // previous emission, for adjacent-duplicate collapse
+
+	out     *trace.Trace
+	remain  int // inputs that have not sent EvDone yet
+	emitted uint64
+	// peakPending tracks the high-water mark of sessions completed but
+	// held behind the barrier — the merge's own memory diagnostic.
+	peakPending int
+}
+
+type inputState struct {
+	watermark trace.Time
+	done      bool
+	end       *End
+	// open maps producer-local ids of open sessions to their start; fifo
+	// holds (id, start) in arrival order with lazy removal, so the
+	// earliest open start is the first fifo entry still present in open.
+	open map[uint64]trace.Time
+	fifo []openRef
+}
+
+type openRef struct {
+	id    uint64
+	start trace.Time
+}
+
+// NewMerger builds a merger over k input streams.
+func NewMerger(k int, sink Sink) *Merger {
+	m := &Merger{
+		intake: make(chan Batch, 4*k),
+		sink:   sink,
+		out:    &trace.Trace{},
+		remain: k,
+	}
+	m.inputs = make([]inputState, k)
+	for i := range m.inputs {
+		m.inputs[i].open = make(map[uint64]trace.Time)
+	}
+	return m
+}
+
+// Intake returns the shared channel all of this merger's producers send
+// their batches to.
+func (m *Merger) Intake() chan<- Batch { return m.intake }
+
+// Run consumes batches until every input has delivered its EvDone
+// trailer, then drains the pending buffer and returns the merged trace.
+// It must run on its own goroutine while producers emit (the intake
+// channel is bounded — that bound is the backpressure window).
+func (m *Merger) Run() *trace.Trace {
+	for m.remain > 0 {
+		b := <-m.intake
+		st := &m.inputs[b.Input]
+		for i := range b.Events {
+			m.apply(b.Input, st, &b.Events[i])
+		}
+		m.advance()
+	}
+	m.finish()
+	return m.out
+}
+
+// Emitted returns how many merged sessions have retired so far.
+func (m *Merger) Emitted() uint64 { return m.emitted }
+
+// PeakPending returns the high-water mark of completed sessions held
+// behind the emission barrier — how much the oldest open session cost.
+func (m *Merger) PeakPending() int { return m.peakPending }
+
+func (m *Merger) apply(input int, st *inputState, ev *Event) {
+	if ev.Time > st.watermark {
+		st.watermark = ev.Time
+	}
+	switch ev.Kind {
+	case EvOpen:
+		st.open[ev.ID] = ev.Time
+		st.fifo = append(st.fifo, openRef{id: ev.ID, start: ev.Time})
+	case EvClose:
+		delete(st.open, ev.ID)
+		// Trim retired heads so earliest-open lookup stays O(1) amortized.
+		for len(st.fifo) > 0 {
+			if _, ok := st.open[st.fifo[0].id]; ok {
+				break
+			}
+			st.fifo = st.fifo[1:]
+		}
+		heap.Push(&m.pending, ev.Sess)
+		if len(m.pending) > m.peakPending {
+			m.peakPending = len(m.pending)
+		}
+	case EvPong:
+		m.out.Pongs = append(m.out.Pongs, ev.Pong)
+	case EvHit:
+		m.out.Hits = append(m.out.Hits, ev.Hit)
+	case EvDone:
+		st.done = true
+		st.end = ev.Done
+		m.remain--
+		m.fold(input, ev.Done)
+	}
+}
+
+// fold accumulates one input's trailer into the merged trace's metadata
+// and counters, mirroring what trace.Merge reads off whole input traces.
+func (m *Merger) fold(input int, end *End) {
+	if input == 0 {
+		m.out.Seed = end.Seed
+		m.out.Scale = end.Scale
+		m.out.PongSampleRate = end.PongSampleRate
+		m.out.HitSampleRate = end.HitSampleRate
+	}
+	if end.Days > m.out.Days {
+		m.out.Days = end.Days
+	}
+	if end.Nodes > 0 {
+		m.out.Nodes += end.Nodes
+	} else {
+		m.out.Nodes++
+	}
+	m.out.Counts.Add(end.Counts)
+}
+
+// barrier returns the instant before which no new session record can
+// appear: the minimum over inputs of the earliest still-open start and,
+// for inputs still producing, the watermark (future arrivals start at or
+// after it). Inputs that are done with nothing open contribute nothing.
+func (m *Merger) barrier() (trace.Time, bool) {
+	var b trace.Time
+	bounded := false
+	take := func(t trace.Time) {
+		if !bounded || t < b {
+			b, bounded = t, true
+		}
+	}
+	for i := range m.inputs {
+		st := &m.inputs[i]
+		if len(st.fifo) > 0 {
+			take(st.fifo[0].start)
+		}
+		if !st.done {
+			take(st.watermark)
+		}
+	}
+	return b, bounded
+}
+
+// advance retires every pending session strictly before the barrier, in
+// the merged total order, collapsing adjacent duplicates exactly as
+// trace.Merge does.
+func (m *Merger) advance() {
+	b, bounded := m.barrier()
+	for len(m.pending) > 0 {
+		if bounded && m.pending[0].Conn.Start >= b {
+			return
+		}
+		m.emit(heap.Pop(&m.pending).(*SessionRecord))
+	}
+}
+
+func (m *Merger) emit(r *SessionRecord) {
+	if m.last != nil && compareRecords(m.last, r) == 0 {
+		// Exact duplicate observation of the same session (two vantages
+		// recorded identical records): drop it and deduct its per-session
+		// query records from the aggregates, keeping len(Queries) ==
+		// Counts.QueryHop1.
+		m.out.Counts.Query -= uint64(len(r.Queries))
+		m.out.Counts.QueryHop1 -= uint64(len(r.Queries))
+		return
+	}
+	m.last = r
+	id := uint64(len(m.out.Conns))
+	c := r.Conn
+	c.ID = id
+	m.out.Conns = append(m.out.Conns, c)
+	for i := range r.Queries {
+		q := r.Queries[i]
+		q.ConnID = id
+		m.out.Queries = append(m.out.Queries, q)
+	}
+	if m.sink != nil {
+		m.sink.MergedSession(&m.out.Conns[id], r.Queries)
+	}
+	m.emitted++
+}
+
+// finish drains everything past the final (absent) barrier and puts the
+// global record sections into their canonical orders — the same final
+// sorts the batch merge runs, over exactly the records the batch merge
+// would hold.
+func (m *Merger) finish() {
+	m.advance()
+	qs := m.out.Queries
+	sort.Slice(qs, func(i, j int) bool { return trace.CompareQuery(&qs[i], &qs[j]) < 0 })
+	ps := m.out.Pongs
+	sort.Slice(ps, func(i, j int) bool { return trace.ComparePong(&ps[i], &ps[j]) < 0 })
+	hs := m.out.Hits
+	sort.Slice(hs, func(i, j int) bool { return trace.CompareHit(&hs[i], &hs[j]) < 0 })
+}
+
+// compareRecords is the merge's total order: the connection comparator
+// followed by the query-list comparator, both blind to producer-local
+// IDs — the exact order batch trace.Merge sorts by, shared via the
+// exported trace comparators so session identity has one definition.
+func compareRecords(a, b *SessionRecord) int {
+	if c := trace.CompareConn(&a.Conn, &b.Conn); c != 0 {
+		return c
+	}
+	return trace.CompareQueryValueLists(a.Queries, b.Queries)
+}
+
+// sessHeap pops session records in the merged total order.
+type sessHeap []*SessionRecord
+
+func (h sessHeap) Len() int           { return len(h) }
+func (h sessHeap) Less(i, j int) bool { return compareRecords(h[i], h[j]) < 0 }
+func (h sessHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *sessHeap) Push(x any)        { *h = append(*h, x.(*SessionRecord)) }
+func (h *sessHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// MergeTraces runs already-materialized per-node traces through the
+// streaming merge and returns the merged trace — the drop-in replacement
+// for batch trace.Merge (byte-identical output, pinned by test), and the
+// engine's production merge path for the batch engine. trace.Merge
+// remains as the independent reference oracle the equivalence tests
+// compare against.
+//
+// The inputs are fed interleaved in global start order (each input still
+// sees its own records in its own start order, satisfying the watermark
+// contract), so sessions retire — and their transient record copies are
+// released — progressively as the feed advances, instead of every record
+// pending until the last input has been consumed.
+func MergeTraces(traces ...*trace.Trace) *trace.Trace {
+	if len(traces) == 0 {
+		return &trace.Trace{Nodes: 0}
+	}
+	m := NewMerger(len(traces), nil)
+
+	type cursor struct {
+		t      *trace.Trace
+		byConn [][]*trace.Query
+		order  []int // conn indices in start order
+		pos    int
+	}
+	curs := make([]*cursor, len(traces))
+	for i, t := range traces {
+		c := &cursor{t: t, byConn: t.QueriesPerConn(), order: make([]int, len(t.Conns))}
+		for j := range c.order {
+			c.order[j] = j
+		}
+		// Simulated traces are already in arrival order; imported traces
+		// with arbitrary record order are sorted into it here.
+		sort.SliceStable(c.order, func(a, b int) bool {
+			return t.Conns[c.order[a]].Start < t.Conns[c.order[b]].Start
+		})
+		curs[i] = c
+	}
+
+	// finishInput feeds an input's non-session records and its trailer the
+	// moment its sessions are exhausted, so its watermark leaves the
+	// barrier immediately — an empty or short-span input must not freeze
+	// retirement for the inputs still feeding.
+	finishInput := func(i int) {
+		t := traces[i]
+		st := &m.inputs[i]
+		feed := func(ev Event) { m.apply(i, st, &ev) }
+		for _, p := range t.Pongs {
+			feed(Event{Kind: EvPong, Pong: p})
+		}
+		for _, h := range t.Hits {
+			feed(Event{Kind: EvHit, Hit: h})
+		}
+		feed(Event{Kind: EvDone, Done: &End{
+			Counts:         t.Counts,
+			Seed:           t.Seed,
+			Scale:          t.Scale,
+			Days:           t.Days,
+			Nodes:          t.Nodes,
+			PongSampleRate: t.PongSampleRate,
+			HitSampleRate:  t.HitSampleRate,
+		}})
+	}
+	for i, c := range curs {
+		if len(c.order) == 0 {
+			finishInput(i)
+		}
+	}
+
+	fed := 0
+	for {
+		// Pick the input whose next session starts earliest (linear scan:
+		// the input count is the fleet size, not the record count).
+		next := -1
+		var nextStart trace.Time
+		for i, c := range curs {
+			if c.pos >= len(c.order) {
+				continue
+			}
+			s := c.t.Conns[c.order[c.pos]].Start
+			if next < 0 || s < nextStart {
+				next, nextStart = i, s
+			}
+		}
+		if next < 0 {
+			break
+		}
+		c := curs[next]
+		j := c.order[c.pos]
+		c.pos++
+		conn := c.t.Conns[j]
+		rec := &SessionRecord{Conn: conn}
+		if qs := c.byConn[j]; len(qs) > 0 {
+			rec.Queries = make([]trace.Query, len(qs))
+			for k, q := range qs {
+				rec.Queries[k] = *q
+			}
+		}
+		st := &m.inputs[next]
+		m.apply(next, st, &Event{Kind: EvOpen, ID: conn.ID, Time: conn.Start})
+		m.apply(next, st, &Event{Kind: EvClose, ID: conn.ID, Time: conn.Start, Sess: rec})
+		if c.pos == len(c.order) {
+			finishInput(next)
+		}
+		if fed++; fed%1024 == 0 {
+			m.advance()
+		}
+	}
+	m.finish()
+	return m.out
+}

@@ -1,0 +1,158 @@
+package stream_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+// onlineOverFleet runs the online layer as a merge sink over a small
+// fleet's streams and returns the snapshot plus the drained trace.
+func onlineOverFleet(t *testing.T, seed uint64, days, nodes int) (stream.Snapshot, *trace.Trace) {
+	t.Helper()
+	traces := fleetTraces(t, seed, days, nodes)
+	online := stream.NewOnline(stream.OnlineConfig{})
+	m := stream.NewMerger(len(traces), online)
+	var wg sync.WaitGroup
+	for i, tr := range traces {
+		wg.Add(1)
+		go func(i int, tr *trace.Trace) {
+			defer wg.Done()
+			replayAsStream(tr, stream.NewProducer(i, m.Intake()), trace.Time(days)*24*time.Hour)
+		}(i, tr)
+	}
+	merged := m.Run()
+	wg.Wait()
+	return online.Snapshot(10), merged
+}
+
+// TestOnlineMatchesExact pins the sketch-accuracy contract against the
+// batch-exact oracle on the drained trace: totals and the under-64 share
+// are exact; the top-K ranking is exact while capacity holds (it does at
+// this scale); quantiles agree within the documented ε rank error, which
+// this test verifies in rank space.
+func TestOnlineMatchesExact(t *testing.T) {
+	snap, merged := onlineOverFleet(t, 2004, 2, 3)
+	exact := stream.Exact(merged, 10)
+
+	if snap.Sessions != exact.Sessions || snap.Queries != exact.Queries {
+		t.Fatalf("totals differ: online (%d, %d) vs exact (%d, %d)",
+			snap.Sessions, snap.Queries, exact.Sessions, exact.Queries)
+	}
+	if math.Abs(snap.Under64Fraction-exact.Under64Fraction) > 1e-12 {
+		t.Fatalf("under-64 share differs: %g vs %g", snap.Under64Fraction, exact.Under64Fraction)
+	}
+	if !snap.TopKExact {
+		t.Fatalf("top-K inexact at CI scale (distinct=%d)", snap.DistinctKeys)
+	}
+	if snap.DistinctKeys != exact.DistinctKeys {
+		t.Fatalf("distinct keys: %d vs %d", snap.DistinctKeys, exact.DistinctKeys)
+	}
+	for i := range exact.TopKeywords {
+		if snap.TopKeywords[i] != exact.TopKeywords[i] {
+			t.Fatalf("top-K entry %d: %+v vs %+v", i, snap.TopKeywords[i], exact.TopKeywords[i])
+		}
+	}
+
+	// Quantile agreement is checked in rank space: the online answer's
+	// rank among the exact observations must lie within ε·n of the target.
+	checkRank := func(name string, xs []float64, phi, got, eps float64) {
+		t.Helper()
+		n := float64(len(xs))
+		lo, hi := 0, 0
+		for _, x := range xs {
+			if x < got {
+				lo++
+			}
+			if x <= got {
+				hi++
+			}
+		}
+		target := phi * n
+		slack := eps*n + 1
+		if float64(lo) > target+slack || float64(hi) < target-slack {
+			t.Errorf("%s phi=%.2f: online %g covers ranks [%d,%d], target %.0f ± %.0f",
+				name, phi, got, lo, hi, target, slack)
+		}
+	}
+	var durs, inters []float64
+	for i := range merged.Conns {
+		durs = append(durs, (merged.Conns[i].End - merged.Conns[i].Start).Seconds())
+	}
+	for _, qs := range merged.QueriesPerConn() {
+		for i := 1; i < len(qs); i++ {
+			inters = append(inters, (qs[i].At - qs[i-1].At).Seconds())
+		}
+	}
+	for phi, got := range map[float64]float64{0.50: snap.Duration.P50, 0.90: snap.Duration.P90, 0.99: snap.Duration.P99} {
+		checkRank("duration", durs, phi, got, snap.Duration.Epsilon)
+	}
+	for phi, got := range map[float64]float64{0.50: snap.Interarrival.P50, 0.90: snap.Interarrival.P90, 0.99: snap.Interarrival.P99} {
+		checkRank("interarrival", inters, phi, got, snap.Interarrival.Epsilon)
+	}
+	if snap.Duration.Max != exact.Duration.Max {
+		t.Errorf("duration max: %g vs %g (tracked exactly)", snap.Duration.Max, exact.Duration.Max)
+	}
+}
+
+// TestOnlineDeterministicAcrossRuns: the snapshot is a pure function of
+// the merged stream, whatever the producer interleaving.
+func TestOnlineDeterministicAcrossRuns(t *testing.T) {
+	a, _ := onlineOverFleet(t, 7, 1, 3)
+	b, _ := onlineOverFleet(t, 7, 1, 3)
+	// Rates depend only on trace-time windows, so they are reproducible
+	// too; compare the whole snapshot minus nothing.
+	if a.Sessions != b.Sessions || a.Queries != b.Queries ||
+		a.Duration != b.Duration || a.Interarrival != b.Interarrival ||
+		a.ArrivalsPerHour != b.ArrivalsPerHour || a.QueriesPerHour != b.QueriesPerHour {
+		t.Fatalf("snapshots differ across identical runs:\n%+v\n%+v", a, b)
+	}
+	for i := range a.TopKeywords {
+		if a.TopKeywords[i] != b.TopKeywords[i] {
+			t.Fatalf("top-K differs at %d", i)
+		}
+	}
+}
+
+// TestOnlineDirectObservation covers the live-daemon path: wire-level
+// query observations without session framing.
+func TestOnlineDirectObservation(t *testing.T) {
+	o := stream.NewOnline(stream.OnlineConfig{})
+	o.ObserveQuery(10*time.Second, "metallica one", false)
+	o.ObserveQuery(20*time.Second, "one metallica", false)
+	o.ObserveQuery(30*time.Second, "zeppelin", false)
+	o.ObserveQuery(40*time.Second, "", true) // SHA1 hunt: no keywords
+	s := o.Snapshot(5)
+	if s.Queries != 4 {
+		t.Fatalf("queries = %d, want 4", s.Queries)
+	}
+	if s.DistinctKeys != 2 {
+		t.Fatalf("distinct keys = %d, want 2 (keyword sets canonicalize)", s.DistinctKeys)
+	}
+	if s.TopKeywords[0].Count != 2 {
+		t.Fatalf("top entry count = %d, want 2", s.TopKeywords[0].Count)
+	}
+	if s.QueriesPerHour == 0 {
+		t.Fatal("query rate window did not register")
+	}
+}
+
+// TestSnapshotWriteText smoke-tests the report block.
+func TestSnapshotWriteText(t *testing.T) {
+	snap, _ := onlineOverFleet(t, 3, 1, 2)
+	var buf bytes.Buffer
+	if err := snap.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Online characterization", "under-64s session share", "top keyword sets"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("text block missing %q:\n%s", want, buf.String())
+		}
+	}
+}

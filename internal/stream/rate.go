@@ -1,0 +1,110 @@
+package stream
+
+import (
+	"time"
+
+	"repro/internal/trace"
+)
+
+// RateWindow measures a sliding-window event rate over trace time with a
+// ring of fixed-width bucket counters — the "how busy is the stream right
+// now" gauge of the live characterization. State is buckets × 8 bytes,
+// independent of stream length.
+//
+// Adds are commutative (counters only), so the measured rates do not
+// depend on the order events of equal time windows arrive in; the window
+// end only moves forward. Events older than the window at the time they
+// arrive still count toward the lifetime total but not the window.
+type RateWindow struct {
+	width   trace.Time
+	counts  []uint64
+	cur     int64 // absolute index (at / width) of the newest bucket, -1 before first add
+	inWin   uint64
+	total   uint64
+	peakWin uint64
+}
+
+// NewRateWindow builds a window of n buckets of the given width (e.g.
+// 60 × 1 minute = a one-hour sliding window at minute resolution).
+func NewRateWindow(width trace.Time, n int) *RateWindow {
+	if n < 1 {
+		n = 1
+	}
+	if width <= 0 {
+		width = time.Minute
+	}
+	return &RateWindow{width: width, counts: make([]uint64, n), cur: -1}
+}
+
+// Add counts one event at the given instant.
+func (w *RateWindow) Add(at trace.Time) {
+	w.total++
+	idx := int64(at / w.width)
+	if w.cur < 0 {
+		w.cur = idx
+	}
+	if idx > w.cur {
+		w.advance(idx)
+	}
+	if idx <= w.cur-int64(len(w.counts)) {
+		return // older than the window: lifetime total only
+	}
+	w.counts[int(idx%int64(len(w.counts)))]++
+	w.inWin++
+	if w.inWin > w.peakWin {
+		w.peakWin = w.inWin
+	}
+}
+
+// advance slides the window forward to make idx the newest bucket,
+// retiring buckets that fall out.
+func (w *RateWindow) advance(idx int64) {
+	n := int64(len(w.counts))
+	if idx-w.cur >= n {
+		// The whole window scrolled past; reset it.
+		for i := range w.counts {
+			w.counts[i] = 0
+		}
+		w.inWin = 0
+		w.cur = idx
+		return
+	}
+	for w.cur < idx {
+		w.cur++
+		slot := int(w.cur % n)
+		w.inWin -= w.counts[slot]
+		w.counts[slot] = 0
+	}
+}
+
+// Total returns the lifetime event count.
+func (w *RateWindow) Total() uint64 { return w.total }
+
+// InWindow returns the event count within the current window.
+func (w *RateWindow) InWindow() uint64 { return w.inWin }
+
+// PeakInWindow returns the highest in-window count ever observed.
+func (w *RateWindow) PeakInWindow() uint64 { return w.peakWin }
+
+// Window returns the window span.
+func (w *RateWindow) Window() trace.Time {
+	return w.width * trace.Time(len(w.counts))
+}
+
+// End returns the end of the newest bucket (the window's leading edge),
+// or 0 before the first add.
+func (w *RateWindow) End() trace.Time {
+	if w.cur < 0 {
+		return 0
+	}
+	return trace.Time(w.cur+1) * w.width
+}
+
+// PerHour returns the in-window rate in events per hour.
+func (w *RateWindow) PerHour() float64 {
+	win := w.Window()
+	if win <= 0 {
+		return 0
+	}
+	return float64(w.inWin) / win.Hours()
+}

@@ -1,0 +1,185 @@
+// Package stream is the streaming counterpart of the batch measurement
+// pipeline: a typed, backpressured event stream that vantage nodes emit
+// into as they simulate (or as a live daemon ingests wire traffic), a
+// k-way online merge that unions per-node streams into the global
+// time-ordered deduplicated order incrementally, and an online
+// characterization layer of bounded-memory sketches — Space-Saving top-K
+// keyword ranking, Greenwald–Khanna quantile summaries, sliding-window
+// arrival and query rates.
+//
+// # Why a stream layer
+//
+// The batch path materializes every per-node trace plus the merged trace
+// in RAM before characterization starts; at paper scale that is the
+// simulate phase's multi-gigabyte peak. The paper itself, and the
+// continuous-capture systems in the related literature (distributed
+// eDonkey honeypots, the ten-week eDonkey server capture), observe a live
+// query stream and must characterize it as it arrives with bounded state.
+// This package is that mode: producers emit session open / close, query,
+// pong and hit records into bounded channels; the merge consumes them
+// incrementally and retires each session record into its final merged
+// position the moment no earlier-keyed record can still appear; the
+// online layer answers "what does the stream look like right now" from
+// sketches whose size does not grow with the stream.
+//
+// # Contracts
+//
+//   - Merge order: draining a Merger to completion yields a trace
+//     byte-identical to trace.Merge over the same per-node traces (pinned
+//     by test). The emission order of sessions — and therefore everything
+//     an Online sink computes — is deterministic, independent of how the
+//     producer goroutines interleave.
+//   - Bounded memory: a producer blocked on a full channel stops
+//     simulating (backpressure); the merger holds only in-flight sessions,
+//     plus completed sessions not yet past the emission barrier.
+//   - Sketch accuracy: TopK is exact while the distinct-key count fits its
+//     capacity and ε-bounded beyond it (ErrBound reports the bound);
+//     Quantile answers every query within rank error ε·n (default
+//     ε = 0.001). Both bounds are pinned by test.
+package stream
+
+import (
+	"repro/internal/trace"
+)
+
+// Kind discriminates stream events.
+type Kind uint8
+
+// Event kinds.
+const (
+	// EvOpen announces a session arrival: ID is the producer-local
+	// connection id, Time the handshake completion (= trace.Conn.Start).
+	// The merge needs opens to bound emission: a completed session may
+	// retire only once no still-open or future session can precede it.
+	EvOpen Kind = iota
+	// EvClose carries the completed session record (connection plus its
+	// full hop-1 query list); Time is the observed session end.
+	EvClose
+	// EvPong carries one shared-library report.
+	EvPong
+	// EvHit carries one QUERYHIT observation.
+	EvHit
+	// EvDone is the producer's final event: aggregate message counts and
+	// trace metadata. Exactly one per input, after which the input's
+	// channel closes.
+	EvDone
+)
+
+// SessionRecord is one completed connection with its query stream, the
+// unit of the merge's total order. Conn.ID and the queries' ConnID are
+// producer-local and ignored by the merge, which assigns fresh dense IDs
+// in merged order (exactly as trace.Merge does).
+type SessionRecord struct {
+	Conn    trace.Conn
+	Queries []trace.Query
+}
+
+// End carries a producer's stream trailer: the aggregate counters and
+// trace metadata the merged trace needs (the per-input equivalents of
+// what trace.Merge reads off whole traces).
+type End struct {
+	Counts trace.MessageCounts
+	Seed   uint64
+	Scale  float64
+	Days   int
+	// Nodes is how many vantage points this input itself represents: 1
+	// (or 0, which means 1) for a per-node stream, N when a whole merged
+	// trace is replayed as one input.
+	Nodes          int
+	PongSampleRate float64
+	HitSampleRate  float64
+}
+
+// Event is one element of a producer's stream.
+type Event struct {
+	Kind Kind
+	// ID is the producer-local connection id (EvOpen/EvClose).
+	ID uint64
+	// Time is the event instant, and doubles as the input's watermark:
+	// producers emit in nondecreasing Time order, so after seeing Time = t
+	// the merge knows input arrivals before t are complete.
+	Time trace.Time
+	// Sess is the completed record (EvClose).
+	Sess *SessionRecord
+	// Pong and Hit are record payloads for their kinds.
+	Pong trace.Pong
+	Hit  trace.Hit
+	// Done is the stream trailer (EvDone).
+	Done *End
+}
+
+// Batch is a run of events from one input, in emission order. Events
+// travel in batches to amortize channel synchronization across the
+// millions of records of a full-scale run.
+type Batch struct {
+	Input  int
+	Events []Event
+}
+
+// batchSize is the producer-side slab length. 256 events ≈ 30 KB per
+// slab: large enough that channel operations vanish from profiles, small
+// enough that per-input buffering stays in cache.
+const batchSize = 256
+
+// Producer accumulates one input's events and ships them to the merger's
+// shared intake in slabs. Not safe for concurrent use: each producer
+// belongs to exactly one goroutine (one vantage node's event loop).
+type Producer struct {
+	input int
+	out   chan<- Batch
+	buf   []Event
+}
+
+// NewProducer builds the producer for input (one of the merger's k
+// declared inputs). All producers of one merger share its intake channel;
+// per-producer order is preserved because each producer is single-
+// threaded and channel sends are FIFO per sender.
+func NewProducer(input int, out chan<- Batch) *Producer {
+	return &Producer{input: input, out: out, buf: make([]Event, 0, batchSize)}
+}
+
+// Emit appends one event, flushing the batch when full. A full intake
+// channel blocks here — that is the backpressure that bounds how far a
+// fast producer can run ahead of the merge.
+func (p *Producer) Emit(ev Event) {
+	p.buf = append(p.buf, ev)
+	if len(p.buf) == batchSize {
+		p.Flush()
+	}
+}
+
+// Open emits a session-arrival announcement.
+func (p *Producer) Open(id uint64, at trace.Time) {
+	p.Emit(Event{Kind: EvOpen, ID: id, Time: at})
+}
+
+// Close emits a completed session record.
+func (p *Producer) Close(id uint64, at trace.Time, rec *SessionRecord) {
+	p.Emit(Event{Kind: EvClose, ID: id, Time: at, Sess: rec})
+}
+
+// Pong emits a shared-library report.
+func (p *Producer) Pong(rec trace.Pong) {
+	p.Emit(Event{Kind: EvPong, ID: 0, Time: rec.At, Pong: rec})
+}
+
+// Hit emits a QUERYHIT observation.
+func (p *Producer) Hit(rec trace.Hit) {
+	p.Emit(Event{Kind: EvHit, ID: 0, Time: rec.At, Hit: rec})
+}
+
+// Done emits the stream trailer and flushes. The producer must not be
+// used afterwards.
+func (p *Producer) Done(at trace.Time, end *End) {
+	p.Emit(Event{Kind: EvDone, Time: at, Done: end})
+	p.Flush()
+}
+
+// Flush ships the buffered events.
+func (p *Producer) Flush() {
+	if len(p.buf) == 0 {
+		return
+	}
+	p.out <- Batch{Input: p.input, Events: p.buf}
+	p.buf = make([]Event, 0, batchSize)
+}

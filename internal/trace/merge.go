@@ -47,13 +47,7 @@ func Merge(traces ...*Trace) *Trace {
 		} else {
 			out.Nodes++
 		}
-		out.Counts.Ping += t.Counts.Ping
-		out.Counts.Pong += t.Counts.Pong
-		out.Counts.Query += t.Counts.Query
-		out.Counts.QueryHit += t.Counts.QueryHit
-		out.Counts.Push += t.Counts.Push
-		out.Counts.Bye += t.Counts.Bye
-		out.Counts.QueryHop1 += t.Counts.QueryHop1
+		out.Counts.Add(t.Counts)
 		total += len(t.Conns)
 	}
 
@@ -74,10 +68,10 @@ func Merge(traces ...*Trace) *Trace {
 	}
 
 	cmp := func(a, b *rec) int {
-		if c := compareConn(a.c, b.c); c != 0 {
+		if c := CompareConn(a.c, b.c); c != 0 {
 			return c
 		}
-		return compareQueryLists(a.qs, b.qs)
+		return CompareQueryLists(a.qs, b.qs)
 	}
 	sort.Slice(recs, func(i, j int) bool { return cmp(&recs[i], &recs[j]) < 0 })
 
@@ -103,15 +97,15 @@ func Merge(traces ...*Trace) *Trace {
 		}
 	}
 	sort.Slice(out.Queries, func(i, j int) bool {
-		return compareQuery(&out.Queries[i], &out.Queries[j]) < 0
+		return CompareQuery(&out.Queries[i], &out.Queries[j]) < 0
 	})
 
 	for _, t := range traces {
 		out.Pongs = append(out.Pongs, t.Pongs...)
 		out.Hits = append(out.Hits, t.Hits...)
 	}
-	sort.Slice(out.Pongs, func(i, j int) bool { return comparePong(&out.Pongs[i], &out.Pongs[j]) < 0 })
-	sort.Slice(out.Hits, func(i, j int) bool { return compareHit(&out.Hits[i], &out.Hits[j]) < 0 })
+	sort.Slice(out.Pongs, func(i, j int) bool { return ComparePong(&out.Pongs[i], &out.Pongs[j]) < 0 })
+	sort.Slice(out.Hits, func(i, j int) bool { return CompareHit(&out.Hits[i], &out.Hits[j]) < 0 })
 	return out
 }
 
@@ -133,9 +127,9 @@ func boolInt(b bool) int {
 	return 0
 }
 
-// compareConn is a total order over connection records that never reads
+// CompareConn is a total order over connection records that never reads
 // the (input-dependent) ID field.
-func compareConn(a, b *Conn) int {
+func CompareConn(a, b *Conn) int {
 	if c := cmpInt(int64(a.Start), int64(b.Start)); c != 0 {
 		return c
 	}
@@ -154,9 +148,9 @@ func compareConn(a, b *Conn) int {
 	return cmpInt(boolInt(a.SilentClose), boolInt(b.SilentClose))
 }
 
-// compareQuery orders queries by receive time with full-record
+// CompareQuery orders queries by receive time with full-record
 // tie-breaking, so the merged global stream is a total order.
-func compareQuery(a, b *Query) int {
+func CompareQuery(a, b *Query) int {
 	if c := cmpInt(int64(a.At), int64(b.At)); c != 0 {
 		return c
 	}
@@ -178,24 +172,44 @@ func compareQuery(a, b *Query) int {
 	return cmpInt(a.Hits, b.Hits)
 }
 
-// compareQueryLists orders two same-connection query lists element-wise in
+// CompareQueryLists orders two same-connection query lists element-wise in
 // their recorded order (never re-sorting: the within-session sequence is
 // part of the session's identity).
-func compareQueryLists(a, b []*Query) int {
+func CompareQueryLists(a, b []*Query) int {
 	if c := cmpInt(int64(len(a)), int64(len(b))); c != 0 {
 		return c
 	}
 	for i := range a {
-		qa, qb := *a[i], *b[i]
-		qa.ConnID, qb.ConnID = 0, 0 // identity excludes input-dependent IDs
-		if c := compareQuery(&qa, &qb); c != 0 {
+		if c := compareQueryIdentity(*a[i], *b[i]); c != 0 {
 			return c
 		}
 	}
 	return 0
 }
 
-func comparePong(a, b *Pong) int {
+// CompareQueryValueLists is CompareQueryLists over value slices — the
+// form the streaming merge's session records carry. Both share one
+// definition of per-query session identity.
+func CompareQueryValueLists(a, b []Query) int {
+	if c := cmpInt(int64(len(a)), int64(len(b))); c != 0 {
+		return c
+	}
+	for i := range a {
+		if c := compareQueryIdentity(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// compareQueryIdentity compares two queries as session-identity
+// components: the full record order, blind to input-dependent IDs.
+func compareQueryIdentity(qa, qb Query) int {
+	qa.ConnID, qb.ConnID = 0, 0
+	return CompareQuery(&qa, &qb)
+}
+
+func ComparePong(a, b *Pong) int {
 	if c := cmpInt(int64(a.At), int64(b.At)); c != 0 {
 		return c
 	}
@@ -208,7 +222,7 @@ func comparePong(a, b *Pong) int {
 	return cmpInt(a.Hops, b.Hops)
 }
 
-func compareHit(a, b *Hit) int {
+func CompareHit(a, b *Hit) int {
 	if c := cmpInt(int64(a.At), int64(b.At)); c != 0 {
 		return c
 	}

@@ -13,6 +13,7 @@ package trace
 import (
 	"bufio"
 	"compress/gzip"
+	"crypto/sha256"
 	"encoding/gob"
 	"encoding/json"
 	"errors"
@@ -44,6 +45,19 @@ type MessageCounts struct {
 // Total returns the total message count.
 func (m MessageCounts) Total() uint64 {
 	return m.Ping + m.Pong + m.Query + m.QueryHit + m.Push + m.Bye
+}
+
+// Add accumulates another vantage's counters — the one place the
+// per-field summation lives, shared by the batch and streaming merges so
+// a new counter field cannot diverge between them.
+func (m *MessageCounts) Add(d MessageCounts) {
+	m.Ping += d.Ping
+	m.Pong += d.Pong
+	m.Query += d.Query
+	m.QueryHit += d.QueryHit
+	m.Push += d.Push
+	m.Bye += d.Bye
+	m.QueryHop1 += d.QueryHop1
 }
 
 // Conn is one direct overlay connection (one peer session).
@@ -190,6 +204,21 @@ func (t *Trace) QueriesPerConn() [][]*Query {
 }
 
 const magic = "p2pquery-trace/1"
+
+// Hash returns the SHA-256 of the trace's canonical serialization (the
+// Write format, which is deterministic: gob field order is fixed and the
+// gzip layer uses fixed settings). Two traces hash equal iff Write would
+// produce identical bytes — the cheap way to compare a streamed full-scale
+// merge against the batch path without holding both in memory.
+func (t *Trace) Hash() ([32]byte, error) {
+	h := sha256.New()
+	if err := t.Write(h); err != nil {
+		return [32]byte{}, err
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum, nil
+}
 
 // WriteFile stores the trace in the gzip-compressed gob format.
 func (t *Trace) WriteFile(path string) error {

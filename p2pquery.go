@@ -8,6 +8,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/geo"
 	"repro/internal/report"
+	"repro/internal/stream"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -68,6 +69,27 @@ func SimulateFleetWorkers(cfg SimulationConfig, nodes, workers int) *Trace {
 		Fleet:   capture.FleetConfig{Node: cfg, Nodes: nodes},
 		Workers: workers,
 	}).Run()
+}
+
+// OnlineMetrics is a snapshot of the streaming characterization layer:
+// sketch-based top-K keyword ranking, duration/interarrival quantiles and
+// sliding-window rates; see internal/stream for the accuracy contracts.
+type OnlineMetrics = stream.Snapshot
+
+// SimulateFleetStream runs the multi-vantage simulation in full streaming
+// mode: a bounded-lookahead arrival producer feeds per-node event loops,
+// each vantage emits records into the streaming k-way merge as they
+// finalize, and the online layer characterizes the merged stream as it
+// retires. Neither the partitioned session set nor per-node traces are
+// ever materialized, which is what bounds the memory of a paper-scale
+// run; the returned trace is byte-identical to SimulateFleet's (the
+// engine's streaming determinism contract, pinned by test).
+func SimulateFleetStream(cfg SimulationConfig, nodes int) (*Trace, OnlineMetrics) {
+	online := stream.NewOnline(stream.OnlineConfig{})
+	tr := engine.New(engine.Config{
+		Fleet: capture.FleetConfig{Node: cfg, Nodes: nodes},
+	}).RunStream(online)
+	return tr, online.Snapshot(10)
 }
 
 // Characterize applies the filter pipeline, all analyses and the appendix
