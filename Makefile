@@ -17,23 +17,28 @@ race:
 	$(GO) test -race ./...
 
 # bench runs every benchmark in every package with allocation reporting
-# and writes the machine-readable result to BENCH.json (see BENCH_pr5.json
-# for the committed PR-5 snapshot). Sweeping ./... keeps new package-local
+# and writes the machine-readable result to BENCH.json (see BENCH_pr6.json
+# for the committed PR-6 snapshot). Sweeping ./... keeps new package-local
 # benchmarks (capture fleet, filter fan-out, vocab, stream sketches)
-# tracked automatically. The phase run appends labeled wall-clock /
+# tracked automatically. The phase runs append labeled wall-clock /
 # peak-RSS accountings for the streaming and batch engines at a fixed
-# small scale — the per-phase memory record BENCH_pr5.json pins and
+# small scale, plus a 128-node fleet exercising the keyed tie-break's
+# high-node-count regime (its sched_events_max_node records the busiest
+# node's scheduling cost, O(own sessions) where chain replay paid the
+# global arrival count) — the per-phase record BENCH_pr6.json pins and
 # bench-ci gates.
 PHASE_ARGS := -simulate -seed 2004 -scale 0.02 -days 2 -nodes 4 -only summary -perf
+PHASE_ARGS_WIDE := -simulate -seed 2004 -scale 0.02 -days 1 -nodes 128 -only summary -perf
 bench:
 	{ $(GO) test -run '^$$' -bench . -benchmem -benchtime=1s ./... ; \
 	  $(GO) run ./cmd/analyze $(PHASE_ARGS) -stream -perflabel phase-stream 2>&1 >/dev/null ; \
-	  $(GO) run ./cmd/analyze $(PHASE_ARGS) -perflabel phase-batch 2>&1 >/dev/null ; } | \
+	  $(GO) run ./cmd/analyze $(PHASE_ARGS) -perflabel phase-batch 2>&1 >/dev/null ; \
+	  $(GO) run ./cmd/analyze $(PHASE_ARGS_WIDE) -perflabel phase-widefleet 2>&1 >/dev/null ; } | \
 		$(GO) run ./cmd/benchjson -pretty > BENCH.json
 	@echo wrote BENCH.json
 
 # bench-ci is the fast CI variant: one iteration per benchmark, emitting
-# JSON *and* gating against the committed PR-5 baseline so hot-path
+# JSON *and* gating against the committed PR-6 baseline so hot-path
 # regressions fail the build instead of scrolling by in logs — ns/op,
 # allocs/op AND the labeled phases' peak RSS (end-of-run and
 # simulate-phase), so the streaming engine's memory contract is enforced,
@@ -44,8 +49,9 @@ bench:
 bench-ci:
 	{ $(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./... ; \
 	  $(GO) run ./cmd/analyze $(PHASE_ARGS) -stream -perflabel phase-stream 2>&1 >/dev/null ; \
-	  $(GO) run ./cmd/analyze $(PHASE_ARGS) -perflabel phase-batch 2>&1 >/dev/null ; } | \
-		$(GO) run ./cmd/benchjson -compare BENCH_pr5.json \
+	  $(GO) run ./cmd/analyze $(PHASE_ARGS) -perflabel phase-batch 2>&1 >/dev/null ; \
+	  $(GO) run ./cmd/analyze $(PHASE_ARGS_WIDE) -perflabel phase-widefleet 2>&1 >/dev/null ; } | \
+		$(GO) run ./cmd/benchjson -compare BENCH_pr6.json \
 			-tolerance 8 -ns-slack 100000 -alloc-tolerance 2 -alloc-slack 256 \
 			-rss-tolerance 2 -rss-slack 134217728
 

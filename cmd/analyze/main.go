@@ -23,9 +23,12 @@
 // replaces the Lilliefors-biased asymptotic KS p-values of the appendix
 // fits with parametric-bootstrap p-values from N replicates. -perf appends
 // a machine-readable wall-clock / peak-RSS accounting line to stderr —
-// simulate and characterize phases separately — which is how the
-// full-scale numbers in BENCH_pr*.json were recorded; -perflabel tags the
-// line so cmd/benchjson can track phases across runs.
+// simulate and characterize phases separately, plus the engine's
+// scheduling cost (sched_events_max_node / sched_events_total) and the
+// k-way merge's high-water mark and outlier spill (merge_peak_pending /
+// spilled_sessions) — which is how the full-scale numbers in
+// BENCH_pr*.json were recorded; -perflabel tags the line so cmd/benchjson
+// can track phases across runs.
 //
 // -stream (with -simulate) runs the bounded-memory streaming engine: the
 // bounded-lookahead arrival producer feeds per-node event loops, each
@@ -132,6 +135,8 @@ func main() {
 	var simulatePeakRSS, simulateHeapLive int64
 	var st capture.FleetStats
 	var maxPeak int
+	var mergePeakPending, spilledSessions int
+	var schedEventsMaxNode, schedEventsTotal uint64
 	switch {
 	case *simulate:
 		if flag.NArg() != 0 {
@@ -165,6 +170,14 @@ func main() {
 			if ns.PeakConns > maxPeak {
 				maxPeak = ns.PeakConns
 			}
+		}
+		mergePeakPending = eng.PeakPending()
+		spilledSessions = eng.SpilledSessions()
+		for _, n := range eng.ScheduledPerNode() {
+			if n > schedEventsMaxNode {
+				schedEventsMaxNode = n
+			}
+			schedEventsTotal += n
 		}
 		simulated = time.Since(start)
 		// VmHWM is monotone, so the value right after the simulate phase is
@@ -224,8 +237,14 @@ func main() {
 			if *streamMode {
 				perfWorkers = 0
 			}
-			simFields = fmt.Sprintf(`"arrivals":%d,"rejected_arrivals":%d,"max_peak_conns":%d,"simulate_s":%.2f,"simulate_peak_rss_bytes":%d,"simulate_heap_live_bytes":%d,"simworkers":%d,"stream":%v,`,
-				st.Arrivals, st.Rejected, maxPeak, simulated.Seconds(), simulatePeakRSS, simulateHeapLive, perfWorkers, *streamMode)
+			// merge_peak_pending / spilled_sessions report the k-way
+			// merge's high-water mark and emission-window outlier count
+			// (every mode drives the streaming merge); the sched_events
+			// pair records the keyed engine's per-node scheduling cost —
+			// the max node stays O(own sessions), where the old chain
+			// replay paid O(global arrivals) at every node.
+			simFields = fmt.Sprintf(`"arrivals":%d,"rejected_arrivals":%d,"max_peak_conns":%d,"merge_peak_pending":%d,"spilled_sessions":%d,"sched_events_max_node":%d,"sched_events_total":%d,"simulate_s":%.2f,"simulate_peak_rss_bytes":%d,"simulate_heap_live_bytes":%d,"simworkers":%d,"stream":%v,`,
+				st.Arrivals, st.Rejected, maxPeak, mergePeakPending, spilledSessions, schedEventsMaxNode, schedEventsTotal, simulated.Seconds(), simulatePeakRSS, simulateHeapLive, perfWorkers, *streamMode)
 		}
 		labelField := ""
 		if *perfLabel != "" {

@@ -82,6 +82,14 @@ type Phase struct {
 	CharacterizeS   float64 `json:"characterize_s,omitempty"`
 	TotalS          float64 `json:"total_s,omitempty"`
 	PeakRSS         int64   `json:"peak_rss_bytes,omitempty"`
+	// Keyed-engine scheduling cost and merge accounting, recorded so the
+	// snapshots track them across PRs (informational, not gated): the
+	// busiest node's scheduled-event count must stay O(own sessions) —
+	// under chain replay it was ≥ the global arrival count.
+	SchedEventsMaxNode int64 `json:"sched_events_max_node,omitempty"`
+	SchedEventsTotal   int64 `json:"sched_events_total,omitempty"`
+	MergePeakPending   int64 `json:"merge_peak_pending,omitempty"`
+	SpilledSessions    int64 `json:"spilled_sessions,omitempty"`
 }
 
 // Output is the whole report.
@@ -408,12 +416,16 @@ func loadBaseline(path string) (map[string]Result, map[string]Phase, error) {
 			return f
 		}
 		phases[label] = Phase{
-			Label:           label,
-			PeakRSS:         int64(rss),
-			SimulatePeakRSS: int64(num("simulate_peak_rss_bytes")),
-			SimulateS:       num("simulate_s"),
-			CharacterizeS:   num("characterize_s"),
-			TotalS:          num("total_s"),
+			Label:              label,
+			PeakRSS:            int64(rss),
+			SimulatePeakRSS:    int64(num("simulate_peak_rss_bytes")),
+			SimulateS:          num("simulate_s"),
+			CharacterizeS:      num("characterize_s"),
+			TotalS:             num("total_s"),
+			SchedEventsMaxNode: int64(num("sched_events_max_node")),
+			SchedEventsTotal:   int64(num("sched_events_total")),
+			MergePeakPending:   int64(num("merge_peak_pending")),
+			SpilledSessions:    int64(num("spilled_sessions")),
 		}
 	}
 	var walk func(v any)

@@ -42,3 +42,39 @@ func BenchmarkEngineRun(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEngineHighNodeCount runs the keyed engine at a node count far
+// beyond the paper's 48-vantage fleet, the regime the keyed tie-break
+// exists for: under chain replay every node re-fired the whole global
+// arrival chain, so the fleet's total scheduled events had a hard floor
+// of nodes × arrivals and this benchmark would have been quadratic-ish
+// in the fleet size. The asserted bound is that floor; the reported
+// sched-events/node metric is the busiest node's lifetime
+// scheduled-event count — O(own sessions + own per-session events), it
+// *falls* as nodes grow instead of staying pinned at the arrival count.
+func BenchmarkEngineHighNodeCount(b *testing.B) {
+	cfg := capture.DefaultConfig(2004, 0.02)
+	cfg.Workload.Days = 1
+	fleet := capture.FleetConfig{Node: cfg, Nodes: 128}
+	b.ReportAllocs()
+	var maxSched uint64
+	for i := 0; i < b.N; i++ {
+		e := New(Config{Fleet: fleet, Workers: runtime.GOMAXPROCS(0)})
+		tr := e.Run()
+		if len(tr.Conns) == 0 {
+			b.Fatal("empty trace")
+		}
+		maxSched = 0
+		var total uint64
+		for _, n := range e.ScheduledPerNode() {
+			if n > maxSched {
+				maxSched = n
+			}
+			total += n
+		}
+		if floor := e.Stats().Arrivals * uint64(fleet.Nodes); total >= floor {
+			b.Fatalf("fleet scheduled %d events ≥ the %d chain-replay floor (nodes × arrivals) — replay cost is back", total, floor)
+		}
+	}
+	b.ReportMetric(float64(maxSched), "sched-events/node")
+}

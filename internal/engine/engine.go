@@ -16,28 +16,48 @@
 //
 //  1. Partition (sequential): replay the arrival process once, drawing the
 //     session GUIDs in the exact order the sequential fleet draws them,
-//     and split the sessions by guid.Shard into per-node lists.
-//  2. Execute (parallel): each node simulates on its own scheduler. To
-//     reproduce the shared scheduler's FIFO tie-break exactly, every node
-//     replays the *whole* arrival chain — one chain event per global
-//     arrival, each scheduling the next and dispatching only the node's
-//     own sessions. Foreign arrivals cost one trivial event each, which
-//     buys the determinism contract below; the real per-node work (tens
-//     of events per accepted session) dwarfs it.
+//     split the sessions by guid.Shard into per-node lists, and record
+//     each arrival's (timestamp, global chain position) — the precomputed
+//     tie-break key that makes phase 2 independent of foreign arrivals.
+//  2. Execute (parallel): each node simulates on its own scheduler,
+//     scheduling only its own sessions. Per-node cost is O(own sessions ×
+//     events per session); the global arrival count appears only through
+//     O(log) amortized reads of the shared, immutable starts array.
 //
-// # Determinism contract (shard → node → goroutine, merge order-independent)
+// # Determinism contract (keyed tie-break, merge order-independent)
 //
 // In the sequential fleet, events with equal timestamps fire in schedule
-// (FIFO) order of one global sequence counter. A vantage's events are
-// scheduled only while (a) one of its own events fires or (b) an arrival-
-// chain event fires. Replaying the full chain on every node preserves the
-// relative schedule order of exactly that event subset, so the restriction
-// of the global fire order to one node's events equals the node's solo
-// fire order — ties included — and each per-node trace is byte-identical
-// to its sequential counterpart. trace.Merge is order-independent by total
+// (FIFO) order of one global sequence counter. That counter is equivalent
+// to a lexicographic tag (P, c): P = how many arrivals have been
+// dispatched when the event is scheduled, c = the schedule call's rank
+// within that interval — arrival k itself always carrying exactly (k, 0),
+// because the fleet's dispatcher schedules arrival k as the first call
+// while dispatching arrival k-1. The engine reproduces those tags without
+// replaying foreign arrivals:
+//
+//   - Each own arrival k is scheduled with the explicit simtime.SeqKey
+//     {Epoch: k, Pos: 0} at its precomputed timestamp — exactly the tag it
+//     has in the sequential order.
+//   - A pre-fire hook (simtime.Scheduler.SetFireHook) maintains the
+//     node's virtual chain cursor: before an implicit event with key
+//     (t, E, p≥1) fires, the hook counts — by a forward-only galloping
+//     search over the shared starts array — how many global arrivals
+//     precede it in the total order (start < t, or start == t with index
+//     ≤ E), and reseeds the scheduler's implicit key to (count, 1) when
+//     the count advanced. Every event the node schedules therefore gets
+//     the same (P, c) tag it would get in the sequential fleet, Pos 0 of
+//     each epoch staying reserved for the arrival itself.
+//
+// The restriction of the global fire order to one node's events then
+// equals the node's solo fire order — equal-timestamp ties included, which
+// do occur at full volume — so each per-node trace is byte-identical to
+// its sequential counterpart. trace.Merge is order-independent by total
 // order, so the merged trace is byte-identical too, for every Workers
 // value and for Workers == 1, and a one-node engine run reproduces the
-// historical single-vantage Sim byte for byte (all pinned by test).
+// historical single-vantage Sim byte for byte. All of this is pinned by
+// test against the sequential fleet and against a full-chain-replay
+// oracle (the engine's previous mechanism, kept in the test suite), at
+// node counts up to 256 and by fuzzing.
 //
 // The engine holds the full partitioned session set in memory (the
 // sequential fleet generates lazily); at paper scale this is a few GB on
@@ -75,6 +95,35 @@ type Config struct {
 	// GB the eager partition holds at paper scale). 0 keeps the eager
 	// path. The trace is byte-identical either way (pinned by test).
 	Lookahead int
+	// MergeWindow bounds how long one open session may hold the streaming
+	// merge's emission barrier in RunStream: sessions longer than the
+	// window take the merge's spill-to-final-sort path instead of freezing
+	// retirement (see stream.Merger.SetWindow — the drained trace is
+	// byte-identical either way). 0 means DefaultMergeWindow; negative
+	// disables the window (the pending buffer is then bounded only by the
+	// oldest open session, the pre-window behavior).
+	MergeWindow simtime.Time
+}
+
+// DefaultMergeWindow is the emission window RunStream uses when
+// Config.MergeWindow is 0: a generous max-duration quantile of the
+// paper's session-duration model. The duration fits are seconds-to-hours
+// scale — sessions outlasting a full day are deep in the Pareto tail —
+// so the window virtually never spills while capping the pending buffer
+// at one day's worth of completed sessions even when a session spans the
+// whole trace.
+const DefaultMergeWindow = simtime.Day
+
+// mergeWindow resolves Config.MergeWindow to the effective window.
+func (e *Engine) mergeWindow() simtime.Time {
+	switch {
+	case e.cfg.MergeWindow > 0:
+		return e.cfg.MergeWindow
+	case e.cfg.MergeWindow < 0:
+		return 0
+	default:
+		return DefaultMergeWindow
+	}
 }
 
 // Engine is a parallel sharded fleet simulation. Create with New, execute
@@ -93,8 +142,16 @@ type Engine struct {
 	stats      capture.FleetStats
 	nodeTraces []*trace.Trace
 	// peakPending is the streaming merge's high-water mark of completed
-	// sessions held behind the emission barrier (RunStream only).
+	// sessions held behind the emission barrier; every mode sets it (Run
+	// feeds the materialized traces through the same streaming merge).
 	peakPending int
+	// spilled is the merge's outlier count: sessions longer than the
+	// emission window, folded in at finish instead of held pending.
+	spilled int
+	// schedPerNode is each node's lifetime scheduled-event count — the
+	// O(own sessions) scaling metric the keyed tie-break buys, versus the
+	// O(global arrivals) every node paid under chain replay.
+	schedPerNode []uint64
 }
 
 // New builds an engine.
@@ -138,7 +195,6 @@ func (e *Engine) run() {
 	if e.ran {
 		return
 	}
-	e.ran = true
 
 	if e.cfg.Lookahead > 0 {
 		e.runBounded(nil)
@@ -148,7 +204,14 @@ func (e *Engine) run() {
 	// The production merge is the streaming k-way merge (fed the
 	// materialized per-node traces here); batch trace.Merge remains the
 	// reference oracle the equivalence tests compare against.
-	e.merged = stream.MergeTraces(e.nodeTraces...)
+	var ms stream.MergeStats
+	e.merged, ms = stream.MergeTracesStats(e.nodeTraces...)
+	e.peakPending = ms.PeakPending
+	e.spilled = ms.Spilled
+	// Mark the memo only after the run completed: a panic recovered by
+	// the caller must leave the engine retryable, not poisoned into
+	// returning a nil trace and zero stats forever.
+	e.ran = true
 }
 
 func (e *Engine) runEager() {
@@ -158,12 +221,21 @@ func (e *Engine) runEager() {
 
 	nodes := e.cfg.Fleet.Nodes
 	e.nodeTraces = make([]*trace.Trace, nodes)
+	e.schedPerNode = make([]uint64, nodes)
 	perNode := make([]capture.NodeStats, nodes)
+	// Schedulers are built on the caller's goroutine (a panicking
+	// constructor must surface here, where run()'s memo guard applies,
+	// not on a pool worker).
+	scheds := make([]simtime.Scheduler, nodes)
+	for i := range scheds {
+		scheds[i] = e.newSched()
+	}
 	tasks := make([]func(), nodes)
 	for i := range tasks {
 		i := i
 		tasks[i] = func() {
-			e.nodeTraces[i], perNode[i] = runNode(nodeCfg, i, e.newSched(), shared, part, horizon)
+			e.nodeTraces[i], perNode[i] = runNode(nodeCfg, i, scheds[i], shared, part, horizon)
+			e.schedPerNode[i] = scheds[i].Scheduled()
 		}
 	}
 	par.Run(par.Workers(e.Workers()), tasks)
@@ -179,21 +251,47 @@ func (e *Engine) runEager() {
 }
 
 // PeakPending reports the streaming merge's high-water mark of completed
-// sessions held behind the emission barrier; 0 unless RunStream ran.
+// sessions held behind the emission barrier. Every execution mode drives
+// the streaming merge — RunStream over live producers, Run over the
+// materialized per-node traces — so the diagnostic is populated (after
+// the run) in every mode.
 func (e *Engine) PeakPending() int { return e.peakPending }
+
+// SpilledSessions reports how many merged sessions exceeded the emission
+// window and took the merge's spill-to-final-sort path (see
+// Config.MergeWindow); 0 when the window never bound.
+func (e *Engine) SpilledSessions() int { return e.spilled }
+
+// ScheduledPerNode returns each node's lifetime scheduled-event count in
+// node order, running the simulation first if needed. With the keyed
+// tie-break this is O(own sessions × events per session) per node; under
+// the old chain replay every node also paid one event per *global*
+// arrival, which is the superlinearity the high-node-count benchmark
+// guards against.
+func (e *Engine) ScheduledPerNode() []uint64 {
+	e.run()
+	return e.schedPerNode
+}
 
 // Workers returns the configured worker bound (unresolved; 0 means
 // machine-sized).
 func (e *Engine) Workers() int { return e.cfg.Workers }
 
+// ownedSession is one node-owned arrival: the session object plus its
+// global chain position, which is the Epoch of its precomputed tie-break
+// key.
+type ownedSession struct {
+	sess *behavior.Session
+	gidx uint64
+}
+
 // partition is the pre-sharded arrival stream: every arrival instant in
-// chain order, each arrival's owning node, and the session objects split
-// per node (in the same chain order, so a node consumes its list front to
-// back).
+// chain order (shared, read-only — the keyed runs' chain cursors search
+// it), and the session objects split per node in the same chain order
+// with their global positions, so a node consumes its list front to back.
 type partition struct {
 	starts  []simtime.Time
-	owner   []uint32
-	perNode [][]*behavior.Session
+	perNode [][]ownedSession
 }
 
 // partitionArrivals replays the arrival process to the horizon. The
@@ -205,57 +303,129 @@ func partitionArrivals(cfg capture.FleetConfig) (*partition, *capture.SharedMode
 	gen := behavior.NewGenerator(cfg.Node.Workload)
 	shared := capture.NewSharedModel(gen)
 	guids := guid.NewSource(cfg.Node.Workload.Seed, capture.SessionGUIDSalt)
-	p := &partition{perNode: make([][]*behavior.Session, cfg.Nodes)}
+	p := &partition{perNode: make([][]ownedSession, cfg.Nodes)}
+	var k uint64
 	for sess := gen.Next(); sess != nil; sess = gen.Next() {
 		g := guids.Next()
 		n := g.Shard(cfg.Nodes)
 		p.starts = append(p.starts, sess.Start)
-		p.owner = append(p.owner, uint32(n))
-		p.perNode[n] = append(p.perNode[n], sess)
+		p.perNode[n] = append(p.perNode[n], ownedSession{sess: sess, gidx: k})
+		k++
 	}
 	return p, shared
 }
 
-// nodeRun is one vantage's event loop: the chain replay cursor plus the
-// node itself. It implements simtime.Event as the arrival-chain event —
-// one reusable object rescheduled for each chain position, so the chain
-// costs no per-event closure allocations.
-type nodeRun struct {
-	sched  simtime.Scheduler
-	node   *capture.Node
-	part   *partition
-	idx    uint32
-	k      int // next chain position
-	cursor int // next owned session
+// chainCount returns the first chain position ≥ from that does NOT fire
+// before an implicit event with key (at, epoch, pos ≥ 1) — equivalently,
+// how many global arrivals precede that event in the total order. A chain
+// entry j (key (starts[j], j, 0)) precedes the event iff starts[j] < at,
+// or starts[j] == at and j ≤ epoch. The predicate is monotone in j
+// (starts are nondecreasing) and fired keys are nondecreasing, so callers
+// pass a forward-only cursor as from; galloping plus binary search makes
+// the amortized cost O(log jump) per fired event, independent of the
+// global arrival count.
+func chainCount(starts []simtime.Time, from uint64, at simtime.Time, epoch uint64) uint64 {
+	return chainBoundary(uint64(len(starts)), from, func(j uint64) bool {
+		return starts[j] < at || (starts[j] == at && j <= epoch)
+	})
 }
 
-// Fire advances the arrival chain: schedule the next chain event first,
-// then dispatch the arrival if it is ours — the exact statement order of
-// the fleet's dispatcher, which the FIFO tie-break makes observable.
-func (r *nodeRun) Fire(now simtime.Time) {
-	k := r.k
-	r.k++
-	if r.k < len(r.part.starts) {
-		r.sched.Schedule(r.part.starts[r.k], r)
+// chainBoundary returns the first position in [from, n] at which the
+// monotone predicate fires turns false (n if it never does), by galloping
+// then binary search — O(log jump) evaluations, which is what keeps the
+// cursor's amortized cost independent of the global arrival count.
+func chainBoundary(n, from uint64, fires func(uint64) bool) uint64 {
+	if from >= n || !fires(from) {
+		return from
 	}
-	if r.part.owner[k] == r.idx {
-		mine := r.part.perNode[r.idx]
-		sess := mine[r.cursor]
-		// Release consumed sessions as the run progresses; at full volume
-		// the partitioned session set is the engine's main memory cost.
-		mine[r.cursor] = nil
-		r.cursor++
-		r.node.Arrive(now, sess)
+	// fires(from) holds; gallop for an upper bound. Monotonicity makes
+	// the skipped indices safe: fires(hi) implies fires of everything
+	// below hi.
+	lo, hi := from+1, from+1
+	for step := uint64(1); hi < n && fires(hi); step *= 2 {
+		lo = hi + 1
+		hi += step
 	}
+	if hi > n {
+		hi = n
+	}
+	// The boundary is in [lo, hi].
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if fires(mid) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// keyedRun is one vantage's event loop under the keyed tie-break: it
+// schedules only the node's own arrivals (each with its precomputed
+// explicit key) and, as the scheduler's pre-fire hook, maintains the
+// virtual chain cursor that keeps every implicit key bit-equal to the
+// sequential fleet's FIFO counter. One reusable object serves as the
+// arrival event for every own session, so arrivals cost no per-event
+// closure allocations.
+type keyedRun struct {
+	sched    simtime.Scheduler
+	node     *capture.Node
+	starts   []simtime.Time
+	mine     []ownedSession
+	cursor   int    // next own session
+	chainPos uint64 // global arrivals counted as dispatched so far
+}
+
+// beforeFire is the scheduler's pre-fire hook. Own arrivals carry Pos 0
+// (Pos ≥ 1 is reserved for implicit keys by the Reseed below), so the
+// Epoch is the arrival's own chain position and the cursor jumps past it
+// directly. For implicit events the cursor advances by searching the
+// shared starts array; when it moved, the implicit key is reseeded to
+// (cursor, 1) — Pos 0 of the new epoch stays reserved for the arrival
+// holding that chain position, exactly as the sequential fleet's
+// dispatcher orders it.
+func (r *keyedRun) beforeFire(at simtime.Time, key simtime.SeqKey) {
+	if key.Pos == 0 {
+		r.chainPos = key.Epoch + 1
+		r.sched.Reseed(simtime.SeqKey{Epoch: r.chainPos, Pos: 1})
+		return
+	}
+	if p := chainCount(r.starts, r.chainPos, at, key.Epoch); p > r.chainPos {
+		r.chainPos = p
+		r.sched.Reseed(simtime.SeqKey{Epoch: p, Pos: 1})
+	}
+}
+
+// Fire dispatches the node's next own session: schedule the following own
+// arrival at its precomputed key, then deliver this one — mirroring the
+// fleet dispatcher's schedule-next-then-dispatch order.
+func (r *keyedRun) Fire(now simtime.Time) {
+	i := r.cursor
+	r.cursor++
+	if r.cursor < len(r.mine) {
+		next := r.mine[r.cursor]
+		r.sched.ScheduleKeyed(next.sess.Start, simtime.SeqKey{Epoch: next.gidx}, r)
+	}
+	sess := r.mine[i].sess
+	// Release consumed sessions as the run progresses; at full volume
+	// the partitioned session set is the engine's main memory cost.
+	r.mine[i].sess = nil
+	r.node.Arrive(now, sess)
 }
 
 // runNode simulates one vantage to the horizon on its own scheduler and
 // returns its trace and accounting row.
 func runNode(cfg capture.Config, idx int, sched simtime.Scheduler, shared *capture.SharedModel, part *partition, horizon simtime.Time) (*trace.Trace, capture.NodeStats) {
+	// Reserve Pos 0 of epoch 0 for the virtual chain head before anything
+	// is scheduled, keeping the epoch/Pos split an invariant from the
+	// first event on.
+	sched.Reseed(simtime.SeqKey{Epoch: 0, Pos: 1})
 	node := capture.NewNode(cfg, idx, sched, shared)
-	r := &nodeRun{sched: sched, node: node, part: part, idx: uint32(idx)}
-	if len(part.starts) > 0 {
-		sched.Schedule(part.starts[0], r)
+	r := &keyedRun{sched: sched, node: node, starts: part.starts, mine: part.perNode[idx]}
+	sched.SetFireHook(r.beforeFire)
+	if len(r.mine) > 0 {
+		sched.ScheduleKeyed(r.mine[0].sess.Start, simtime.SeqKey{Epoch: r.mine[0].gidx}, r)
 	}
 	sched.RunUntil(horizon)
 	node.FinalizeOpen(horizon)

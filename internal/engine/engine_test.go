@@ -178,3 +178,63 @@ func TestEngineMatchesFleetAtScale(t *testing.T) {
 	}
 	t.Logf("identical: %d trace bytes", len(want))
 }
+
+// TestEngineRunRetryableAfterPanic pins the memo fix: a run that panics
+// (here via a failing scheduler constructor) must leave the engine
+// retryable — before the fix, run() set ran=true up front, so a caller
+// that recovered the panic got a poisoned engine returning a nil trace
+// and zero stats forever.
+func TestEngineRunRetryableAfterPanic(t *testing.T) {
+	for _, lookahead := range []int{0, 16} {
+		e := New(Config{Fleet: testCfg(13, 1, 3), Lookahead: lookahead})
+		real := e.newSched
+		e.newSched = func() simtime.Scheduler { panic("scheduler construction failed") }
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("lookahead=%d: expected Run to panic", lookahead)
+				}
+			}()
+			e.Run()
+		}()
+		e.newSched = real
+		tr := e.Run()
+		if tr == nil {
+			t.Fatalf("lookahead=%d: engine poisoned — retry after recovered panic returned nil trace", lookahead)
+		}
+		want := New(Config{Fleet: testCfg(13, 1, 3), Lookahead: lookahead}).Run()
+		if !bytes.Equal(traceBytes(t, want), traceBytes(t, tr)) {
+			t.Fatalf("lookahead=%d: retried run trace differs from a fresh engine's", lookahead)
+		}
+		if e.Stats().Arrivals == 0 {
+			t.Fatalf("lookahead=%d: retried run reported zero arrivals", lookahead)
+		}
+	}
+}
+
+// TestPeakPendingReportedEveryMode pins the accounting contract: every
+// mode that produces the merged trace drives the streaming merge, so
+// PeakPending is nonzero after eager Run, bounded Run, and RunStream
+// alike — the analyze -perf line no longer reports a misleading zero for
+// the batch paths.
+func TestPeakPendingReportedEveryMode(t *testing.T) {
+	modes := []struct {
+		name string
+		run  func(e *Engine)
+	}{
+		{"eager", func(e *Engine) { e.Run() }},
+		{"bounded", func(e *Engine) { e.Run() }},
+		{"stream", func(e *Engine) { e.RunStream(nil) }},
+	}
+	for _, m := range modes {
+		cfg := Config{Fleet: testCfg(7, 1, 4)}
+		if m.name == "bounded" {
+			cfg.Lookahead = 16
+		}
+		e := New(cfg)
+		m.run(e)
+		if e.PeakPending() <= 0 {
+			t.Fatalf("%s: PeakPending = %d, want > 0", m.name, e.PeakPending())
+		}
+	}
+}

@@ -19,23 +19,26 @@ import (
 // pre-partition holds at paper scale.
 const DefaultLookahead = 1024
 
-// chainChunk is one slab of the published arrival chain. Chunked storage
-// lets readers index concurrently while the producer appends: a slab is
-// never reallocated, and the chunk directory is replaced copy-on-write.
+// chainChunk is one slab of the published arrival instants. Chunked
+// storage lets readers index concurrently while the producer appends: a
+// slab is never reallocated, and the chunk directory is replaced
+// copy-on-write.
 const chainChunkSize = 8192
 
 type chainChunk struct {
 	start [chainChunkSize]simtime.Time
-	owner [chainChunkSize]uint32
 }
 
-// chain is the incrementally published arrival chain — the conservative
-// synchronizer of the bounded producer. The producer appends (start,
-// owner) pairs and advances the published length; node event loops read
-// entry k+1 before firing chain position k, blocking (conservatively,
-// in the Chandy–Misra sense: a node's clock never advances past the last
-// published arrival instant) until the producer has published it or
-// declared the chain complete. The fast path is two atomic loads; the
+// chain is the incrementally published arrival-instant sequence — the
+// conservative synchronizer of the bounded producer. Under the keyed
+// tie-break, nodes no longer consume foreign chain entries as events;
+// they only need the conservative time window: before an implicit event
+// at instant t fires, the node's chain cursor must know exactly how many
+// global arrivals precede it, which requires the published prefix to
+// extend past t (or the chain to be complete). countThrough blocks —
+// conservatively, in the Chandy–Misra sense: a node's clock never
+// advances past what the published prefix can order exactly — until the
+// producer has published that far. The fast path is two atomic loads; the
 // mutex is only taken to sleep and to publish.
 type chain struct {
 	mu     sync.Mutex
@@ -53,35 +56,41 @@ func newChain() *chain {
 	return c
 }
 
-// at reads a published entry. The caller must know k < published length.
-func (c *chain) at(k int64) (simtime.Time, uint32) {
-	ch := (*c.dir.Load())[k/chainChunkSize]
-	i := k % chainChunkSize
-	return ch.start[i], ch.owner[i]
+// countThrough is the bounded-mode chain cursor: the first chain position
+// ≥ from that does not fire before an implicit event with key (at, epoch,
+// pos ≥ 1), blocking until the published prefix suffices to answer
+// exactly. Same order predicate and galloping search as the eager
+// chainCount; the only difference is that the array grows underneath it.
+func (c *chain) countThrough(from uint64, at simtime.Time, epoch uint64) uint64 {
+	for {
+		n := uint64(c.n.Load())
+		dir := *c.dir.Load()
+		fires := func(j uint64) bool {
+			st := dir[j/chainChunkSize].start[j%chainChunkSize]
+			return st < at || (st == at && j <= epoch)
+		}
+		if from < n {
+			if p := chainBoundary(n, from, fires); p < n {
+				return p
+			}
+			from = n
+		}
+		// Every published entry fires before the event; only more
+		// publications (or completion) can pin the count down.
+		c.mu.Lock()
+		for uint64(c.n.Load()) == n && !c.closed.Load() {
+			c.cond.Wait()
+		}
+		c.mu.Unlock()
+		if c.closed.Load() && uint64(c.n.Load()) == n {
+			return n
+		}
+	}
 }
 
-// get blocks until entry k is published or the chain ends before it; ok
-// reports whether the entry exists.
-func (c *chain) get(k int64) (simtime.Time, uint32, bool) {
-	if k < c.n.Load() {
-		st, ow := c.at(k)
-		return st, ow, true
-	}
-	c.mu.Lock()
-	for k >= c.n.Load() && !c.closed.Load() {
-		c.cond.Wait()
-	}
-	c.mu.Unlock()
-	if k >= c.n.Load() {
-		return 0, 0, false
-	}
-	st, ow := c.at(k)
-	return st, ow, true
-}
-
-// publish appends a batch of entries and wakes waiting readers. Only the
-// producer goroutine calls it.
-func (c *chain) publish(starts []simtime.Time, owners []uint32) {
+// publish appends a batch of arrival instants and wakes waiting readers.
+// Only the producer goroutine calls it.
+func (c *chain) publish(starts []simtime.Time) {
 	n := c.n.Load()
 	dir := *c.dir.Load()
 	for i := range starts {
@@ -93,9 +102,7 @@ func (c *chain) publish(starts []simtime.Time, owners []uint32) {
 			dir = grown
 			c.dir.Store(&dir)
 		}
-		ch := dir[k/chainChunkSize]
-		ch.start[k%chainChunkSize] = starts[i]
-		ch.owner[k%chainChunkSize] = owners[i]
+		dir[k/chainChunkSize].start[k%chainChunkSize] = starts[i]
 	}
 	c.mu.Lock()
 	c.n.Store(n + int64(len(starts)))
@@ -114,19 +121,21 @@ func (c *chain) finish() {
 // produceArrivals is the bounded producer: it replays the arrival process
 // in the exact order the sequential fleet draws it — generator and
 // session-GUID streams consumed identically, so the sharding is bit-equal
-// to the eager partition — but publishes the chain incrementally and
-// hands each session to its owner's bounded queue, blocking when that
-// queue is full. Publication order is chain-before-session: by the time a
-// node can fire chain position k, session k is already in (or on its way
-// into) its owner's queue, and sessions arrive on each queue in exactly
-// the order the node consumes them.
+// to the eager partition — but publishes the arrival instants
+// incrementally and hands each session (with its global chain position,
+// the Epoch of its tie-break key) to its owner's bounded queue, blocking
+// when that queue is full. Publication order is chain-before-session: by
+// the time a node can fire arrival k, the chain prefix through k is
+// published, and sessions arrive on each queue in exactly the order the
+// node consumes them.
 //
 // Deadlock freedom: the producer blocks only on the slowest node's full
 // queue; that node always has a queue's worth of sessions whose chain
-// prefix is fully published, so it drains; every other node either
-// progresses on published entries or sleeps in chain.get, holding no
-// resource the producer needs.
-func produceArrivals(cfg capture.FleetConfig, gen *behavior.Generator, ch *chain, queues []chan *behavior.Session) uint64 {
+// prefix is fully published (publish precedes enqueue, and arrivals are
+// start-ordered), so its cursor can always resolve and it drains; every
+// other node either progresses on published entries or sleeps in
+// countThrough / its queue read, holding no resource the producer needs.
+func produceArrivals(cfg capture.FleetConfig, gen *behavior.Generator, ch *chain, queues []chan ownedSession) uint64 {
 	guids := guid.NewSource(cfg.Node.Workload.Seed, capture.SessionGUIDSalt)
 	const batch = 512
 	starts := make([]simtime.Time, 0, batch)
@@ -137,9 +146,10 @@ func produceArrivals(cfg capture.FleetConfig, gen *behavior.Generator, ch *chain
 		if len(starts) == 0 {
 			return
 		}
-		ch.publish(starts, owners)
+		ch.publish(starts)
+		base := total - uint64(len(starts))
 		for i, s := range sessions {
-			queues[owners[i]] <- s
+			queues[owners[i]] <- ownedSession{sess: s, gidx: base + uint64(i)}
 		}
 		starts, owners, sessions = starts[:0], owners[:0], sessions[:0]
 	}
@@ -162,48 +172,63 @@ func produceArrivals(cfg capture.FleetConfig, gen *behavior.Generator, ch *chain
 	return total
 }
 
-// boundedRun is one vantage's event loop against the incrementally
-// published chain: the bounded-mode counterpart of nodeRun, firing the
-// identical event sequence (schedule-next-then-dispatch, same FIFO
-// tie-break) with the full session set replaced by a Lookahead-deep
+// keyedBoundedRun is one vantage's event loop against the incrementally
+// published chain: the bounded-mode counterpart of keyedRun, firing the
+// identical event sequence with the shared starts array replaced by the
+// published chain (cursor searches may block until the producer catches
+// up) and the partitioned session list replaced by a Lookahead-deep
 // queue.
-type boundedRun struct {
-	sched simtime.Scheduler
-	node  *capture.Node
-	ch    *chain
-	queue <-chan *behavior.Session
-	idx   uint32
-	k     int64
+type keyedBoundedRun struct {
+	sched    simtime.Scheduler
+	node     *capture.Node
+	ch       *chain
+	queue    <-chan ownedSession
+	cur      ownedSession // the session this scheduled arrival delivers
+	chainPos uint64
 }
 
-// Fire advances the arrival chain exactly as nodeRun.Fire does; the only
-// difference is where the next instant and the owned session come from
-// (the published chain and the bounded queue, both of which may block
-// this node's goroutine until the producer catches up).
-func (r *boundedRun) Fire(now simtime.Time) {
-	k := r.k
-	r.k++
-	if next, _, ok := r.ch.get(r.k); ok {
-		r.sched.Schedule(next, r)
+// beforeFire mirrors keyedRun.beforeFire; countThrough blocks this node's
+// goroutine until the published prefix can order the event exactly.
+func (r *keyedBoundedRun) beforeFire(at simtime.Time, key simtime.SeqKey) {
+	if key.Pos == 0 {
+		r.chainPos = key.Epoch + 1
+		r.sched.Reseed(simtime.SeqKey{Epoch: r.chainPos, Pos: 1})
+		return
 	}
-	if _, owner := r.ch.at(k); owner == r.idx {
-		r.node.Arrive(now, <-r.queue)
+	if p := r.ch.countThrough(r.chainPos, at, key.Epoch); p > r.chainPos {
+		r.chainPos = p
+		r.sched.Reseed(simtime.SeqKey{Epoch: p, Pos: 1})
 	}
+}
+
+// Fire dispatches the node's next own session, first pulling the
+// following one off the queue (which may block until the producer
+// delivers it) and scheduling it at its precomputed key.
+func (r *keyedBoundedRun) Fire(now simtime.Time) {
+	sess := r.cur.sess
+	if next, ok := <-r.queue; ok {
+		r.cur = next
+		r.sched.ScheduleKeyed(next.sess.Start, simtime.SeqKey{Epoch: next.gidx}, r)
+	}
+	r.node.Arrive(now, sess)
 }
 
 // runNodeBounded simulates one vantage to the horizon against the
-// bounded producer, in retained mode (tr non-nil) or streaming-sink mode.
+// bounded producer, in retained mode (sink nil) or streaming-sink mode.
 func runNodeBounded(cfg capture.Config, idx int, sched simtime.Scheduler, shared *capture.SharedModel,
-	ch *chain, queue <-chan *behavior.Session, horizon simtime.Time, sink *stream.Producer) *capture.Node {
+	ch *chain, queue <-chan ownedSession, horizon simtime.Time, sink *stream.Producer) *capture.Node {
+	sched.Reseed(simtime.SeqKey{Epoch: 0, Pos: 1})
 	var node *capture.Node
 	if sink != nil {
 		node = capture.NewNodeStream(cfg, idx, sched, shared, sink)
 	} else {
 		node = capture.NewNode(cfg, idx, sched, shared)
 	}
-	r := &boundedRun{sched: sched, node: node, ch: ch, queue: queue, idx: uint32(idx)}
-	if first, _, ok := ch.get(0); ok {
-		sched.Schedule(first, r)
+	r := &keyedBoundedRun{sched: sched, node: node, ch: ch, queue: queue}
+	sched.SetFireHook(r.beforeFire)
+	if first, ok := <-queue; ok {
+		r.cur = first
+		sched.ScheduleKeyed(first.sess.Start, simtime.SeqKey{Epoch: first.gidx}, r)
 	}
 	sched.RunUntil(horizon)
 	node.FinalizeOpen(horizon)
@@ -231,9 +256,16 @@ func (e *Engine) runBounded(intake chan<- stream.Batch) {
 		la = DefaultLookahead
 	}
 	ch := newChain()
-	queues := make([]chan *behavior.Session, nodes)
+	queues := make([]chan ownedSession, nodes)
 	for i := range queues {
-		queues[i] = make(chan *behavior.Session, la)
+		queues[i] = make(chan ownedSession, la)
+	}
+	// Schedulers are built on the caller's goroutine (a panicking
+	// constructor must surface where the memo guard applies, not on a
+	// node goroutine).
+	scheds := make([]simtime.Scheduler, nodes)
+	for i := range scheds {
+		scheds[i] = e.newSched()
 	}
 
 	var arrivals uint64
@@ -245,6 +277,7 @@ func (e *Engine) runBounded(intake chan<- stream.Batch) {
 	}()
 
 	e.nodeTraces = make([]*trace.Trace, nodes)
+	e.schedPerNode = make([]uint64, nodes)
 	perNode := make([]capture.NodeStats, nodes)
 	var wg sync.WaitGroup
 	for i := 0; i < nodes; i++ {
@@ -255,9 +288,10 @@ func (e *Engine) runBounded(intake chan<- stream.Batch) {
 			if intake != nil {
 				sink = stream.NewProducer(i, intake)
 			}
-			node := runNodeBounded(nodeCfg, i, e.newSched(), shared, ch, queues[i], horizon, sink)
+			node := runNodeBounded(nodeCfg, i, scheds[i], shared, ch, queues[i], horizon, sink)
 			e.nodeTraces[i] = node.Trace()
 			perNode[i] = node.Stats()
+			e.schedPerNode[i] = scheds[i].Scheduled()
 		}(i)
 	}
 	wg.Wait()
@@ -274,17 +308,19 @@ func (e *Engine) runBounded(intake chan<- stream.Batch) {
 // the drained merged trace: the bounded producer feeds per-node event
 // loops, each vantage emits records into the streaming k-way merge as
 // they finalize, and sink (which may be nil) observes every merged
-// session in the global merged order as it retires. Per-node traces and
-// the partitioned session set are never materialized — at paper scale
-// this is what cuts the simulate-phase peak RSS — and the returned trace
-// is byte-identical to Run()'s (pinned by test, verified at full volume
-// by equal trace hashes). Subsequent calls return the memoized trace.
+// session in the global merged order as it retires — except sessions
+// longer than the merge window, which the sink observes last (see
+// Config.MergeWindow). Per-node traces and the partitioned session set
+// are never materialized — at paper scale this is what cuts the
+// simulate-phase peak RSS — and the returned trace is byte-identical to
+// Run()'s (pinned by test, verified at full volume by equal trace
+// hashes). Subsequent calls return the memoized trace.
 func (e *Engine) RunStream(sink stream.Sink) *trace.Trace {
 	if e.ran {
 		return e.merged
 	}
-	e.ran = true
 	merger := stream.NewMerger(e.cfg.Fleet.Nodes, sink)
+	merger.SetWindow(e.mergeWindow())
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
@@ -295,5 +331,9 @@ func (e *Engine) RunStream(sink stream.Sink) *trace.Trace {
 	wg.Wait()
 	e.nodeTraces = nil // streaming nodes hold no records
 	e.peakPending = merger.PeakPending()
+	e.spilled = merger.Spilled()
+	// As in run(): the memo marks success only, so a panic recovered by
+	// the caller leaves the engine retryable instead of poisoned.
+	e.ran = true
 	return e.merged
 }

@@ -17,16 +17,20 @@ import (
 // pending events (see BenchmarkSchedulerHold for the measured crossover).
 //
 // Ordering is identical to HeapScheduler by contract: events fire in
-// (timestamp, schedule-FIFO) order, which the equivalence property and
+// (timestamp, sequence-key, insertion) order — plain schedule-FIFO when
+// the caller never touches keys — which the equivalence property and
 // fuzz tests pin operation for operation, cancellations and ties included.
 // Cancellation is lazy: a cancelled item stays in its bucket (marked by
 // the shared index == -1 sentinel) until a scan sweeps it out, so Cancel
 // is O(1) and Pending counts live events only. Not safe for concurrent
 // use.
 type CalendarScheduler struct {
-	now   Time
-	seq   uint64
-	fired uint64
+	now       Time
+	cur       SeqKey // implicit key of the next Schedule call
+	seq       uint64 // unique insertion counter
+	scheduled uint64
+	fired     uint64
+	hook      FireHook
 
 	buckets [][]*item
 	mask    int  // len(buckets) - 1; bucket count is a power of two
@@ -76,6 +80,10 @@ func (s *CalendarScheduler) Now() Time { return s.now }
 // Fired returns how many events have been executed.
 func (s *CalendarScheduler) Fired() uint64 { return s.fired }
 
+// Scheduled returns how many events have been queued over the scheduler's
+// lifetime.
+func (s *CalendarScheduler) Scheduled() uint64 { return s.scheduled }
+
 // Pending returns the number of scheduled events not yet fired or
 // cancelled.
 func (s *CalendarScheduler) Pending() int { return s.live }
@@ -85,18 +93,28 @@ func (s *CalendarScheduler) bucketOf(at Time) int {
 	return int(uint64(at/s.width) & uint64(s.mask))
 }
 
-// Schedule queues an event at an absolute simulated instant. Scheduling in
-// the past (before Now) fires the event at the current time rather than
-// rewinding the clock.
+// Schedule queues an event at an absolute simulated instant with the
+// implicit (FIFO-advancing) tie-break key. Scheduling in the past (before
+// Now) fires the event at the current time rather than rewinding the
+// clock.
 func (s *CalendarScheduler) Schedule(at Time, e Event) Handle {
+	key := s.cur
+	s.cur.Pos++
+	return s.ScheduleKeyed(at, key, e)
+}
+
+// ScheduleKeyed queues an event with an explicit tie-break key, leaving
+// the implicit key untouched.
+func (s *CalendarScheduler) ScheduleKeyed(at Time, key SeqKey, e Event) Handle {
 	if at < s.now {
 		at = s.now
 	}
 	if s.live+1 > 2*len(s.buckets) {
 		s.resize(len(s.buckets) * 2)
 	}
-	it := &item{at: at, seq: s.seq, event: e}
+	it := &item{at: at, key: key, seq: s.seq, event: e}
 	s.seq++
+	s.scheduled++
 	i := s.bucketOf(at)
 	s.buckets[i] = append(s.buckets[i], it)
 	s.live++
@@ -106,11 +124,20 @@ func (s *CalendarScheduler) Schedule(at Time, e Event) Handle {
 	if day := at - at%s.width; day < s.winStart {
 		s.winStart = day
 	}
-	if s.cached != nil && at < s.cached.at {
-		s.cached = nil // the new item preempts the cached minimum
+	// The new item preempts the cached minimum when it fires first —
+	// which an explicit key can achieve even at an equal timestamp, so
+	// the comparison must be the full fire order, not just the instant.
+	if s.cached != nil && it.before(s.cached) {
+		s.cached = nil
 	}
 	return Handle{it: it}
 }
+
+// Reseed repositions the implicit key.
+func (s *CalendarScheduler) Reseed(key SeqKey) { s.cur = key }
+
+// SetFireHook installs the pre-fire callback.
+func (s *CalendarScheduler) SetFireHook(h FireHook) { s.hook = h }
 
 // After queues an event delay after the current instant.
 func (s *CalendarScheduler) After(delay time.Duration, e Event) Handle {
@@ -156,9 +183,9 @@ func (s *CalendarScheduler) sweep(i int) {
 	s.buckets[i] = b
 }
 
-// findMin locates the earliest (at, seq) live item, advancing the day scan
-// as far as needed, and caches it. It returns nil when no live items
-// remain.
+// findMin locates the earliest (at, key, seq) live item, advancing the
+// day scan as far as needed, and caches it. It returns nil when no live
+// items remain.
 func (s *CalendarScheduler) findMin() *item {
 	if s.cached != nil && s.cached.index != -1 {
 		return s.cached
@@ -185,7 +212,7 @@ func (s *CalendarScheduler) findMin() *item {
 			// Only items of the current year's window belong to this day;
 			// later years wait for their wrap-around.
 			if it.at >= s.winStart && it.at < top {
-				if best == nil || it.at < best.at || (it.at == best.at && it.seq < best.seq) {
+				if best == nil || it.before(best) {
 					best = it
 				}
 			}
@@ -205,7 +232,7 @@ func (s *CalendarScheduler) directMin() *item {
 	for i := range s.buckets {
 		s.sweep(i)
 		for _, it := range s.buckets[i] {
-			if best == nil || it.at < best.at || (it.at == best.at && it.seq < best.seq) {
+			if best == nil || it.before(best) {
 				best = it
 			}
 		}
@@ -243,6 +270,9 @@ func (s *CalendarScheduler) Step() bool {
 	}
 	s.now = it.at
 	s.fired++
+	if s.hook != nil {
+		s.hook(it.at, it.key)
+	}
 	it.event.Fire(s.now)
 	return true
 }

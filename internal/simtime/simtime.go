@@ -62,8 +62,37 @@ type EventFunc func(now Time)
 // Fire implements Event.
 func (f EventFunc) Fire(now Time) { f(now) }
 
+// SeqKey is an event's equal-timestamp tie-break rank: among events with
+// the same timestamp, smaller keys fire first (lexicographically by
+// Epoch, then Pos; insertion order breaks exact key collisions). The
+// zero scheduler assigns implicit keys {0, 0}, {0, 1}, {0, 2}, … in
+// Schedule-call order, which is plain FIFO — callers that never touch
+// keys see exactly the historical (timestamp, FIFO) contract. Two
+// extensions exist for callers that need a fire order agreed on across
+// schedulers (the sharded engine's determinism contract): ScheduleKeyed
+// plants an event at an explicit rank, and Reseed repositions the
+// implicit counter so subsequent Schedule calls rank relative to a
+// caller-chosen point.
+type SeqKey struct {
+	Epoch uint64
+	Pos   uint64
+}
+
+// Less reports whether k ranks strictly before o.
+func (k SeqKey) Less(o SeqKey) bool {
+	if k.Epoch != o.Epoch {
+		return k.Epoch < o.Epoch
+	}
+	return k.Pos < o.Pos
+}
+
+// FireHook observes each event just before it fires, with the clock
+// already advanced to the event's timestamp and the event's tie-break
+// key. See Scheduler.SetFireHook.
+type FireHook func(at Time, key SeqKey)
+
 // Scheduler is the discrete-event scheduler API: a virtual clock plus a
-// pending-event queue ordered by (timestamp, FIFO sequence). Two
+// pending-event queue ordered by (timestamp, sequence key). Two
 // implementations exist — HeapScheduler (container/heap binary heap) and
 // CalendarScheduler (Brown's calendar queue, O(1) amortized at large
 // pending counts) — and they are contractually order-equivalent: for the
@@ -76,14 +105,33 @@ type Scheduler interface {
 	Now() Time
 	// Fired returns how many events have been executed.
 	Fired() uint64
+	// Scheduled returns how many events have been queued over the
+	// scheduler's lifetime (fired, pending and cancelled alike) — the
+	// per-node work metric the engine's scaling contract is stated in.
+	Scheduled() uint64
 	// Pending returns the number of scheduled events not yet fired or
 	// cancelled.
 	Pending() int
 	// Schedule queues an event at an absolute simulated instant.
 	// Scheduling in the past (before Now) fires the event at the current
-	// time rather than rewinding the clock. Events with equal timestamps
-	// fire in Schedule order (FIFO), which keeps runs deterministic.
+	// time rather than rewinding the clock. The event's tie-break key is
+	// the current implicit key, which then advances by one Pos — absent
+	// Reseed/ScheduleKeyed, events with equal timestamps fire in Schedule
+	// order (FIFO), which keeps runs deterministic.
 	Schedule(at Time, e Event) Handle
+	// ScheduleKeyed queues an event with an explicit tie-break key,
+	// leaving the implicit key untouched. Equal (timestamp, key) pairs
+	// fall back to insertion order.
+	ScheduleKeyed(at Time, key SeqKey, e Event) Handle
+	// Reseed repositions the implicit key: the next Schedule call uses
+	// exactly key, the one after key with Pos+1, and so on.
+	Reseed(key SeqKey)
+	// SetFireHook installs a callback invoked immediately before every
+	// event's Fire, after the clock has advanced to the event's
+	// timestamp. The hook may call Reseed (the engine's keyed tie-break
+	// cursor lives there); it must not schedule or cancel events. A nil
+	// hook removes it.
+	SetFireHook(h FireHook)
 	// After queues an event delay after the current instant.
 	After(delay time.Duration, e Event) Handle
 	// Cancel removes a scheduled event. Cancelling an already-fired or
@@ -101,14 +149,29 @@ type Scheduler interface {
 }
 
 type item struct {
-	at    Time
-	seq   uint64 // tie-break: FIFO among equal timestamps, keeps runs deterministic
+	at  Time
+	key SeqKey // tie-break rank among equal timestamps
+	// seq is the unique insertion counter, the final tie-break: it keeps
+	// the order total (and both implementations identical) even when a
+	// caller plants two events on the same (at, key).
+	seq   uint64
 	event Event
 	// index is -1 once the item has fired or been cancelled. While queued,
 	// the heap implementation stores the item's heap position here; the
 	// calendar implementation only uses the -1 sentinel (cancellation is
 	// lazy there — dead items are swept out when their bucket is scanned).
 	index int
+}
+
+// before is the full fire order: timestamp, then key, then insertion.
+func (a *item) before(b *item) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.key != b.key {
+		return a.key.Less(b.key)
+	}
+	return a.seq < b.seq
 }
 
 // Handle identifies a scheduled event so it can be cancelled.
@@ -120,13 +183,8 @@ func (h Handle) Cancelled() bool { return h.it == nil || h.it.index == -1 }
 
 type eventHeap []*item
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].before(h[j]) }
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
@@ -151,10 +209,13 @@ func (h *eventHeap) Pop() any {
 // reference the calendar queue is order-equivalence-tested against. It is
 // not safe for concurrent use.
 type HeapScheduler struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	fired  uint64
+	now       Time
+	cur       SeqKey // implicit key of the next Schedule call
+	seq       uint64 // unique insertion counter
+	scheduled uint64
+	events    eventHeap
+	fired     uint64
+	hook      FireHook
 }
 
 // NewScheduler returns a heap scheduler positioned at the trace epoch.
@@ -169,21 +230,41 @@ func (s *HeapScheduler) Now() Time { return s.now }
 // complexity metric for benchmarks.
 func (s *HeapScheduler) Fired() uint64 { return s.fired }
 
+// Scheduled returns how many events have been queued over the scheduler's
+// lifetime.
+func (s *HeapScheduler) Scheduled() uint64 { return s.scheduled }
+
 // Pending returns the number of scheduled events not yet fired or cancelled.
 func (s *HeapScheduler) Pending() int { return len(s.events) }
 
-// Schedule queues an event at an absolute simulated instant. Scheduling in
-// the past (before Now) fires the event at the current time rather than
-// rewinding the clock.
+// Schedule queues an event at an absolute simulated instant with the
+// implicit (FIFO-advancing) tie-break key. Scheduling in the past (before
+// Now) fires the event at the current time rather than rewinding the
+// clock.
 func (s *HeapScheduler) Schedule(at Time, e Event) Handle {
+	key := s.cur
+	s.cur.Pos++
+	return s.ScheduleKeyed(at, key, e)
+}
+
+// ScheduleKeyed queues an event with an explicit tie-break key, leaving
+// the implicit key untouched.
+func (s *HeapScheduler) ScheduleKeyed(at Time, key SeqKey, e Event) Handle {
 	if at < s.now {
 		at = s.now
 	}
-	it := &item{at: at, seq: s.seq, event: e}
+	it := &item{at: at, key: key, seq: s.seq, event: e}
 	s.seq++
+	s.scheduled++
 	heap.Push(&s.events, it)
 	return Handle{it: it}
 }
+
+// Reseed repositions the implicit key.
+func (s *HeapScheduler) Reseed(key SeqKey) { s.cur = key }
+
+// SetFireHook installs the pre-fire callback.
+func (s *HeapScheduler) SetFireHook(h FireHook) { s.hook = h }
 
 // After queues an event delay after the current instant.
 func (s *HeapScheduler) After(delay time.Duration, e Event) Handle {
@@ -209,6 +290,9 @@ func (s *HeapScheduler) Step() bool {
 	it := heap.Pop(&s.events).(*item)
 	s.now = it.at
 	s.fired++
+	if s.hook != nil {
+		s.hook(it.at, it.key)
+	}
 	it.event.Fire(s.now)
 	return true
 }

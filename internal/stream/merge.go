@@ -11,6 +11,12 @@ import (
 // session, in the final merged order, with the final dense connection ID
 // already assigned. The online characterization layer implements Sink; a
 // nil sink is allowed. Calls happen on the merger's goroutine.
+//
+// When an emission window is set (SetWindow), sessions whose duration
+// exceeds the window are folded in at finish instead of inline: the sink
+// observes them last, after every windowed session, rather than at their
+// merged position. The drained trace is unaffected — the fold inserts
+// them at their exact merged positions.
 type Sink interface {
 	MergedSession(c *trace.Conn, qs []trace.Query)
 }
@@ -36,6 +42,19 @@ type Merger struct {
 
 	pending sessHeap
 	last    *SessionRecord // previous emission, for adjacent-duplicate collapse
+
+	// window, when > 0, bounds how long one open session may hold the
+	// emission barrier: each input's barrier contribution is clamped to
+	// at least watermark − window, and sessions whose duration exceeds
+	// the window ("outliers") are diverted to spill instead of pending.
+	// Any future non-outlier close has start ≥ its input's watermark −
+	// window, so windowed emission stays in merged order; the outliers
+	// are folded back into their exact merged positions at finish. 0
+	// means unbounded (the barrier waits for the oldest open session,
+	// however long it lives).
+	window  trace.Time
+	spill   []*SessionRecord
+	spilled int
 
 	out     *trace.Trace
 	remain  int // inputs that have not sent EvDone yet
@@ -80,6 +99,21 @@ func NewMerger(k int, sink Sink) *Merger {
 // their batches to.
 func (m *Merger) Intake() chan<- Batch { return m.intake }
 
+// SetWindow bounds the emission barrier: no single open session may hold
+// back retirement by more than w of stream time. Sessions longer than w
+// take the spill path — buffered whole and folded into their exact merged
+// positions at finish (the sink sees them last; the drained trace is
+// byte-identical either way, pinned by test). Without a window, one
+// session spanning the whole trace degrades the merge to full buffering;
+// with it, PeakPending is bounded by the sessions completing within a
+// w-wide window plus the (rare, duration-tail) spill set. Set before any
+// events are fed; w ≤ 0 means unbounded.
+func (m *Merger) SetWindow(w trace.Time) { m.window = w }
+
+// Spilled reports how many sessions exceeded the emission window and took
+// the spill path.
+func (m *Merger) Spilled() int { return m.spilled }
+
 // Run consumes batches until every input has delivered its EvDone
 // trailer, then drains the pending buffer and returns the merged trace.
 // It must run on its own goroutine while producers emit (the intake
@@ -121,6 +155,16 @@ func (m *Merger) apply(input int, st *inputState, ev *Event) {
 			}
 			st.fifo = st.fifo[1:]
 		}
+		// Outliers — sessions longer than the emission window — go to the
+		// spill set. The windowed barrier may already have passed their
+		// start, so they cannot be emitted inline; and the classification
+		// depends only on the record itself, so the inline emission order
+		// (everything a Sink observes before finish) stays deterministic.
+		if m.window > 0 && ev.Sess.Conn.End-ev.Sess.Conn.Start > m.window {
+			m.spill = append(m.spill, ev.Sess)
+			m.spilled++
+			break
+		}
 		heap.Push(&m.pending, ev.Sess)
 		if len(m.pending) > m.peakPending {
 			m.peakPending = len(m.pending)
@@ -157,10 +201,18 @@ func (m *Merger) fold(input int, end *End) {
 	m.out.Counts.Add(end.Counts)
 }
 
-// barrier returns the instant before which no new session record can
-// appear: the minimum over inputs of the earliest still-open start and,
-// for inputs still producing, the watermark (future arrivals start at or
-// after it). Inputs that are done with nothing open contribute nothing.
+// barrier returns the instant before which no new inline session record
+// can appear: the minimum over inputs of the earliest still-open start
+// and, for inputs still producing, the watermark (future arrivals start
+// at or after it). Inputs that are done with nothing open contribute
+// nothing.
+//
+// With an emission window, an open session bounds the barrier by at most
+// window: its contribution is clamped to ≥ watermark − window. That stays
+// safe for inline (non-spilled) emission because any future close with
+// duration ≤ window arrives at some instant c ≥ watermark and so has
+// start ≥ c − window ≥ watermark − window; closes with larger durations
+// are outliers and never enter the pending heap.
 func (m *Merger) barrier() (trace.Time, bool) {
 	var b trace.Time
 	bounded := false
@@ -172,7 +224,11 @@ func (m *Merger) barrier() (trace.Time, bool) {
 	for i := range m.inputs {
 		st := &m.inputs[i]
 		if len(st.fifo) > 0 {
-			take(st.fifo[0].start)
+			hold := st.fifo[0].start
+			if m.window > 0 && st.watermark-m.window > hold {
+				hold = st.watermark - m.window
+			}
+			take(hold)
 		}
 		if !st.done {
 			take(st.watermark)
@@ -220,18 +276,85 @@ func (m *Merger) emit(r *SessionRecord) {
 	m.emitted++
 }
 
-// finish drains everything past the final (absent) barrier and puts the
-// global record sections into their canonical orders — the same final
-// sorts the batch merge runs, over exactly the records the batch merge
-// would hold.
+// finish drains everything past the final (absent) barrier, folds any
+// spilled outliers into their merged positions, and puts the global
+// record sections into their canonical orders — the same final sorts the
+// batch merge runs, over exactly the records the batch merge would hold.
 func (m *Merger) finish() {
 	m.advance()
+	if len(m.spill) > 0 {
+		m.foldSpill()
+	}
 	qs := m.out.Queries
 	sort.Slice(qs, func(i, j int) bool { return trace.CompareQuery(&qs[i], &qs[j]) < 0 })
 	ps := m.out.Pongs
 	sort.Slice(ps, func(i, j int) bool { return trace.ComparePong(&ps[i], &ps[j]) < 0 })
 	hs := m.out.Hits
 	sort.Slice(hs, func(i, j int) bool { return trace.CompareHit(&hs[i], &hs[j]) < 0 })
+}
+
+// foldSpill merges the spilled outlier sessions into the inline-emitted
+// trace at their exact merged positions, rebuilding the dense connection
+// IDs and collapsing duplicates exactly as inline emission does, so the
+// drained trace is byte-identical to an unwindowed merge. A spilled
+// record can never equal an inline one (equal records have equal
+// durations, and outlier-ness is a pure function of duration), so
+// duplicate collapse is only needed inside the spill set. The sink
+// observes the folded sessions here, after every inline one.
+func (m *Merger) foldSpill() {
+	sp := m.spill
+	m.spill = nil
+	sort.Slice(sp, func(i, j int) bool { return compareRecords(sp[i], sp[j]) < 0 })
+
+	oldConns, oldQueries := m.out.Conns, m.out.Queries
+	conns := make([]trace.Conn, 0, len(oldConns)+len(sp))
+	queries := make([]trace.Query, 0, len(oldQueries))
+	si, qi := 0, 0
+
+	place := func(c trace.Conn, qs []trace.Query) {
+		id := uint64(len(conns))
+		c.ID = id
+		conns = append(conns, c)
+		for i := range qs {
+			q := qs[i]
+			q.ConnID = id
+			queries = append(queries, q)
+		}
+	}
+	takeSpill := func() {
+		r := sp[si]
+		si++
+		// Adjacent duplicates inside the spill set collapse with the same
+		// counter deduction inline emission applies.
+		for si < len(sp) && compareRecords(sp[si], r) == 0 {
+			m.out.Counts.Query -= uint64(len(sp[si].Queries))
+			m.out.Counts.QueryHop1 -= uint64(len(sp[si].Queries))
+			si++
+		}
+		place(r.Conn, r.Queries)
+		if m.sink != nil {
+			m.sink.MergedSession(&conns[len(conns)-1], r.Queries)
+		}
+		m.emitted++
+	}
+
+	for ci := range oldConns {
+		// The inline queries are grouped contiguously by old dense ID.
+		qj := qi
+		for qj < len(oldQueries) && oldQueries[qj].ConnID == oldConns[ci].ID {
+			qj++
+		}
+		rec := SessionRecord{Conn: oldConns[ci], Queries: oldQueries[qi:qj]}
+		for si < len(sp) && compareRecords(sp[si], &rec) < 0 {
+			takeSpill()
+		}
+		place(oldConns[ci], oldQueries[qi:qj])
+		qi = qj
+	}
+	for si < len(sp) {
+		takeSpill()
+	}
+	m.out.Conns, m.out.Queries = conns, queries
 }
 
 // compareRecords is the merge's total order: the connection comparator
@@ -274,8 +397,23 @@ func (h *sessHeap) Pop() any {
 // released — progressively as the feed advances, instead of every record
 // pending until the last input has been consumed.
 func MergeTraces(traces ...*trace.Trace) *trace.Trace {
+	t, _ := MergeTracesStats(traces...)
+	return t
+}
+
+// MergeStats reports a completed merge's memory diagnostics: the pending
+// buffer's high-water mark and how many sessions took the spill path.
+type MergeStats struct {
+	PeakPending int
+	Spilled     int
+}
+
+// MergeTracesStats is MergeTraces plus the merge's own diagnostics, so
+// callers running the streaming merge over materialized traces report
+// the same PeakPending accounting as the live streaming path.
+func MergeTracesStats(traces ...*trace.Trace) (*trace.Trace, MergeStats) {
 	if len(traces) == 0 {
-		return &trace.Trace{Nodes: 0}
+		return &trace.Trace{Nodes: 0}, MergeStats{}
 	}
 	m := NewMerger(len(traces), nil)
 
@@ -369,5 +507,5 @@ func MergeTraces(traces ...*trace.Trace) *trace.Trace {
 		}
 	}
 	m.finish()
-	return m.out
+	return m.out, MergeStats{PeakPending: m.peakPending, Spilled: m.spilled}
 }

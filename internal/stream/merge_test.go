@@ -295,3 +295,99 @@ func FuzzMergeAgainstBatch(f *testing.F) {
 		}
 	})
 }
+
+// windowTestTrace builds the window regression workload: one trace-long
+// session opening at the epoch and closing just before the horizon, with
+// queries, plus shortCount one-second sessions marching across the span.
+func windowTestTrace(shortCount int) *trace.Trace {
+	tr := &trace.Trace{Days: 1, Nodes: 1, PongSampleRate: 1, HitSampleRate: 1}
+	long := trace.Conn{ID: 0, Start: 0, End: trace.Time(shortCount+500) * time.Second}
+	tr.Conns = append(tr.Conns, long)
+	tr.Queries = append(tr.Queries, trace.Query{ConnID: 0, At: 30 * time.Second, Text: "warez", Hops: 1})
+	tr.Counts.Query++
+	tr.Counts.QueryHop1++
+	for i := 1; i <= shortCount; i++ {
+		id := uint64(i)
+		start := trace.Time(i) * time.Second
+		tr.Conns = append(tr.Conns, trace.Conn{ID: id, Start: start, End: start + time.Second})
+		if i%7 == 0 {
+			tr.Queries = append(tr.Queries, trace.Query{ConnID: id, At: start, Text: "mp3", Hops: 1})
+			tr.Counts.Query++
+			tr.Counts.QueryHop1++
+		}
+	}
+	return tr
+}
+
+// TestMergerWindowBoundsPending is the satellite regression for the
+// unbounded-pending hole: one trace-long session used to hold every
+// later-starting completed session behind the barrier for the whole run.
+// With an emission window the merger classifies the long session an
+// outlier, keeps the barrier moving, and still drains byte-identical to
+// batch trace.Merge.
+func TestMergerWindowBoundsPending(t *testing.T) {
+	const shorts = 500
+	tr := windowTestTrace(shorts)
+	horizon := trace.Time(shorts+501) * time.Second
+	want := traceBytes(t, trace.Merge(tr))
+
+	run := func(window trace.Time) *stream.Merger {
+		m := stream.NewMerger(1, nil)
+		m.SetWindow(window)
+		done := make(chan *trace.Trace)
+		go func() { done <- m.Run() }()
+		replayAsStream(tr, stream.NewProducer(0, m.Intake()), horizon)
+		got := <-done
+		if !bytes.Equal(want, traceBytes(t, got)) {
+			t.Fatalf("window=%v: drained trace differs from batch trace.Merge", window)
+		}
+		return m
+	}
+
+	unbounded := run(0)
+	if unbounded.PeakPending() < shorts*4/5 {
+		t.Fatalf("unwindowed PeakPending = %d — the long session no longer holds the barrier, test premise broken", unbounded.PeakPending())
+	}
+	if unbounded.Spilled() != 0 {
+		t.Fatalf("unwindowed merge spilled %d sessions", unbounded.Spilled())
+	}
+
+	// The bound is the producer's batch granularity (256 events ≈ 128
+	// sessions land between barrier recomputations) plus the ~10 sessions
+	// a 10 s window legitimately holds — independent of the trace length,
+	// unlike the unwindowed run whose peak grows with every short session.
+	windowed := run(10 * time.Second)
+	if windowed.PeakPending() > 200 {
+		t.Fatalf("windowed PeakPending = %d, want bounded (≤ 200) — emission window not holding", windowed.PeakPending())
+	}
+	if windowed.Spilled() != 1 {
+		t.Fatalf("windowed merge spilled %d sessions, want exactly the trace-long one", windowed.Spilled())
+	}
+}
+
+// TestMergerTinyWindowMatchesBatch forces the spill path hard: a window
+// shorter than most real sessions diverts a large share of the fleet's
+// sessions to the outlier fold, which must still reproduce batch
+// trace.Merge byte for byte under concurrent producers.
+func TestMergerTinyWindowMatchesBatch(t *testing.T) {
+	traces := fleetTraces(t, 17, 1, 3)
+	want := traceBytes(t, trace.Merge(traces...))
+	m := stream.NewMerger(len(traces), nil)
+	m.SetWindow(time.Second)
+	var wg sync.WaitGroup
+	for i, tr := range traces {
+		wg.Add(1)
+		go func(i int, tr *trace.Trace) {
+			defer wg.Done()
+			replayAsStream(tr, stream.NewProducer(i, m.Intake()), 24*time.Hour)
+		}(i, tr)
+	}
+	got := traceBytes(t, m.Run())
+	wg.Wait()
+	if !bytes.Equal(want, got) {
+		t.Fatal("tiny-window merge differs from batch trace.Merge")
+	}
+	if m.Spilled() == 0 {
+		t.Fatal("1s window spilled nothing — spill path not exercised")
+	}
+}
