@@ -8,7 +8,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: test race bench bench-ci speedup-check fullscale fullscale-single lint
+.PHONY: test race bench bench-ci speedup-check distfleet-smoke fullscale fullscale-single lint
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -67,6 +67,20 @@ speedup-check:
 		$(GO) run ./cmd/benchjson \
 			-speedup 'BenchmarkCharacterizeFullSequential:BenchmarkCharacterizeFullParallel:2.0' \
 			-speedup 'BenchmarkSimulateFleetSequential:BenchmarkSimulateFleetParallel:2.0'
+
+# distfleet-smoke proves the distributed ingest pipeline end to end:
+# an in-process collector and N vantage emitter *processes* (bin/vantage)
+# must drain to a trace SHA-256-identical to a single-process
+# engine.RunStream — over clean loopback TCP, then under injected faults
+# (drops, duplication, reordering, delays) with one vantage SIGKILLed
+# mid-run and restarted to prove resume-from-ack, and finally with a
+# vantage killed for good to prove eviction terminates the merge with the
+# losses exactly accounted (dead_inputs/lost_sessions) instead of
+# deadlocking the barrier.
+distfleet-smoke:
+	mkdir -p bin
+	$(GO) build -o bin/vantage ./cmd/vantage
+	$(GO) run ./cmd/distfleet -nodes 3 -scale 0.02 -days 2 -seed 2004 -vantage bin/vantage
 
 # fullscale reproduces the paper's entire trace volume through the
 # multi-vantage measurement fabric: 40 days at scale 1.0 across 48

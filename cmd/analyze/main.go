@@ -137,6 +137,8 @@ func main() {
 	var maxPeak int
 	var mergePeakPending, spilledSessions int
 	var schedEventsMaxNode, schedEventsTotal uint64
+	var deadInputs int
+	var lostSessions uint64
 	switch {
 	case *simulate:
 		if flag.NArg() != 0 {
@@ -173,6 +175,8 @@ func main() {
 		}
 		mergePeakPending = eng.PeakPending()
 		spilledSessions = eng.SpilledSessions()
+		deadInputs = eng.DeadInputs()
+		lostSessions = eng.LostSessions()
 		for _, n := range eng.ScheduledPerNode() {
 			if n > schedEventsMaxNode {
 				schedEventsMaxNode = n
@@ -243,8 +247,13 @@ func main() {
 			// pair records the keyed engine's per-node scheduling cost —
 			// the max node stays O(own sessions), where the old chain
 			// replay paid O(global arrivals) at every node.
-			simFields = fmt.Sprintf(`"arrivals":%d,"rejected_arrivals":%d,"max_peak_conns":%d,"merge_peak_pending":%d,"spilled_sessions":%d,"sched_events_max_node":%d,"sched_events_total":%d,"simulate_s":%.2f,"simulate_peak_rss_bytes":%d,"simulate_heap_live_bytes":%d,"simworkers":%d,"stream":%v,`,
-				st.Arrivals, st.Rejected, maxPeak, mergePeakPending, spilledSessions, schedEventsMaxNode, schedEventsTotal, simulated.Seconds(), simulatePeakRSS, simulateHeapLive, perfWorkers, *streamMode)
+			// dead_inputs / lost_sessions are the merge's degradation
+			// ledger. In-process runs are always 0/0 (no input can die);
+			// the fields exist so the same perf line covers the
+			// distributed collector (internal/ingest), where they count
+			// evicted vantages and their still-open sessions.
+			simFields = fmt.Sprintf(`"arrivals":%d,"rejected_arrivals":%d,"max_peak_conns":%d,"merge_peak_pending":%d,"spilled_sessions":%d,"dead_inputs":%d,"lost_sessions":%d,"sched_events_max_node":%d,"sched_events_total":%d,"simulate_s":%.2f,"simulate_peak_rss_bytes":%d,"simulate_heap_live_bytes":%d,"simworkers":%d,"stream":%v,`,
+				st.Arrivals, st.Rejected, maxPeak, mergePeakPending, spilledSessions, deadInputs, lostSessions, schedEventsMaxNode, schedEventsTotal, simulated.Seconds(), simulatePeakRSS, simulateHeapLive, perfWorkers, *streamMode)
 		}
 		labelField := ""
 		if *perfLabel != "" {

@@ -1,0 +1,242 @@
+// Command distfleet is the fault-injection smoke harness for the
+// distributed ingest pipeline (make distfleet-smoke). It runs an ingest
+// collector in-process, launches one cmd/vantage subprocess per fleet
+// node, and asserts that the drained merged trace is SHA-256-identical
+// to a single-process engine.RunStream with the same parameters — under
+// three escalating scenarios:
+//
+//	clean          N emitters over loopback TCP, no interference.
+//	faults+restart every emitter sabotages its own connections with
+//	               faultnet (drops, dup, reorder, delay), and one
+//	               vantage is SIGKILLed mid-run and restarted; the
+//	               restart must resume from the collector's acks and
+//	               still converge to the identical trace.
+//	dead-input     one vantage is SIGKILLed and never restarted; the
+//	               collector must evict it (no deadlock), finish, and
+//	               account the losses exactly (DeadInputs/LostSessions).
+//
+// Exits non-zero on any divergence, lost data, or deadlock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/engine"
+	"repro/internal/ingest"
+	"repro/internal/trace"
+)
+
+type params struct {
+	nodes   int
+	scale   float64
+	days    int
+	seed    uint64
+	bin     string
+	timeout time.Duration
+}
+
+func main() {
+	log.SetFlags(0)
+	nodes := flag.Int("nodes", 3, "fleet size / emitter process count")
+	scale := flag.Float64("scale", 0.02, "workload scale")
+	days := flag.Int("days", 2, "observation days")
+	seed := flag.Uint64("seed", 2004, "workload seed")
+	bin := flag.String("vantage", "bin/vantage", "path to the vantage binary")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-scenario deadline (a hang past this is a deadlock)")
+	flag.Parse()
+	p := params{nodes: *nodes, scale: *scale, days: *days, seed: *seed, bin: *bin, timeout: *timeout}
+
+	if _, err := os.Stat(p.bin); err != nil {
+		log.Fatalf("distfleet: vantage binary %q not found (run `make bin/vantage` first): %v", p.bin, err)
+	}
+
+	// Reference: the single-process streaming run every scenario must match.
+	cfg := capture.DefaultConfig(p.seed, p.scale)
+	cfg.Workload.Days = p.days
+	ref := engine.New(engine.Config{Fleet: capture.FleetConfig{Node: cfg, Nodes: p.nodes}}).RunStream(nil)
+	refHash, err := ref.Hash()
+	if err != nil {
+		log.Fatalf("distfleet: reference hash: %v", err)
+	}
+	log.Printf("reference: nodes=%d conns=%d sha256=%x", p.nodes, len(ref.Conns), refHash[:8])
+
+	runScenario(p, scenario{name: "clean"}, refHash, len(ref.Conns))
+	runScenario(p, scenario{name: "faults+restart", faults: true, kill: true, restart: true}, refHash, len(ref.Conns))
+	runScenario(p, scenario{name: "dead-input", kill: true, evictAfter: 2 * time.Second}, refHash, len(ref.Conns))
+
+	fmt.Println("distfleet-smoke PASS")
+}
+
+type scenario struct {
+	name       string
+	faults     bool
+	kill       bool
+	restart    bool
+	evictAfter time.Duration // 0 = generous default (eviction must not fire)
+}
+
+// runScenario brings up collector + subprocess emitters, applies the
+// scenario's interference, and dies loudly on any broken invariant.
+func runScenario(p params, sc scenario, refHash [32]byte, refConns int) {
+	log.Printf("--- scenario %s", sc.name)
+	evictAfter := sc.evictAfter
+	if evictAfter == 0 {
+		evictAfter = 2 * p.timeout // must never fire in lossless scenarios
+	}
+	col, err := ingest.NewCollector(ingest.CollectorConfig{
+		Inputs:     p.nodes,
+		Window:     trace.Time(engine.DefaultMergeWindow),
+		EvictAfter: evictAfter,
+	})
+	if err != nil {
+		log.Fatalf("%s: collector: %v", sc.name, err)
+	}
+	type result struct {
+		tr  *trace.Trace
+		err error
+	}
+	colDone := make(chan result, 1)
+	go func() {
+		tr, err := col.Run()
+		colDone <- result{tr, err}
+	}()
+
+	procs := make([]*exec.Cmd, p.nodes)
+	for i := range procs {
+		procs[i] = startVantage(p, sc, col.Addr(), i, 0)
+	}
+
+	victim := -1
+	if sc.kill {
+		victim = (p.nodes - 1) / 2 // an interior input, 0 when nodes==1
+		waitApplied(p, sc, col, victim, 200)
+		if err := procs[victim].Process.Kill(); err != nil {
+			log.Fatalf("%s: kill vantage %d: %v", sc.name, victim, err)
+		}
+		_ = procs[victim].Wait()
+		log.Printf("%s: SIGKILLed vantage %d at applied_seq=%d", sc.name, victim, appliedSeq(col, victim))
+		if sc.restart {
+			time.Sleep(200 * time.Millisecond)
+			procs[victim] = startVantage(p, sc, col.Addr(), victim, 1)
+			log.Printf("%s: restarted vantage %d (must resume from acks)", sc.name, victim)
+		}
+	}
+
+	var res result
+	select {
+	case res = <-colDone:
+	case <-time.After(p.timeout):
+		h := col.Health()
+		log.Fatalf("%s: DEADLOCK — collector did not finish within %v (health: %+v)", sc.name, p.timeout, h)
+	}
+	if res.err != nil {
+		log.Fatalf("%s: collector: %v", sc.name, res.err)
+	}
+	for i, proc := range procs {
+		err := proc.Wait()
+		if i == victim && !sc.restart {
+			continue // killed on purpose; its exit error is expected
+		}
+		if err != nil {
+			log.Fatalf("%s: vantage %d exited: %v", sc.name, i, err)
+		}
+	}
+
+	gotHash, err := res.tr.Hash()
+	if err != nil {
+		log.Fatalf("%s: trace hash: %v", sc.name, err)
+	}
+	dead, lost := col.DeadInputs(), col.LostSessions()
+	log.Printf("%s: conns=%d sha256=%x dead_inputs=%d lost_sessions=%d",
+		sc.name, len(res.tr.Conns), gotHash[:8], dead, lost)
+
+	if sc.kill && !sc.restart {
+		// Lossy by construction: the victim's unsent tail is gone. The
+		// contract is exact accounting and a complete merge of the rest.
+		if dead != 1 {
+			log.Fatalf("%s: dead_inputs=%d, want exactly 1", sc.name, dead)
+		}
+		if len(res.tr.Conns) > refConns {
+			log.Fatalf("%s: %d conns exceeds lossless reference %d", sc.name, len(res.tr.Conns), refConns)
+		}
+		if res.tr.Nodes != p.nodes {
+			log.Fatalf("%s: trace nodes=%d, want %d", sc.name, res.tr.Nodes, p.nodes)
+		}
+		return
+	}
+	if dead != 0 || lost != 0 {
+		log.Fatalf("%s: lossless scenario reported losses: dead=%d lost=%d", sc.name, dead, lost)
+	}
+	if gotHash != refHash {
+		log.Fatalf("%s: trace DIVERGED from single-process reference\n  got  %x\n  want %x",
+			sc.name, gotHash, refHash)
+	}
+}
+
+// startVantage launches one emitter subprocess. life distinguishes a
+// restart (different fault seed, so the replayed connections see a
+// different fault schedule — a stricter test than replaying the same one).
+func startVantage(p params, sc scenario, addr string, input, life int) *exec.Cmd {
+	args := []string{
+		"-collector", addr,
+		"-input", fmt.Sprint(input),
+		"-seed", fmt.Sprint(p.seed),
+		"-scale", fmt.Sprint(p.scale),
+		"-days", fmt.Sprint(p.days),
+		"-nodes", fmt.Sprint(p.nodes),
+		"-keepalive", "250ms",
+	}
+	if sc.faults {
+		args = append(args,
+			"-fault-seed", fmt.Sprint(p.seed+uint64(input)*31+uint64(life)*1009+1),
+			"-fault-drop", "0.02",
+			"-fault-dup", "0.05",
+			"-fault-reorder", "0.05",
+			"-fault-delay", "0.05",
+			"-fault-delay-max", "5ms",
+			"-ack-timeout", "500ms",
+			"-welcome-timeout", "500ms",
+			"-retry-max", "1000",
+			"-retry-base", "1ms",
+			"-retry-cap", "20ms",
+		)
+	}
+	cmd := exec.Command(p.bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("%s: start vantage %d: %v", sc.name, input, err)
+	}
+	return cmd
+}
+
+// waitApplied polls collector health until the input has applied at least
+// min events — the kill must land mid-stream, not before the emitter has
+// proven the resume path has something to resume from.
+func waitApplied(p params, sc scenario, col *ingest.Collector, input int, min uint64) {
+	deadline := time.Now().Add(p.timeout)
+	for {
+		h := col.Health()
+		st := h.Inputs[input]
+		if st.AppliedSeq >= min {
+			if st.State == ingest.StateDone {
+				log.Fatalf("%s: vantage %d finished before the kill landed — raise -scale or -days", sc.name, input)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("%s: vantage %d never reached applied_seq %d (at %d)", sc.name, input, min, st.AppliedSeq)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func appliedSeq(col *ingest.Collector, input int) uint64 {
+	return col.Health().Inputs[input].AppliedSeq
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/guid"
+	"repro/internal/ingest"
+	"repro/internal/stream"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDaemonEmitStreamsSessionRecords drives the -emit path end to end:
+// a real client handshakes with the daemon, sends one hop-1 query, and
+// disconnects; the closed session record must arrive at an ingest
+// collector, and the daemon's shutdown trailer must drain the merge to a
+// trace holding exactly that session.
+func TestDaemonEmitStreamsSessionRecords(t *testing.T) {
+	col, err := ingest.NewCollector(ingest.CollectorConfig{Inputs: 1, EvictAfter: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceCh := make(chan *trace.Trace, 1)
+	go func() {
+		tr, err := col.Run()
+		if err != nil {
+			t.Errorf("collector: %v", err)
+		}
+		traceCh <- tr
+	}()
+
+	d := newDaemon(nil)
+	em := ingest.NewEmitter(ingest.EmitterConfig{Addr: col.Addr(), Input: 0})
+	d.emitter = em
+	d.prod = stream.NewProducer(0, em.Intake())
+	emitDone := make(chan error, 1)
+	go func() { emitDone <- em.Run() }()
+
+	l, err := transport.Listen("127.0.0.1:0", transport.Options{UserAgent: "repro-gnutellad/1.0", Ultrapeer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		peer, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		d.serve(peer, 0)
+	}()
+
+	peer, err := transport.Dial(l.Addr().String(), transport.Options{
+		UserAgent: "testclient/2.0",
+		Retry:     transport.Retry{Max: 3, Base: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guids := guid.NewSource(7, 9)
+	env := wire.Envelope{
+		Header:  wire.Header{GUID: guids.Next(), Type: wire.TypeQuery, TTL: 6, Hops: 1},
+		Payload: &wire.Query{SearchText: "warcraft iii"},
+	}
+	if err := peer.Send(env); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "query observed", func() bool {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return d.counts.QueryHop1 == 1
+	})
+	peer.Close()
+	<-serveDone
+
+	// The daemon's shutdown sequence: trailer, flush, final ack.
+	d.mu.Lock()
+	d.prod.Done(time.Since(d.start), &stream.End{Counts: d.counts, Nodes: 1})
+	d.prod.Flush()
+	d.mu.Unlock()
+	close(em.Intake())
+	if err := <-emitDone; err != nil {
+		t.Fatalf("emitter: %v", err)
+	}
+	tr := <-traceCh
+
+	if len(tr.Conns) != 1 {
+		t.Fatalf("merged trace has %d conns, want 1", len(tr.Conns))
+	}
+	c := tr.Conns[0]
+	if c.UserAgent != "testclient/2.0" || c.End <= c.Start {
+		t.Fatalf("bad session record: %+v", c)
+	}
+	if len(tr.Queries) != 1 || tr.Queries[0].Text != "warcraft iii" || tr.Queries[0].Hops != 1 {
+		t.Fatalf("bad queries: %+v", tr.Queries)
+	}
+	if tr.Counts.QueryHop1 != 1 {
+		t.Fatalf("trailer counts not folded: %+v", tr.Counts)
+	}
+	if col.DeadInputs() != 0 {
+		t.Fatalf("clean shutdown reported %d dead inputs", col.DeadInputs())
+	}
+}
+
+// TestServeReapsIdleConns pins the idle-timeout satellite: a client that
+// handshakes and then goes silent must be reaped by the read deadline,
+// not held forever.
+func TestServeReapsIdleConns(t *testing.T) {
+	d := newDaemon(nil)
+	l, err := transport.Listen("127.0.0.1:0", transport.Options{UserAgent: "repro-gnutellad/1.0", Ultrapeer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		peer, err := l.Accept()
+		if err != nil {
+			return
+		}
+		d.serve(peer, 100*time.Millisecond)
+	}()
+
+	peer, err := transport.Dial(l.Addr().String(), transport.Options{UserAgent: "silent/1.0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	waitUntil(t, "idle conn reaped", func() bool {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return len(d.peers) == 0 && d.nextID == 1
+	})
+	// The daemon closed its side; the silent client's next read must fail.
+	_ = peer.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := peer.Recv(); err == nil {
+		t.Fatal("client read succeeded after daemon reaped the conn")
+	}
+}

@@ -11,6 +11,14 @@
 // daemon-side half of the streaming pipeline, characterizing wire traffic
 // as it arrives with bounded state.
 //
+// With -emit ADDR the daemon is also an ingest emitter: every closed
+// connection's session record (with its hop-1 queries) is streamed to an
+// ingest collector over the sequence-numbered resume protocol, so a live
+// measurement node and simulated vantages (cmd/vantage) can feed the
+// same merge. On SIGINT/SIGTERM the daemon sends its end-of-stream
+// trailer and waits for the final ack before exiting; sessions still
+// open at shutdown are not emitted.
+//
 // It pairs with examples/livecapture, which connects synthetic clients
 // and runs the filter pipeline on what the daemon observed.
 package main
@@ -18,17 +26,21 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"log"
 	"net"
 	"net/http"
 	"net/netip"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/guid"
+	"repro/internal/ingest"
 	"repro/internal/overlay"
 	"repro/internal/stream"
 	"repro/internal/trace"
@@ -40,6 +52,9 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:6346", "listen address")
 	library := flag.String("library", "", "optional file with one shared file name per line")
 	metrics := flag.String("metrics", "", "optional HTTP address serving the live online characterization at /metrics")
+	emit := flag.String("emit", "", "optional ingest collector address to stream session records to")
+	emitInput := flag.Int("emit-input", 0, "collector input index this daemon feeds")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "reap connections silent for this long (0 disables)")
 	flag.Parse()
 
 	var files []overlay.SharedFile
@@ -79,14 +94,76 @@ func main() {
 			}
 		}()
 	}
+
+	var emitDone chan error
+	if *emit != "" {
+		em := ingest.NewEmitter(ingest.EmitterConfig{Addr: *emit, Input: *emitInput})
+		d.emitter = em
+		d.prod = stream.NewProducer(*emitInput, em.Intake())
+		emitDone = make(chan error, 1)
+		go func() { emitDone <- em.Run() }()
+		log.Printf("emitting session records to %s as input %d", *emit, *emitInput)
+	}
+
+	// SIGINT/SIGTERM closes the listener; the accept loop sees the
+	// permanent error and falls through to the drain below.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("gnutellad: %v, shutting down", s)
+		l.Close()
+	}()
+
+	// Accept loop: per-connection failures (rejected handshakes) retry
+	// immediately, resource-exhaustion errors back off exponentially, and
+	// permanent errors — the listener closed, above — end the loop instead
+	// of spinning on it.
+	var ab transport.AcceptBackoff
 	for {
 		peer, err := l.Accept()
 		if err != nil {
+			delay, retry := ab.Next(err)
+			if !retry {
+				log.Printf("accept: %v (permanent, stopping)", err)
+				break
+			}
 			log.Printf("accept: %v", err)
+			if delay > 0 {
+				time.Sleep(delay)
+			}
 			continue
 		}
-		go d.serve(peer)
+		ab.Reset()
+		go d.serve(peer, *idleTimeout)
 	}
+
+	if d.prod != nil {
+		d.mu.Lock()
+		d.prod.Done(time.Since(d.start), &stream.End{Counts: d.counts, Nodes: 1})
+		d.prod.Flush()
+		d.mu.Unlock()
+		close(d.emitter.Intake())
+		select {
+		case err := <-emitDone:
+			if err != nil {
+				log.Printf("emit: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("emit: stream acked, clean shutdown")
+		case <-time.After(30 * time.Second):
+			log.Printf("emit: timed out waiting for final ack")
+			os.Exit(1)
+		}
+	}
+}
+
+// liveConn is the daemon's per-connection record under construction: the
+// open time and the hop-1 queries observed so far, finalized into a
+// session record at close.
+type liveConn struct {
+	start   trace.Time
+	queries []trace.Query
 }
 
 // daemon serializes the single overlay node across connection goroutines.
@@ -94,16 +171,21 @@ type daemon struct {
 	mu     sync.Mutex
 	node   *overlay.Node
 	peers  map[int]*transport.Peer
-	opened map[int]time.Duration // conn id → start (trace time)
+	opened map[int]*liveConn // conn id → in-progress session record
+	counts trace.MessageCounts
 	nextID int
 	start  time.Time
 	online *stream.Online
+
+	// emitter/prod are set when -emit is configured; prod is guarded by mu.
+	emitter *ingest.Emitter
+	prod    *stream.Producer
 }
 
 func newDaemon(files []overlay.SharedFile) *daemon {
 	d := &daemon{
 		peers:  make(map[int]*transport.Peer),
-		opened: make(map[int]time.Duration),
+		opened: make(map[int]*liveConn),
 		start:  time.Now(),
 		online: stream.NewOnline(stream.OnlineConfig{}),
 	}
@@ -122,9 +204,25 @@ func newDaemon(files []overlay.SharedFile) *daemon {
 			}
 		},
 		OnMessage: func(conn int, env wire.Envelope) {
-			if q, ok := env.Payload.(*wire.Query); ok && env.Header.Hops == 1 {
+			if q, ok := env.Payload.(*wire.Query); ok {
+				d.counts.Query++
+				if env.Header.Hops != 1 {
+					return
+				}
+				d.counts.QueryHop1++
 				log.Printf("conn %d query %q (sha1=%v)", conn, q.SearchText, q.HasSHA1())
-				d.online.ObserveQuery(time.Since(d.start), q.SearchText, q.HasSHA1())
+				at := time.Since(d.start)
+				d.online.ObserveQuery(at, q.SearchText, q.HasSHA1())
+				if lc, ok := d.opened[conn]; ok {
+					lc.queries = append(lc.queries, trace.Query{
+						ConnID: uint64(conn),
+						At:     at,
+						Text:   q.SearchText,
+						SHA1:   q.HasSHA1(),
+						TTL:    env.Header.TTL,
+						Hops:   env.Header.Hops,
+					})
+				}
 			}
 		},
 		GUIDs: guid.NewSource(uint64(time.Now().UnixNano()), 2),
@@ -146,13 +244,18 @@ func (d *daemon) metricsHandler() http.Handler {
 	return mux
 }
 
-func (d *daemon) serve(peer *transport.Peer) {
+func (d *daemon) serve(peer *transport.Peer, idle time.Duration) {
 	d.mu.Lock()
 	id := d.nextID
 	d.nextID++
 	d.peers[id] = peer
-	d.opened[id] = time.Since(d.start)
+	start := time.Since(d.start)
+	d.opened[id] = &liveConn{start: start}
 	d.node.AddConn(id, peer.Info().Ultrapeer)
+	if d.prod != nil {
+		d.prod.Open(uint64(id), start)
+		d.prod.Flush()
+	}
 	d.mu.Unlock()
 	log.Printf("conn %d from %s (%s, ultrapeer=%v)",
 		id, peer.RemoteAddr(), peer.Info().UserAgent, peer.Info().Ultrapeer)
@@ -161,23 +264,45 @@ func (d *daemon) serve(peer *transport.Peer) {
 		d.mu.Lock()
 		d.node.RemoveConn(id)
 		delete(d.peers, id)
-		start := d.opened[id]
+		lc := d.opened[id]
 		delete(d.opened, id)
+		end := time.Since(d.start)
+		conn := &trace.Conn{
+			ID:        uint64(id),
+			Start:     lc.start,
+			End:       end,
+			Ultrapeer: peer.Info().Ultrapeer,
+			UserAgent: peer.Info().UserAgent,
+		}
+		if tcp, ok := peer.RemoteAddr().(*net.TCPAddr); ok {
+			if a, ok := netip.AddrFromSlice(tcp.IP); ok {
+				conn.Addr = a.Unmap()
+			}
+		}
+		// The session record is final at close: feed it to the online
+		// layer with no queries — those were observed individually at
+		// receipt, and MergedSession would observe them a second time.
+		// The emitted record carries them, because the collector side has
+		// seen nothing yet.
+		d.online.MergedSession(conn, nil)
+		if d.prod != nil {
+			d.prod.Close(uint64(id), end, &stream.SessionRecord{Conn: *conn, Queries: lc.queries})
+			d.prod.Flush()
+		}
 		d.mu.Unlock()
 		peer.Close()
-		// The session record is final at close: feed it to the online
-		// layer (queries were observed individually at receipt).
-		d.online.MergedSession(&trace.Conn{
-			ID:    uint64(id),
-			Start: start,
-			End:   time.Since(d.start),
-		}, nil)
 		log.Printf("conn %d closed", id)
 	}()
 
 	for {
+		if idle > 0 {
+			_ = peer.SetReadDeadline(time.Now().Add(idle))
+		}
 		env, err := peer.Recv()
 		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				log.Printf("conn %d idle %v, reaping", id, idle)
+			}
 			return
 		}
 		d.mu.Lock()

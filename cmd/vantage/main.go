@@ -1,0 +1,111 @@
+// Command vantage runs exactly one vantage of a simulated capture fleet
+// as an emitter process: it regenerates the deterministic arrival
+// process locally, simulates only its own shard (engine.NodeStream), and
+// ships the resulting event stream to an ingest collector with
+// sequence-numbered frames, ack-based resume, and reconnect backoff.
+//
+// N vantage processes pointed at one collector drain to a trace
+// byte-identical to a single-process engine.RunStream with the same
+// seed/scale/days/nodes — cmd/distfleet asserts exactly that, including
+// under injected faults and a mid-run SIGKILL+restart.
+//
+// The -fault-* flags wrap the emitter's dialer in faultnet, so the
+// process can sabotage its own connections deterministically; this is
+// how the smoke harness exercises drops, duplication, reordering, and
+// delays without any external tooling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/engine"
+	"repro/internal/faultnet"
+	"repro/internal/ingest"
+	"repro/internal/stream"
+	"repro/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	collector := flag.String("collector", "", "collector address to emit to (required)")
+	input := flag.Int("input", 0, "vantage index, also the collector input this process feeds")
+
+	seed := flag.Uint64("seed", 2004, "workload seed (must match the fleet's)")
+	scale := flag.Float64("scale", 0.01, "workload scale (must match the fleet's)")
+	days := flag.Int("days", 4, "observation days (must match the fleet's)")
+	nodes := flag.Int("nodes", 1, "fleet size the arrival stream is sharded over")
+	lookahead := flag.Int("lookahead", 0, "bounded-producer lookahead (0 = engine default)")
+
+	retryMax := flag.Int("retry-max", 10, "reconnect attempts per outage")
+	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "reconnect backoff base")
+	retryCap := flag.Duration("retry-cap", 5*time.Second, "reconnect backoff cap")
+	ackTimeout := flag.Duration("ack-timeout", 15*time.Second, "reconnect when unacked events see no ack progress for this long")
+	welcomeTimeout := flag.Duration("welcome-timeout", 10*time.Second, "hello/welcome exchange deadline")
+	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "per-frame write deadline")
+	keepAlive := flag.Duration("keepalive", 2*time.Second, "idle keepalive period (keep well under the collector's evict timeout)")
+
+	faultSeed := flag.Uint64("fault-seed", 0, "faultnet seed for self-injected connection faults (0 with all probs 0 = no injection)")
+	faultDrop := flag.Float64("fault-drop", 0, "probability a write is torn and the connection killed")
+	faultDup := flag.Float64("fault-dup", 0, "probability a write is duplicated")
+	faultReorder := flag.Float64("fault-reorder", 0, "probability a write is held and swapped with the next")
+	faultDelay := flag.Float64("fault-delay", 0, "probability a write is delayed")
+	faultDelayMax := flag.Duration("fault-delay-max", 50*time.Millisecond, "max injected write delay")
+	flag.Parse()
+
+	if *collector == "" {
+		log.Fatal("vantage: -collector is required")
+	}
+
+	cfg := capture.DefaultConfig(*seed, *scale)
+	cfg.Workload.Days = *days
+
+	ecfg := ingest.EmitterConfig{
+		Addr:           *collector,
+		Input:          *input,
+		Retry:          transport.Retry{Max: *retryMax, Base: *retryBase, Cap: *retryCap, Seed: *seed + uint64(*input) + 1},
+		AckTimeout:     *ackTimeout,
+		WelcomeTimeout: *welcomeTimeout,
+		WriteTimeout:   *writeTimeout,
+		KeepAlive:      *keepAlive,
+	}
+	if *faultSeed != 0 || *faultDrop > 0 || *faultDup > 0 || *faultReorder > 0 || *faultDelay > 0 {
+		inj := faultnet.New(faultnet.Config{
+			Seed:        *faultSeed,
+			DropProb:    *faultDrop,
+			DupProb:     *faultDup,
+			ReorderProb: *faultReorder,
+			DelayProb:   *faultDelay,
+			DelayMax:    *faultDelayMax,
+		})
+		ecfg.Dial = inj.Dial(func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		})
+	}
+
+	em := ingest.NewEmitter(ecfg)
+	runErr := make(chan error, 1)
+	go func() { runErr <- em.Run() }()
+
+	start := time.Now()
+	st, err := engine.NodeStream(
+		engine.Config{Fleet: capture.FleetConfig{Node: cfg, Nodes: *nodes}, Lookahead: *lookahead},
+		*input,
+		stream.NewProducer(*input, em.Intake()),
+	)
+	if err != nil {
+		em.Stop()
+		log.Fatalf("vantage %d: simulate: %v", *input, err)
+	}
+	close(em.Intake())
+	if err := <-runErr; err != nil {
+		log.Fatalf("vantage %d: emit: %v", *input, err)
+	}
+	fmt.Fprintf(os.Stderr, "vantage %d done: conns=%d rejected=%d peak=%d in %.2fs\n",
+		*input, st.Conns, st.Rejected, st.PeakConns, time.Since(start).Seconds())
+}

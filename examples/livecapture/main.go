@@ -134,9 +134,19 @@ func (n *node) serve(peer *transport.Peer) {
 // playClient connects one synthetic client and replays its session script
 // with time compressed by the given factor.
 func playClient(addr string, sess *behavior.Session, compress float64) error {
+	// Retrying with jittered backoff keeps a burst of synthetic clients
+	// from all failing (or all retrying in lockstep) when they race the
+	// daemon's accept loop; the seed keeps each client's schedule
+	// deterministic per session.
 	peer, err := transport.Dial(addr, transport.Options{
 		UserAgent: sess.UserAgent,
 		Ultrapeer: sess.Ultrapeer,
+		Retry: transport.Retry{
+			Max:  5,
+			Base: 20 * time.Millisecond,
+			Cap:  500 * time.Millisecond,
+			Seed: uint64(sess.Start) + 1,
+		},
 	})
 	if err != nil {
 		return err

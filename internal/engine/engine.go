@@ -148,6 +148,12 @@ type Engine struct {
 	// spilled is the merge's outlier count: sessions longer than the
 	// emission window, folded in at finish instead of held pending.
 	spilled int
+	// deadInputs and lostSessions mirror the merge's degradation ledger
+	// (stream.Merger): always zero for in-process runs, where no input
+	// can die — populated so the perf accounting row is uniform with the
+	// distributed collector's, whose inputs can.
+	deadInputs   int
+	lostSessions uint64
 	// schedPerNode is each node's lifetime scheduled-event count — the
 	// O(own sessions) scaling metric the keyed tie-break buys, versus the
 	// O(global arrivals) every node paid under chain replay.
@@ -208,6 +214,8 @@ func (e *Engine) run() {
 	e.merged, ms = stream.MergeTracesStats(e.nodeTraces...)
 	e.peakPending = ms.PeakPending
 	e.spilled = ms.Spilled
+	e.deadInputs = ms.DeadInputs
+	e.lostSessions = ms.LostSessions
 	// Mark the memo only after the run completed: a panic recovered by
 	// the caller must leave the engine retryable, not poisoned into
 	// returning a nil trace and zero stats forever.
@@ -261,6 +269,16 @@ func (e *Engine) PeakPending() int { return e.peakPending }
 // window and took the merge's spill-to-final-sort path (see
 // Config.MergeWindow); 0 when the window never bound.
 func (e *Engine) SpilledSessions() int { return e.spilled }
+
+// DeadInputs reports how many merge inputs were evicted instead of
+// delivering their trailer. Always 0 for in-process runs (no input can
+// die); the accessor exists so the perf accounting row carries the same
+// degradation ledger the distributed ingest collector reports.
+func (e *Engine) DeadInputs() int { return e.deadInputs }
+
+// LostSessions reports how many sessions evicted inputs left open —
+// sessions known lost to input death. Always 0 in-process.
+func (e *Engine) LostSessions() uint64 { return e.lostSessions }
 
 // ScheduledPerNode returns each node's lifetime scheduled-event count in
 // node order, running the simulation first if needed. With the keyed

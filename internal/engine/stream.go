@@ -332,6 +332,8 @@ func (e *Engine) RunStream(sink stream.Sink) *trace.Trace {
 	e.nodeTraces = nil // streaming nodes hold no records
 	e.peakPending = merger.PeakPending()
 	e.spilled = merger.Spilled()
+	e.deadInputs = merger.DeadInputs()
+	e.lostSessions = merger.LostSessions()
 	// As in run(): the memo marks success only, so a panic recovered by
 	// the caller leaves the engine retryable instead of poisoned.
 	e.ran = true

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+// TestNodeStreamMatchesRunStream is the distributed-vantage pin: N
+// independent NodeStream runs — each regenerating the arrival process
+// alone, exactly as N separate emitter processes would — merged through
+// one streaming merger, must reproduce RunStream's trace byte for byte.
+func TestNodeStreamMatchesRunStream(t *testing.T) {
+	for _, nodes := range []int{1, 3, 4} {
+		want := traceBytes(t, New(Config{Fleet: testCfg(2004, 2, nodes)}).RunStream(nil))
+
+		m := stream.NewMerger(nodes, nil)
+		m.SetWindow(DefaultMergeWindow)
+		done := make(chan *trace.Trace)
+		go func() { done <- m.Run() }()
+		var wg sync.WaitGroup
+		for i := 0; i < nodes; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if _, err := NodeStream(Config{Fleet: testCfg(2004, 2, nodes)}, i, stream.NewProducer(i, m.Intake())); err != nil {
+					t.Errorf("vantage %d: %v", i, err)
+				}
+			}(i)
+		}
+		wg.Wait()
+		got := traceBytes(t, <-done)
+		if !bytes.Equal(traceBytes(t, New(Config{Fleet: testCfg(2004, 2, nodes)}).Run()), want) {
+			t.Fatalf("nodes=%d: RunStream differs from Run (precondition)", nodes)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("nodes=%d: merged NodeStream vantages differ from RunStream", nodes)
+		}
+	}
+}
+
+// TestNodeStreamStatsMatchFleet: the per-vantage accounting rows of
+// independent NodeStream runs must equal the engine's fleet rows.
+func TestNodeStreamStatsMatchFleet(t *testing.T) {
+	const nodes = 3
+	e := New(Config{Fleet: testCfg(7, 1, nodes)})
+	e.Run()
+	fleetStats := e.Stats()
+	for i := 0; i < nodes; i++ {
+		m := stream.NewMerger(1, nil)
+		go m.Run()
+		st, err := NodeStream(Config{Fleet: testCfg(7, 1, nodes)}, i, stream.NewProducer(0, m.Intake()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != fleetStats.PerNode[i] {
+			t.Fatalf("vantage %d stats = %+v, want %+v", i, st, fleetStats.PerNode[i])
+		}
+	}
+}
+
+// TestNodeStreamRejectsBadIndex: out-of-range vantage indices error
+// instead of silently simulating the wrong shard.
+func TestNodeStreamRejectsBadIndex(t *testing.T) {
+	for _, idx := range []int{-1, 3} {
+		if _, err := NodeStream(Config{Fleet: testCfg(1, 1, 3)}, idx, nil); err == nil {
+			t.Fatalf("idx %d accepted", idx)
+		}
+	}
+}
+
+// TestEngineLossAccessorsZeroInProcess: in-process runs can never lose
+// an input; both execution modes must report a clean ledger.
+func TestEngineLossAccessorsZeroInProcess(t *testing.T) {
+	e := New(Config{Fleet: testCfg(5, 1, 2)})
+	e.Run()
+	if e.DeadInputs() != 0 || e.LostSessions() != 0 {
+		t.Fatalf("batch run reported losses: dead=%d lost=%d", e.DeadInputs(), e.LostSessions())
+	}
+	es := New(Config{Fleet: testCfg(5, 1, 2)})
+	es.RunStream(nil)
+	if es.DeadInputs() != 0 || es.LostSessions() != 0 {
+		t.Fatalf("stream run reported losses: dead=%d lost=%d", es.DeadInputs(), es.LostSessions())
+	}
+}

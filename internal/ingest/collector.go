@@ -1,0 +1,487 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// InputState is one input's liveness state as Health reports it.
+type InputState string
+
+// Liveness states: an input is waiting until its emitter first connects,
+// live while progress arrives, stalled after StallAfter of silence (the
+// merge barrier is being held), dead once evicted, done after its
+// trailer.
+const (
+	StateWaiting InputState = "waiting"
+	StateLive    InputState = "live"
+	StateStalled InputState = "stalled"
+	StateDead    InputState = "dead"
+	StateDone    InputState = "done"
+)
+
+// InputHealth is one input's row in Health.
+type InputHealth struct {
+	Input      int        `json:"input"`
+	State      InputState `json:"state"`
+	AppliedSeq uint64     `json:"applied_seq"`
+	Conns      int        `json:"conns"`
+	SilentMS   int64      `json:"silent_ms"`
+	Reordered  int        `json:"reordered"`
+}
+
+// Health is the collector's live status, served as JSON at /metrics.
+type Health struct {
+	Inputs     []InputHealth `json:"inputs"`
+	Live       int           `json:"live"`
+	Done       int           `json:"done"`
+	DeadInputs int           `json:"dead_inputs"`
+}
+
+// CollectorConfig configures the central collector.
+type CollectorConfig struct {
+	// Inputs is how many merger inputs (vantages) feed this collector.
+	Inputs int
+	// Addr to listen on when Listener is nil (default 127.0.0.1:0).
+	Addr string
+	// Listener, when set, is used instead of listening on Addr — the
+	// hook for fault-injected listeners.
+	Listener net.Listener
+
+	// Sink observes merged sessions in final order (may be nil).
+	Sink stream.Sink
+	// Window bounds the merge's emission barrier (stream.Merger.SetWindow);
+	// 0 leaves it unbounded.
+	Window trace.Time
+
+	// StallAfter is how long an input may be silent before Health calls
+	// it stalled (default 2 s). Informational only.
+	StallAfter time.Duration
+	// EvictAfter is how long an input may be silent before it is declared
+	// dead and evicted from the merge (default 30 s). Negative disables
+	// eviction — the barrier then stalls forever on a dead input, which
+	// is only safe when the emitters are trusted to finish.
+	EvictAfter time.Duration
+	// Tick is the liveness check period (default EvictAfter/4, capped to
+	// [10 ms, 1 s]).
+	Tick time.Duration
+
+	// ReadTimeout bounds each frame read on a connection (default 2×
+	// EvictAfter): a connection that goes silent longer is reaped, which
+	// also bounds how long serve goroutines outlive their emitters.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds welcome/ack writes (default 10 s).
+	WriteTimeout time.Duration
+	// MaxReorder bounds the per-input reorder buffer in events (default
+	// 1<<15). A connection that overflows it is dropped, forcing an
+	// in-order retransmit.
+	MaxReorder int
+}
+
+func (c *CollectorConfig) defaults() {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.StallAfter <= 0 {
+		c.StallAfter = 2 * time.Second
+	}
+	if c.EvictAfter == 0 {
+		c.EvictAfter = 30 * time.Second
+	}
+	if c.Tick <= 0 {
+		c.Tick = c.EvictAfter / 4
+		if c.Tick < 10*time.Millisecond {
+			c.Tick = 10 * time.Millisecond
+		}
+		if c.Tick > time.Second {
+			c.Tick = time.Second
+		}
+	}
+	if c.ReadTimeout <= 0 {
+		if c.EvictAfter > 0 {
+			c.ReadTimeout = 2 * c.EvictAfter
+		} else {
+			c.ReadTimeout = time.Minute
+		}
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.MaxReorder <= 0 {
+		c.MaxReorder = 1 << 15
+	}
+}
+
+// inputTrack is the collector's per-input state. Lock order: sendMu
+// before mu; mu alone for state reads (Health); sendMu serializes every
+// forward into the merger so per-input event order is preserved across
+// connection changes and eviction.
+type inputTrack struct {
+	input  int
+	sendMu sync.Mutex
+	mu     sync.Mutex
+
+	applied      uint64
+	pending      map[uint64]stream.Event
+	reordered    int
+	lastProgress time.Time
+	done         bool
+	evicted      bool
+	active       net.Conn
+	conns        int
+}
+
+// Collector accepts emitter connections, reassembles each input's exact
+// event stream, feeds the streaming merge, and evicts inputs that die.
+// Create with NewCollector, drive with Run.
+type Collector struct {
+	cfg    CollectorConfig
+	l      net.Listener
+	merger *stream.Merger
+	tracks []*inputTrack
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewCollector builds a collector and starts listening (but not
+// accepting — Run does that).
+func NewCollector(cfg CollectorConfig) (*Collector, error) {
+	cfg.defaults()
+	if cfg.Inputs <= 0 {
+		return nil, fmt.Errorf("ingest: collector needs at least one input, got %d", cfg.Inputs)
+	}
+	l := cfg.Listener
+	if l == nil {
+		var err error
+		l, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m := stream.NewMerger(cfg.Inputs, cfg.Sink)
+	if cfg.Window > 0 {
+		m.SetWindow(cfg.Window)
+	}
+	c := &Collector{
+		cfg:    cfg,
+		l:      l,
+		merger: m,
+		tracks: make([]*inputTrack, cfg.Inputs),
+		conns:  make(map[net.Conn]struct{}),
+		stop:   make(chan struct{}),
+	}
+	now := time.Now()
+	for i := range c.tracks {
+		c.tracks[i] = &inputTrack{
+			input:        i,
+			pending:      make(map[uint64]stream.Event),
+			lastProgress: now, // a vantage that never connects still gets evicted
+		}
+	}
+	return c, nil
+}
+
+// Addr is the listen address emitters should dial.
+func (c *Collector) Addr() string { return c.l.Addr().String() }
+
+// Run serves until every input has delivered its trailer or been
+// evicted, then returns the drained merged trace. The accept loop paces
+// transient listener errors and exits on permanent ones, exactly like
+// the daemon's (transport.AcceptBackoff).
+func (c *Collector) Run() (*trace.Trace, error) {
+	merged := make(chan *trace.Trace, 1)
+	go func() { merged <- c.merger.Run() }()
+
+	c.wg.Add(2)
+	go c.acceptLoop()
+	go c.liveness()
+
+	tr := <-merged
+	c.shutdown()
+	c.wg.Wait()
+	return tr, nil
+}
+
+// DeadInputs reports how many inputs were evicted. Valid after Run.
+func (c *Collector) DeadInputs() int { return c.merger.DeadInputs() }
+
+// LostSessions reports how many sessions evicted inputs left open.
+// Valid after Run.
+func (c *Collector) LostSessions() uint64 { return c.merger.LostSessions() }
+
+func (c *Collector) shutdown() {
+	close(c.stop)
+	c.l.Close()
+	c.mu.Lock()
+	c.closed = true
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.mu.Unlock()
+}
+
+func (c *Collector) acceptLoop() {
+	defer c.wg.Done()
+	var backoff transport.AcceptBackoff
+	for {
+		conn, err := c.l.Accept()
+		if err != nil {
+			delay, retry := backoff.Next(err)
+			if !retry {
+				return
+			}
+			select {
+			case <-time.After(delay):
+			case <-c.stop:
+				return
+			}
+			continue
+		}
+		backoff.Reset()
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.conns[conn] = struct{}{}
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go c.serve(conn)
+	}
+}
+
+// serve handles one emitter connection: hello, welcome-with-resume, then
+// data frames acked as applied. Any protocol or I/O error just drops the
+// connection — the emitter's reconnect-and-retransmit makes that safe.
+func (c *Collector) serve(conn net.Conn) {
+	defer c.wg.Done()
+	defer func() {
+		conn.Close()
+		c.mu.Lock()
+		delete(c.conns, conn)
+		c.mu.Unlock()
+	}()
+
+	_ = conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
+	f, err := readFrame(conn)
+	if err != nil || f.Kind != frameHello || f.Hello == nil {
+		return
+	}
+	h := f.Hello
+	if h.Proto != protoVersion || h.Input < 0 || h.Input >= len(c.tracks) {
+		return
+	}
+	t := c.tracks[h.Input]
+
+	t.mu.Lock()
+	if t.active != nil && t.active != conn {
+		// The emitter reconnected; the old connection is superseded. Its
+		// handler exits on the closed conn, and seq dedupe makes any
+		// frame it already read harmless.
+		t.active.Close()
+	}
+	t.active = conn
+	t.conns++
+	evicted := t.evicted
+	if !evicted {
+		t.lastProgress = time.Now()
+	}
+	welcome := &welcomeFrame{Resume: t.applied, Evicted: evicted}
+	t.mu.Unlock()
+
+	_ = conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	if err := writeFrame(conn, &frame{Kind: frameWelcome, Welcome: welcome}); err != nil || evicted {
+		return
+	}
+
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
+		f, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if f.Kind != frameData || f.Data == nil {
+			continue // stray duplicated hello or unknown frame: ignore
+		}
+		ack, ok := c.apply(t, f.Data)
+		if !ok {
+			return
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+		if err := writeFrame(conn, &frame{Kind: frameAck, Ack: &ackFrame{Seq: ack}}); err != nil {
+			return
+		}
+	}
+}
+
+// apply runs one data frame through the exactly-once layer: drop
+// duplicates, hold reordered events, forward the contiguous run to the
+// merge, and return the cumulative ack. ok is false when the connection
+// should drop (input evicted, or reorder buffer overflow).
+func (c *Collector) apply(t *inputTrack, df *dataFrame) (ack uint64, ok bool) {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+
+	t.mu.Lock()
+	if t.evicted {
+		t.mu.Unlock()
+		return 0, false
+	}
+	var fwd []stream.Event
+	for i := range df.Events {
+		seq := df.FirstSeq + uint64(i)
+		if seq <= t.applied {
+			continue // duplicate of an applied event
+		}
+		if seq != t.applied+1 {
+			if len(t.pending) >= c.cfg.MaxReorder {
+				t.mu.Unlock()
+				return 0, false
+			}
+			t.pending[seq] = df.Events[i]
+			t.reordered++
+			continue
+		}
+		t.applied++
+		fwd = append(fwd, df.Events[i])
+		for {
+			next, held := t.pending[t.applied+1]
+			if !held {
+				break
+			}
+			delete(t.pending, t.applied+1)
+			t.applied++
+			fwd = append(fwd, next)
+		}
+	}
+	// Any valid frame is a liveness signal, progress or not: an emitter
+	// retransmitting into a lossy link is alive, not dead.
+	t.lastProgress = time.Now()
+	for i := range fwd {
+		if fwd[i].Kind == stream.EvDone {
+			t.done = true
+		}
+	}
+	ack = t.applied
+	t.mu.Unlock()
+
+	if len(fwd) > 0 {
+		select {
+		case c.merger.Intake() <- stream.Batch{Input: t.input, Events: fwd}:
+		case <-c.stop:
+			return 0, false
+		}
+	}
+	return ack, true
+}
+
+// liveness evicts inputs whose silence outlives EvictAfter, injecting
+// the EvEvict that releases the merge barrier and accounts the loss.
+func (c *Collector) liveness() {
+	defer c.wg.Done()
+	if c.cfg.EvictAfter < 0 {
+		return
+	}
+	tick := time.NewTicker(c.cfg.Tick)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+		}
+		for _, t := range c.tracks {
+			t.sendMu.Lock()
+			t.mu.Lock()
+			idle := time.Since(t.lastProgress)
+			if t.done || t.evicted || idle < c.cfg.EvictAfter {
+				t.mu.Unlock()
+				t.sendMu.Unlock()
+				continue
+			}
+			t.evicted = true
+			if t.active != nil {
+				t.active.Close()
+			}
+			t.mu.Unlock()
+			// The merge counts the still-open sessions as lost; Nodes 1
+			// records that the vantage existed even though its trailer
+			// never arrived.
+			batch := stream.Batch{Input: t.input, Events: []stream.Event{{
+				Kind: stream.EvEvict,
+				Done: &stream.End{Nodes: 1},
+			}}}
+			select {
+			case c.merger.Intake() <- batch:
+			case <-c.stop:
+				t.sendMu.Unlock()
+				return
+			}
+			t.sendMu.Unlock()
+		}
+	}
+}
+
+// Health snapshots every input's liveness. Safe to call concurrently
+// with Run — this is what /metrics serves.
+func (c *Collector) Health() Health {
+	h := Health{Inputs: make([]InputHealth, len(c.tracks))}
+	now := time.Now()
+	for i, t := range c.tracks {
+		t.mu.Lock()
+		ih := InputHealth{
+			Input:      i,
+			AppliedSeq: t.applied,
+			Conns:      t.conns,
+			SilentMS:   now.Sub(t.lastProgress).Milliseconds(),
+			Reordered:  t.reordered,
+		}
+		switch {
+		case t.done:
+			ih.State = StateDone
+			h.Done++
+		case t.evicted:
+			ih.State = StateDead
+			h.DeadInputs++
+		case t.conns == 0:
+			ih.State = StateWaiting
+		case now.Sub(t.lastProgress) > c.cfg.StallAfter:
+			ih.State = StateStalled
+		default:
+			ih.State = StateLive
+			h.Live++
+		}
+		t.mu.Unlock()
+		h.Inputs[i] = ih
+	}
+	return h
+}
+
+// MetricsHandler serves Health as JSON at /metrics, the collector-side
+// twin of gnutellad's online characterization endpoint.
+func (c *Collector) MetricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(c.Health()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,59 @@
+// Package ingest is the fault-tolerant distributed collection layer: it
+// carries the typed event streams of internal/stream across process and
+// machine boundaries, from per-vantage emitter processes to a central
+// collector, and guarantees that the collector's drained merged trace is
+// byte-identical to an in-process engine.RunStream over the same
+// configuration — under connection drops, delays, duplicated and
+// reordered frames, slow readers, partitions, and emitter crashes with
+// restart. When an emitter dies and never comes back, the collector
+// degrades instead of deadlocking: the input is evicted from the merge
+// barrier after a configurable silence and the loss is reported
+// explicitly (DeadInputs, LostSessions), never silently absorbed.
+//
+// # Wire protocol
+//
+// Every message is one frame: a 4-byte big-endian payload length followed
+// by a gob-encoded frame struct, written with a single Write call and
+// decoded by a fresh decoder per frame. One-frame-per-Write is what makes
+// the protocol survive write-granular duplication and reordering (a
+// duplicated or swapped frame is still a well-formed frame — the seq
+// layer below discards it); a fresh gob stream per frame means no decoder
+// state can be corrupted by an out-of-order type descriptor. Torn frames
+// only arise from a dying connection, which ends the gob stream too.
+//
+// The exchange, per connection:
+//
+//	emitter → collector   hello   {proto, input}
+//	collector → emitter   welcome {resume, evicted}
+//	emitter → collector   data    {firstSeq, events[]}   (repeated)
+//	collector → emitter   ack     {seq}                  (after each data frame)
+//
+// # Sequencing and resume
+//
+// The emitter assigns every event a per-input sequence number, starting
+// at 1, and keeps each event buffered until the collector's cumulative
+// ack covers it. The collector applies events in seq order exactly once —
+// duplicates (seq ≤ applied) are dropped, gaps are held in a bounded
+// reorder buffer — and acknowledges the highest contiguous seq applied.
+// On reconnect the welcome's resume field carries that same watermark, so
+// the emitter drops the acked prefix of its buffer and retransmits the
+// rest. A *restarted* emitter (fresh process, seq counter back at 1)
+// regenerates its deterministic event stream from the start and discards
+// events whose seq is ≤ resume at assignment time, converging to the
+// exact suffix the collector is missing. Both paths make retransmission
+// idempotent: the merged stream sees every event exactly once, in order.
+//
+// # Liveness and degradation
+//
+// The collector tracks per-input progress wall-clock time. An input that
+// stops sending stalls the merge barrier (that is the merge's
+// correctness doing its job — nothing may retire past a watermark that
+// could still move); Health reports it stalled after StallAfter. If the
+// silence reaches EvictAfter, the collector evicts the input: it injects
+// an EvEvict into the merge (internal/stream), which removes the input
+// from the barrier, counts it in DeadInputs, counts its never-closed
+// sessions in LostSessions, and lets the merge drain. The drained trace
+// is exactly the merge of what arrived; what is missing is reported.
+// Ingest applies the End-of-run accounting to analyze -perf and the
+// collector's /metrics endpoint (JSON Health).
+package ingest

@@ -1,0 +1,393 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/transport"
+)
+
+// ErrEvicted is returned by Emitter.Run when the collector reports the
+// input already evicted: the merge has moved on without this vantage and
+// re-admission is impossible, so the emitter must stop rather than retry.
+var ErrEvicted = errors.New("ingest: input evicted by collector")
+
+// errStopped aborts connect's backoff sleep when Stop is called.
+var errStopped = errors.New("ingest: emitter stopped")
+
+// EmitterConfig configures one vantage's emitter.
+type EmitterConfig struct {
+	// Addr is the collector's address.
+	Addr string
+	// Input is this vantage's merger input index.
+	Input int
+
+	// Dial overrides the dialer (fault injection, tests). Default is
+	// net.DialTimeout over TCP.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// DialTimeout bounds one connect attempt (default 5 s).
+	DialTimeout time.Duration
+	// Retry paces reconnects: Max attempts per outage on the
+	// exponential-backoff-with-full-jitter schedule (default Max 10,
+	// transport defaults for Base/Cap). Run fails when one outage
+	// outlives the budget.
+	Retry transport.Retry
+
+	// WriteTimeout bounds every frame write (default 10 s) — a peer
+	// reading slowly cannot wedge the emitter, it gets a torn connection
+	// and a retransmit instead.
+	WriteTimeout time.Duration
+	// WelcomeTimeout bounds the hello/welcome exchange (default 10 s).
+	WelcomeTimeout time.Duration
+	// AckTimeout declares the connection wedged when events are
+	// outstanding and no ack progress arrives for this long (default
+	// 15 s); the emitter reconnects and retransmits. This is what
+	// recovers from faults that swallow frames without killing the
+	// connection.
+	AckTimeout time.Duration
+	// MaxUnacked bounds the retransmit buffer in events (default 1<<16).
+	// At the bound the emitter stops draining its intake — backpressure
+	// propagates to the producer, exactly like a full merger intake does
+	// in-process.
+	MaxUnacked int
+	// KeepAlive is how often an idle emitter sends an empty data frame
+	// (default 2 s). The collector counts any valid frame as liveness, so
+	// the keepalive is what distinguishes a healthy vantage with nothing
+	// to say from a dead one. Keep it well under the collector's
+	// EvictAfter.
+	KeepAlive time.Duration
+}
+
+func (c *EmitterConfig) defaults() {
+	if c.Dial == nil {
+		c.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.Retry.Max == 0 {
+		c.Retry.Max = 10
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.WelcomeTimeout <= 0 {
+		c.WelcomeTimeout = 10 * time.Second
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 15 * time.Second
+	}
+	if c.MaxUnacked <= 0 {
+		c.MaxUnacked = 1 << 16
+	}
+	if c.KeepAlive <= 0 {
+		c.KeepAlive = 2 * time.Second
+	}
+}
+
+// Emitter ships one input's event stream to the collector, exactly once
+// in order from the collector's point of view, across any number of
+// connection losses. Feed it through Intake (a stream.Producer pointed at
+// that channel works unchanged), close the channel after the trailer, and
+// Run returns once everything fed has been acknowledged.
+type Emitter struct {
+	cfg      EmitterConfig
+	intake   chan stream.Batch
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewEmitter builds an emitter; Run does the work.
+func NewEmitter(cfg EmitterConfig) *Emitter {
+	cfg.defaults()
+	return &Emitter{cfg: cfg, intake: make(chan stream.Batch, 4), stop: make(chan struct{})}
+}
+
+// Stop aborts Run immediately — nothing is flushed, exactly like the
+// process dying. Unacked events stay unacked; a restarted emitter (or
+// the collector's eviction) picks up from there. Idempotent.
+func (e *Emitter) Stop() { e.stopOnce.Do(func() { close(e.stop) }) }
+
+// Intake is the channel to feed events into, shaped exactly like a
+// merger intake so stream.NewProducer(0, e.Intake()) plugs in directly
+// (the batch's Input field is ignored — the hello frame binds the input).
+// Close it when the stream is complete; Run returns after the final ack.
+func (e *Emitter) Intake() chan<- stream.Batch { return e.intake }
+
+// pendingEv is one unacknowledged event awaiting its cumulative ack.
+type pendingEv struct {
+	seq uint64
+	ev  stream.Event
+}
+
+// ackMsg is what the per-connection reader goroutine reports: an ack seq
+// or the read error that ended the connection.
+type ackMsg struct {
+	seq uint64
+	err error
+}
+
+// Run pumps the intake to the collector until everything is acked or the
+// retry budget dies. Safe to call exactly once.
+func (e *Emitter) Run() error {
+	var (
+		conn     net.Conn
+		acks     chan ackMsg
+		connDone chan struct{}
+
+		unacked  []pendingEv
+		nextSeq  uint64 = 1
+		ackedSeq uint64
+
+		intakeCh     = e.intake
+		intakeClosed bool
+		lastProgress time.Time
+		lastSend     time.Time
+	)
+	tick := e.cfg.AckTimeout / 4
+	if k := e.cfg.KeepAlive / 2; k < tick {
+		tick = k
+	}
+	if tick <= 0 {
+		tick = time.Second
+	}
+	var rng *rand.Rand
+	if e.cfg.Retry.Seed != 0 {
+		rng = rand.New(rand.NewPCG(e.cfg.Retry.Seed, 0x1d9e57))
+	}
+	teardown := func() {
+		if conn != nil {
+			close(connDone)
+			conn.Close()
+			conn = nil
+		}
+	}
+	defer teardown()
+	// Once Run has returned nobody drains the intake, so a producer still
+	// mid-stream would block forever on a dead emitter. Discarding is
+	// correct on every exit path: clean return means the channel is
+	// already closed and empty, and on error or Stop the events have
+	// nowhere to go anyway.
+	defer func() {
+		go func() {
+			for range e.intake {
+			}
+		}()
+	}()
+
+	for {
+		if intakeClosed && len(unacked) == 0 {
+			return nil
+		}
+		if conn == nil {
+			c, welcome, err := e.connect(rng)
+			if errors.Is(err, errStopped) {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if welcome.Resume > ackedSeq {
+				ackedSeq = welcome.Resume
+				unacked = dropAcked(unacked, ackedSeq)
+			}
+			if intakeClosed && len(unacked) == 0 {
+				c.Close()
+				return nil
+			}
+			if err := e.send(c, unacked); err != nil {
+				c.Close()
+				continue
+			}
+			acks = make(chan ackMsg, 64)
+			connDone = make(chan struct{})
+			go readAcks(c, acks, connDone)
+			conn = c
+			lastProgress = time.Now()
+			lastSend = time.Now()
+		}
+
+		in := intakeCh
+		if len(unacked) >= e.cfg.MaxUnacked {
+			in = nil // backpressure: stall the producer until acks drain
+		}
+		select {
+		case <-e.stop:
+			return nil
+		case b, ok := <-in:
+			if !ok {
+				intakeClosed = true
+				intakeCh = nil
+				continue
+			}
+			fresh := unacked[len(unacked):]
+			for _, ev := range b.Events {
+				seq := nextSeq
+				nextSeq++
+				if seq <= ackedSeq {
+					// Restart resume: the collector already applied this
+					// regenerated event in a previous life.
+					continue
+				}
+				fresh = append(fresh, pendingEv{seq: seq, ev: ev})
+			}
+			unacked = append(unacked, fresh...)
+			if len(fresh) > 0 {
+				if err := e.send(conn, fresh); err != nil {
+					teardown()
+				} else {
+					lastSend = time.Now()
+				}
+			}
+		case a := <-acks:
+			if a.err != nil {
+				teardown()
+				continue
+			}
+			if a.seq > ackedSeq {
+				ackedSeq = a.seq
+				unacked = dropAcked(unacked, ackedSeq)
+				lastProgress = time.Now()
+			}
+		case <-time.After(tick):
+			if len(unacked) > 0 && time.Since(lastProgress) > e.cfg.AckTimeout {
+				// Outstanding events, no ack progress: the connection is
+				// wedged (or a fault ate the frames). Start over.
+				teardown()
+				continue
+			}
+			if conn != nil && time.Since(lastSend) > e.cfg.KeepAlive {
+				// Idle keepalive: an empty data frame, so the collector's
+				// liveness layer can tell quiet from dead.
+				_ = conn.SetWriteDeadline(time.Now().Add(e.cfg.WriteTimeout))
+				ka := &frame{Kind: frameData, Data: &dataFrame{FirstSeq: nextSeq}}
+				if err := writeFrame(conn, ka); err != nil {
+					teardown()
+				} else {
+					_ = conn.SetWriteDeadline(time.Time{})
+					lastSend = time.Now()
+				}
+			}
+		}
+	}
+}
+
+// connect dials and handshakes on the Retry schedule, returning the
+// established connection and its welcome.
+func (e *Emitter) connect(rng *rand.Rand) (net.Conn, *welcomeFrame, error) {
+	var err error
+	for attempt := 0; ; attempt++ {
+		var c net.Conn
+		c, err = e.cfg.Dial(e.cfg.Addr, e.cfg.DialTimeout)
+		if err == nil {
+			var w *welcomeFrame
+			w, err = e.handshake(c)
+			if err == nil {
+				return c, w, nil
+			}
+			c.Close()
+			if errors.Is(err, ErrEvicted) {
+				return nil, nil, err
+			}
+		}
+		if attempt >= e.cfg.Retry.Max {
+			return nil, nil, fmt.Errorf("ingest: connect %s: %w", e.cfg.Addr, err)
+		}
+		select {
+		case <-time.After(e.cfg.Retry.Backoff(attempt, rng)):
+		case <-e.stop:
+			return nil, nil, errStopped
+		}
+	}
+}
+
+func (e *Emitter) handshake(c net.Conn) (*welcomeFrame, error) {
+	_ = c.SetDeadline(time.Now().Add(e.cfg.WelcomeTimeout))
+	defer c.SetDeadline(time.Time{})
+	hello := &frame{Kind: frameHello, Hello: &helloFrame{Proto: protoVersion, Input: e.cfg.Input}}
+	if err := writeFrame(c, hello); err != nil {
+		return nil, err
+	}
+	f, err := readFrame(c)
+	if err != nil {
+		return nil, err
+	}
+	if f.Kind != frameWelcome || f.Welcome == nil {
+		return nil, fmt.Errorf("ingest: expected welcome, got frame kind %d", f.Kind)
+	}
+	if f.Welcome.Evicted {
+		return nil, ErrEvicted
+	}
+	return f.Welcome, nil
+}
+
+// send writes events as data frames of at most maxFrameEvents, each a
+// single deadline-bounded Write. Events must be seq-contiguous, which
+// every caller's slice is: seqs are assigned consecutively and only an
+// already-acked prefix is ever removed.
+func (e *Emitter) send(c net.Conn, evs []pendingEv) error {
+	for len(evs) > 0 {
+		n := len(evs)
+		if n > maxFrameEvents {
+			n = maxFrameEvents
+		}
+		chunk := evs[:n]
+		evs = evs[n:]
+		df := &dataFrame{FirstSeq: chunk[0].seq, Events: make([]stream.Event, n)}
+		for i, pe := range chunk {
+			df.Events[i] = pe.ev
+		}
+		_ = c.SetWriteDeadline(time.Now().Add(e.cfg.WriteTimeout))
+		if err := writeFrame(c, &frame{Kind: frameData, Data: df}); err != nil {
+			return err
+		}
+	}
+	_ = c.SetWriteDeadline(time.Time{})
+	return nil
+}
+
+// readAcks is the per-connection reader: it forwards ack seqs until the
+// connection dies, then reports the error and exits. connDone unblocks it
+// when the main loop has already moved on to a new connection.
+func readAcks(c net.Conn, out chan<- ackMsg, connDone <-chan struct{}) {
+	for {
+		f, err := readFrame(c)
+		var msg ackMsg
+		switch {
+		case err != nil:
+			msg = ackMsg{err: err}
+		case f.Kind == frameAck && f.Ack != nil:
+			msg = ackMsg{seq: f.Ack.Seq}
+		default:
+			// A duplicated welcome or other stray frame: ignore.
+			continue
+		}
+		select {
+		case out <- msg:
+		case <-connDone:
+			return
+		}
+		if msg.err != nil {
+			return
+		}
+	}
+}
+
+// dropAcked removes the acknowledged prefix.
+func dropAcked(unacked []pendingEv, acked uint64) []pendingEv {
+	i := 0
+	for i < len(unacked) && unacked[i].seq <= acked {
+		i++
+	}
+	if i == 0 {
+		return unacked
+	}
+	return append(unacked[:0:0], unacked[i:]...)
+}

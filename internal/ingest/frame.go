@@ -1,0 +1,112 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/stream"
+)
+
+// protoVersion is the ingest wire protocol version; the collector
+// rejects hellos it does not speak.
+const protoVersion = 1
+
+// maxFrameLen bounds one frame's payload: a data frame carries at most
+// maxFrameEvents session records, far under this; anything larger is a
+// corrupt or hostile length prefix.
+const maxFrameLen = 32 << 20
+
+// maxFrameEvents caps events per data frame, mirroring the stream
+// package's producer batch size so one frame is one Write of bounded
+// size.
+const maxFrameEvents = 256
+
+type frameKind uint8
+
+const (
+	frameHello frameKind = iota + 1
+	frameWelcome
+	frameData
+	frameAck
+)
+
+// helloFrame opens a connection: which merger input this emitter feeds.
+type helloFrame struct {
+	Proto int
+	Input int
+}
+
+// welcomeFrame answers a hello. Resume is the highest contiguous event
+// seq the collector has applied for this input — the emitter retransmits
+// everything after it and nothing at or before it. Evicted tells a
+// late-returning emitter its input is already dead; there is no way back
+// into the merge, so the emitter should stop.
+type welcomeFrame struct {
+	Resume  uint64
+	Evicted bool
+}
+
+// dataFrame carries a contiguous run of events: event i has sequence
+// number FirstSeq+i.
+type dataFrame struct {
+	FirstSeq uint64
+	Events   []stream.Event
+}
+
+// ackFrame acknowledges the highest contiguous seq applied. Cumulative:
+// any ack covers every earlier seq, so lost or reordered acks are
+// harmless.
+type ackFrame struct {
+	Seq uint64
+}
+
+// frame is the wire unit; exactly one pointer field is set, matching
+// Kind. Gob omits the nil ones.
+type frame struct {
+	Kind    frameKind
+	Hello   *helloFrame
+	Welcome *welcomeFrame
+	Data    *dataFrame
+	Ack     *ackFrame
+}
+
+// writeFrame encodes f and delivers it with a single Write: length
+// prefix and payload together, so a write-granular fault (drop, dup,
+// reorder) acts on whole frames and never tears one except by killing
+// the connection.
+func writeFrame(w io.Writer, f *frame) error {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0})
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return fmt.Errorf("ingest: encode frame: %w", err)
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	_, err := w.Write(b)
+	return err
+}
+
+// readFrame reads one length-prefixed frame and decodes it with a fresh
+// gob stream, so no decoder state survives between frames.
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameLen {
+		return nil, fmt.Errorf("ingest: frame length %d out of range", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	f := new(frame)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(f); err != nil {
+		return nil, fmt.Errorf("ingest: decode frame: %w", err)
+	}
+	return f, nil
+}

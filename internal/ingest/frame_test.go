@@ -1,0 +1,98 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+func roundTrip(t *testing.T, f *frame) *frame {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, f); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return got
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	rec := &stream.SessionRecord{
+		Conn: trace.Conn{
+			Start: time.Second, End: time.Minute,
+			Addr: netip.MustParseAddr("10.1.2.3"), Ultrapeer: true, UserAgent: "LimeWire/4.0",
+		},
+		Queries: []trace.Query{{At: 2 * time.Second, Text: "free mp3", TTL: 7, Hops: 1, Hits: 3}},
+	}
+	frames := []*frame{
+		{Kind: frameHello, Hello: &helloFrame{Proto: protoVersion, Input: 2}},
+		{Kind: frameWelcome, Welcome: &welcomeFrame{Resume: 77, Evicted: true}},
+		{Kind: frameData, Data: &dataFrame{FirstSeq: 9, Events: []stream.Event{
+			{Kind: stream.EvOpen, ID: 4, Time: time.Second},
+			{Kind: stream.EvClose, ID: 4, Time: time.Minute, Sess: rec},
+			{Kind: stream.EvPong, Time: 3 * time.Second, Pong: trace.Pong{At: 3 * time.Second, SharedFiles: 120}},
+			{Kind: stream.EvDone, Time: time.Hour, Done: &stream.End{Seed: 1, Scale: 0.5, Days: 2, Nodes: 1}},
+		}}},
+		{Kind: frameAck, Ack: &ackFrame{Seq: 1 << 40}},
+	}
+	for _, f := range frames {
+		got := roundTrip(t, f)
+		if !reflect.DeepEqual(f, got) {
+			t.Fatalf("kind %d round trip:\n got %+v\nwant %+v", f.Kind, got, f)
+		}
+	}
+}
+
+// TestFrameSingleWrite pins the one-frame-per-Write property that makes
+// whole-write fault injection (dup, reorder) safe: swapping or doubling
+// Write calls can never tear a frame.
+func TestFrameSingleWrite(t *testing.T) {
+	var w countingWriter
+	if err := writeFrame(&w, &frame{Kind: frameAck, Ack: &ackFrame{Seq: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if w.calls != 1 {
+		t.Fatalf("frame used %d Write calls, want exactly 1", w.calls)
+	}
+}
+
+type countingWriter struct {
+	calls int
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.calls++
+	return len(p), nil
+}
+
+func TestFrameRejectsBadLength(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrameLen+1)
+	if _, err := readFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("oversized length accepted")
+	}
+	binary.BigEndian.PutUint32(hdr[:], 0)
+	if _, err := readFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("zero length accepted")
+	}
+}
+
+func TestFrameTornPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, &frame{Kind: frameAck, Ack: &ackFrame{Seq: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	torn := buf.Bytes()[:buf.Len()-3]
+	if _, err := readFrame(bytes.NewReader(torn)); err == nil {
+		t.Fatal("torn frame accepted")
+	}
+}

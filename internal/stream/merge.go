@@ -62,6 +62,12 @@ type Merger struct {
 	// peakPending tracks the high-water mark of sessions completed but
 	// held behind the barrier — the merge's own memory diagnostic.
 	peakPending int
+	// deadInputs and lostSessions are the degradation ledger: inputs
+	// evicted by EvEvict, and the sessions those inputs had announced
+	// (EvOpen) but never closed — known data loss, reported rather than
+	// deadlocked on.
+	deadInputs   int
+	lostSessions uint64
 }
 
 type inputState struct {
@@ -138,7 +144,23 @@ func (m *Merger) Emitted() uint64 { return m.emitted }
 // behind the emission barrier — how much the oldest open session cost.
 func (m *Merger) PeakPending() int { return m.peakPending }
 
+// DeadInputs returns how many inputs were evicted (EvEvict) instead of
+// completing with a trailer. Read after Run returns.
+func (m *Merger) DeadInputs() int { return m.deadInputs }
+
+// LostSessions returns how many sessions evicted inputs had opened but
+// never closed — the sessions known to be lost to input death. Sessions an
+// evicted input never even announced cannot be counted here; only the
+// emitter knew about those. Read after Run returns.
+func (m *Merger) LostSessions() uint64 { return m.lostSessions }
+
 func (m *Merger) apply(input int, st *inputState, ev *Event) {
+	if st.done {
+		// A dead or completed input delivers nothing further: late frames
+		// racing an eviction are dropped here so remain cannot go negative
+		// and the barrier stays monotone.
+		return
+	}
 	if ev.Time > st.watermark {
 		st.watermark = ev.Time
 	}
@@ -178,6 +200,24 @@ func (m *Merger) apply(input int, st *inputState, ev *Event) {
 		st.end = ev.Done
 		m.remain--
 		m.fold(input, ev.Done)
+	case EvEvict:
+		st.done = true
+		m.remain--
+		m.deadInputs++
+		m.lostSessions += uint64(len(st.open))
+		// The input leaves the barrier entirely: its watermark no longer
+		// pins retirement (done) and its open sessions are written off —
+		// they can never close, so waiting on them would deadlock the
+		// merge.
+		st.open = nil
+		st.fifo = nil
+		if ev.Done != nil {
+			// A liveness layer may synthesize a partial trailer from the
+			// events it applied, keeping the merged counters consistent
+			// with the records actually present; the emitter's aggregate
+			// counters (unrecorded wider-network traffic) are lost with it.
+			m.fold(input, ev.Done)
+		}
 	}
 }
 
@@ -401,11 +441,16 @@ func MergeTraces(traces ...*trace.Trace) *trace.Trace {
 	return t
 }
 
-// MergeStats reports a completed merge's memory diagnostics: the pending
-// buffer's high-water mark and how many sessions took the spill path.
+// MergeStats reports a completed merge's memory diagnostics — the pending
+// buffer's high-water mark and how many sessions took the spill path —
+// plus its degradation ledger: inputs evicted dead and the open sessions
+// lost with them (always zero for in-process merges, which cannot lose an
+// input; the distributed ingest path is where these go nonzero).
 type MergeStats struct {
-	PeakPending int
-	Spilled     int
+	PeakPending  int
+	Spilled      int
+	DeadInputs   int
+	LostSessions uint64
 }
 
 // MergeTracesStats is MergeTraces plus the merge's own diagnostics, so
@@ -507,5 +552,10 @@ func MergeTracesStats(traces ...*trace.Trace) (*trace.Trace, MergeStats) {
 		}
 	}
 	m.finish()
-	return m.out, MergeStats{PeakPending: m.peakPending, Spilled: m.spilled}
+	return m.out, MergeStats{
+		PeakPending:  m.peakPending,
+		Spilled:      m.spilled,
+		DeadInputs:   m.deadInputs,
+		LostSessions: m.lostSessions,
+	}
 }

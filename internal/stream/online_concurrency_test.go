@@ -1,0 +1,73 @@
+package stream_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+// TestOnlineConcurrentScrapes hammers one Online from three directions at
+// once — merged-session ingestion, direct wire-level query observation,
+// and metrics scrapes — the exact concurrency shape of a gnutellad or
+// ingest collector serving /metrics while traffic arrives. Run under
+// -race in CI; the final counters must also be exact.
+func TestOnlineConcurrentScrapes(t *testing.T) {
+	o := stream.NewOnline(stream.OnlineConfig{})
+	const (
+		writers  = 4
+		sessions = 200
+		scrapers = 3
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < sessions; i++ {
+				at := time.Duration(w*sessions+i) * time.Second
+				o.MergedSession(&trace.Conn{Start: at, End: at + 30*time.Second}, []trace.Query{
+					{At: at, Text: "concurrent scrape"},
+					{At: at + time.Second, Text: "concurrent scrape"},
+				})
+				o.ObserveQuery(at, "live wire query", false)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for s := 0; s < scrapers; s++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := o.Snapshot(5)
+				if snap.Queries < snap.Sessions {
+					t.Error("snapshot saw fewer queries than sessions")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scrapeWG.Wait()
+
+	final := o.Snapshot(5)
+	if final.Sessions != writers*sessions {
+		t.Fatalf("Sessions = %d, want %d", final.Sessions, writers*sessions)
+	}
+	if want := uint64(writers * sessions * 3); final.Queries != want {
+		t.Fatalf("Queries = %d, want %d", final.Queries, want)
+	}
+	if final.Under64Fraction != 1 {
+		t.Fatalf("Under64Fraction = %v, want 1 (every session lasted 30s)", final.Under64Fraction)
+	}
+}

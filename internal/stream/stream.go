@@ -63,6 +63,17 @@ const (
 	// trace metadata. Exactly one per input, after which the input's
 	// channel closes.
 	EvDone
+	// EvEvict declares the input dead without a trailer: a liveness layer
+	// (internal/ingest's collector) injects it when an input's watermark
+	// has stopped advancing for longer than its timeout, so the merge
+	// degrades gracefully instead of stalling the emission barrier
+	// forever. The merger removes the input from the barrier, counts its
+	// still-open sessions as lost (LostSessions), counts the input dead
+	// (DeadInputs), and folds the event's optional partial trailer —
+	// everything already closed stays in the merged trace. After an
+	// eviction the drained trace is exactly the merge of what was
+	// received; what is missing is reported, never silently absorbed.
+	EvEvict
 )
 
 // SessionRecord is one completed connection with its query stream, the

@@ -7,9 +7,12 @@ package transport
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/handshake"
@@ -67,6 +70,61 @@ type Options struct {
 	Ultrapeer bool
 	// HandshakeTimeout bounds the handshake exchange (default 10 s).
 	HandshakeTimeout time.Duration
+	// Retry, when Max > 0, makes Dial retry failed attempts (TCP connect
+	// or handshake) with exponential backoff and full jitter. The zero
+	// value keeps the historical single-attempt behavior.
+	Retry Retry
+}
+
+// Retry is an exponential-backoff-with-full-jitter schedule: attempt k
+// sleeps a uniform random duration in (0, min(Cap, Base·2^k)] before
+// retrying. Full jitter (the AWS architecture-blog formulation) is what
+// keeps a fleet of emitters reconnecting after a collector restart from
+// hammering it in lockstep.
+type Retry struct {
+	// Max is how many retries follow the first failed attempt; 0 disables
+	// retrying entirely.
+	Max int
+	// Base is the first attempt's backoff ceiling (default 100 ms).
+	Base time.Duration
+	// Cap bounds the exponential growth (default 5 s).
+	Cap time.Duration
+	// Seed fixes the jitter stream for deterministic tests; 0 draws from
+	// the global generator.
+	Seed uint64
+}
+
+// Backoff returns the sleep before retry attempt (0-based), jittered.
+func (r Retry) Backoff(attempt int, rng *rand.Rand) time.Duration {
+	base := r.Base
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	ceil := r.Cap
+	if ceil <= 0 {
+		ceil = 5 * time.Second
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > ceil { // <<-overflow lands negative or zero
+		d = ceil
+	}
+	var f float64
+	if rng != nil {
+		f = rng.Float64()
+	} else {
+		f = rand.Float64()
+	}
+	return time.Duration(f * float64(d))
+}
+
+// rng returns the jitter stream: seeded and private when Seed is set (so
+// tests and emulation runs reproduce their schedules), nil for the global
+// generator otherwise.
+func (r Retry) rng() *rand.Rand {
+	if r.Seed == 0 {
+		return nil
+	}
+	return rand.New(rand.NewPCG(r.Seed, 0x9e3779b97f4a7c15))
 }
 
 func (o Options) headers() *handshake.Headers {
@@ -92,12 +150,27 @@ func (o Options) timeout() time.Duration {
 }
 
 // Dial connects to a Gnutella node and performs the initiator handshake.
+// With Options.Retry.Max > 0, failed attempts — refused connects and
+// failed handshakes alike — are retried on the Retry schedule; the last
+// attempt's error is returned when the budget runs out.
 func Dial(addr string, opts Options) (*Peer, error) {
-	conn, err := net.DialTimeout("tcp", addr, opts.timeout())
-	if err != nil {
-		return nil, err
+	rng := opts.Retry.rng()
+	var err error
+	for attempt := 0; ; attempt++ {
+		var conn net.Conn
+		conn, err = net.DialTimeout("tcp", addr, opts.timeout())
+		if err == nil {
+			var peer *Peer
+			peer, err = Client(conn, opts)
+			if err == nil {
+				return peer, nil
+			}
+		}
+		if attempt >= opts.Retry.Max {
+			return nil, err
+		}
+		time.Sleep(opts.Retry.Backoff(attempt, rng))
 	}
-	return Client(conn, opts)
 }
 
 // Client performs the initiator handshake over an existing connection.
@@ -149,14 +222,77 @@ func Listen(addr string, opts Options) (*Listener, error) {
 // Addr returns the bound address.
 func (l *Listener) Addr() net.Addr { return l.l.Addr() }
 
-// Accept waits for the next peer and completes its handshake.
+// ErrPeerRejected wraps errors scoped to one accepted connection (a
+// failed or malformed handshake): the listener itself is healthy and the
+// accept loop should simply move on to the next peer — neither backing
+// off nor exiting. Test with errors.Is.
+var ErrPeerRejected = errors.New("transport: peer rejected")
+
+// Accept waits for the next peer and completes its handshake. Handshake
+// failures are wrapped in ErrPeerRejected; any other error came from the
+// listener itself (classify with AcceptBackoff).
 func (l *Listener) Accept() (*Peer, error) {
 	conn, err := l.l.Accept()
 	if err != nil {
 		return nil, err
 	}
-	return Server(conn, l.opts)
+	peer, err := Server(conn, l.opts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrPeerRejected, err)
+	}
+	return peer, nil
 }
 
 // Close stops the listener.
 func (l *Listener) Close() error { return l.l.Close() }
+
+// AcceptBackoff classifies accept-loop errors and paces the retries, the
+// pattern net/http.Server uses: transient resource exhaustion (EMFILE,
+// ENFILE, ENOBUFS, ENOMEM, ECONNABORTED, timeouts) is retried with a
+// doubling delay capped at one second, anything else — a closed listener
+// above all — is permanent and the loop must exit instead of spinning on
+// the same error forever. The zero value is ready to use; call Reset
+// after every successful accept.
+type AcceptBackoff struct {
+	delay time.Duration
+}
+
+// Next reports whether the accept loop should retry after err, and the
+// delay to sleep first. Per-connection errors (ErrPeerRejected) retry
+// immediately; temporary listener errors back off; permanent ones return
+// retry == false.
+func (b *AcceptBackoff) Next(err error) (delay time.Duration, retry bool) {
+	if errors.Is(err, ErrPeerRejected) {
+		return 0, true
+	}
+	if !temporaryAcceptErr(err) {
+		return 0, false
+	}
+	if b.delay == 0 {
+		b.delay = 5 * time.Millisecond
+	} else if b.delay *= 2; b.delay > time.Second {
+		b.delay = time.Second
+	}
+	return b.delay, true
+}
+
+// Reset clears the backoff after a successful accept.
+func (b *AcceptBackoff) Reset() { b.delay = 0 }
+
+func temporaryAcceptErr(err error) bool {
+	if errors.Is(err, net.ErrClosed) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	for _, errno := range []syscall.Errno{
+		syscall.EMFILE, syscall.ENFILE, syscall.ENOBUFS, syscall.ENOMEM, syscall.ECONNABORTED, syscall.EINTR,
+	} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}

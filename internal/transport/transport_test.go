@@ -176,3 +176,129 @@ func TestServerRejectsGarbage(t *testing.T) {
 		t.Fatal("expected handshake rejection")
 	}
 }
+
+// TestDialRetryFlakyListener: a listener that kills the first k
+// connections before the handshake completes. A plain Dial fails; a Dial
+// with a Retry budget ≥ k rides out the flakiness and lands a working
+// peer.
+func TestDialRetryFlakyListener(t *testing.T) {
+	const flaky = 3
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	attempts := make(chan int, 16)
+	go func() {
+		for i := 0; ; i++ {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			attempts <- i
+			if i < flaky {
+				conn.Close()
+				continue
+			}
+			go func() {
+				srv, err := Server(conn, Options{UserAgent: "Flaky/1.0", Ultrapeer: true})
+				if err == nil {
+					defer srv.Close()
+					// Hold the conn until the client is done with it.
+					_, _ = srv.Recv()
+				}
+			}()
+		}
+	}()
+
+	if _, err := Dial(l.Addr().String(), Options{UserAgent: "C/1"}); err == nil {
+		t.Fatal("retry-less Dial succeeded against a flaky first attempt")
+	}
+	peer, err := Dial(l.Addr().String(), Options{
+		UserAgent: "C/1",
+		Retry:     Retry{Max: flaky + 1, Base: time.Millisecond, Cap: 5 * time.Millisecond, Seed: 1},
+	})
+	if err != nil {
+		t.Fatalf("Dial with retries: %v", err)
+	}
+	defer peer.Close()
+	if got := peer.Info().UserAgent; got != "Flaky/1.0" {
+		t.Fatalf("handshake with %q, want the flaky server", got)
+	}
+}
+
+// TestRetryBackoffSchedule pins the schedule's shape: jittered in
+// (0, base·2^k], capped, deterministic under a fixed seed, and safe far
+// past shift overflow.
+func TestRetryBackoffSchedule(t *testing.T) {
+	r := Retry{Max: 10, Base: 100 * time.Millisecond, Cap: time.Second, Seed: 7}
+	rng := r.rng()
+	prevCeil := time.Duration(0)
+	for attempt := 0; attempt < 80; attempt++ {
+		d := r.Backoff(attempt, rng)
+		ceil := r.Base << uint(attempt)
+		if ceil <= 0 || ceil > r.Cap {
+			ceil = r.Cap
+		}
+		if d < 0 || d > ceil {
+			t.Fatalf("attempt %d: backoff %v outside (0, %v]", attempt, d, ceil)
+		}
+		if ceil < prevCeil {
+			t.Fatalf("attempt %d: ceiling shrank", attempt)
+		}
+		prevCeil = ceil
+	}
+	// Same seed, same schedule.
+	a := Retry{Seed: 42}
+	b := Retry{Seed: 42}
+	for i := 0; i < 5; i++ {
+		if x, y := a.Backoff(i, a.rng()), b.Backoff(i, b.rng()); x != y {
+			t.Fatalf("seeded schedules diverge at %d: %v vs %v", i, x, y)
+		}
+	}
+}
+
+// TestAcceptBackoffClassification pins the accept loop's error taxonomy:
+// per-peer handshake failures retry immediately, temporary listener
+// errors back off with a capped doubling delay, and permanent errors
+// (closed listener) stop the loop.
+func TestAcceptBackoffClassification(t *testing.T) {
+	var b AcceptBackoff
+	if d, retry := b.Next(errPeerRejectedWrapped()); !retry || d != 0 {
+		t.Fatalf("peer rejection: delay=%v retry=%v, want immediate retry", d, retry)
+	}
+	if _, retry := b.Next(net.ErrClosed); retry {
+		t.Fatal("closed listener classified as retryable")
+	}
+	if _, retry := b.Next(errors.New("unknown listener failure")); retry {
+		t.Fatal("unknown error classified as retryable")
+	}
+	prev := time.Duration(0)
+	for i := 0; i < 12; i++ {
+		d, retry := b.Next(timeoutErr{})
+		if !retry {
+			t.Fatal("timeout classified as permanent")
+		}
+		if d < prev {
+			t.Fatalf("backoff shrank: %v after %v", d, prev)
+		}
+		if d > time.Second {
+			t.Fatalf("backoff exceeded cap: %v", d)
+		}
+		prev = d
+	}
+	b.Reset()
+	if d, _ := b.Next(timeoutErr{}); d > 10*time.Millisecond {
+		t.Fatalf("Reset did not clear the delay: next backoff %v", d)
+	}
+}
+
+func errPeerRejectedWrapped() error {
+	return &net.OpError{Op: "accept", Err: ErrPeerRejected}
+}
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
