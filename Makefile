@@ -8,7 +8,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: test race bench bench-ci speedup-check distfleet-smoke fullscale fullscale-single lint
+.PHONY: test race bench bench-ci speedup-check distfleet-smoke scenario-suite fullscale fullscale-single lint
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -81,6 +81,22 @@ distfleet-smoke:
 	mkdir -p bin
 	$(GO) build -o bin/vantage ./cmd/vantage
 	$(GO) run ./cmd/distfleet -nodes 3 -scale 0.02 -days 2 -seed 2004 -vantage bin/vantage
+
+# scenario-suite runs every committed spec under scenarios/ end to end
+# and gates on the headline-metric checks each spec declares (cmd/analyze
+# exits 1 on any failed check). Explicit flags override the specs
+# (precedence spec < preset < flag), which is how the suite shrinks the
+# big scenarios to CI scale without forking the spec files: paper40d
+# runs at the repo's standard smoke shape, tenweek keeps its genuine
+# 70-day horizon at 1/10 the arrival rate, and the churn/polluter specs
+# run at the smoke scale their rate-ratio checks are calibrated for.
+SUITE := $(GO) run ./cmd/analyze -checks -only summary
+scenario-suite:
+	$(SUITE) -spec scenarios/paper40d.yaml -scale 0.02 -days 2 -nodes 4
+	$(SUITE) -spec scenarios/churn-recovery.yaml -scale 0.02
+	$(SUITE) -spec scenarios/polluter.yaml -scale 0.02
+	$(SUITE) -spec scenarios/tenweek.yaml -scale 0.002
+	@echo scenario-suite PASS
 
 # fullscale reproduces the paper's entire trace volume through the
 # multi-vantage measurement fabric: 40 days at scale 1.0 across 48

@@ -5,6 +5,7 @@
 //
 //	analyze [-only SECTION] trace-file
 //	analyze [-only SECTION] -simulate [-seed N] [-scale F] [-days D] [-nodes N]
+//	analyze [-only SECTION] -spec FILE | -preset NAME [overriding flags]
 //
 // SECTION is one of: summary, table1, table2, table3, fig1..fig11, fits,
 // all (default).
@@ -16,6 +17,15 @@
 // characterizes the merged trace — with N sized so the per-node
 // 200-connection caps don't bind, the fleet records the *entire* arrival
 // stream where a single node is cap-limited to ≈197 k connections.
+//
+// -spec FILE runs a declarative experiment spec and -preset NAME a
+// built-in one (paper40d, laptop, tenweek); both imply -simulate. The
+// precedence is spec < preset < explicitly set flag (internal/cliflags),
+// so `-preset paper40d -scale 0.02` is the paper configuration at smoke
+// scale. -checks evaluates the spec's headline-metric assertions against
+// the drained trace, prints one line per check to stderr, and exits 1 if
+// any fail — the scenario suite's CI gate.
+//
 // -simworkers bounds the parallel sharded simulation engine (0 =
 // GOMAXPROCS; each vantage node's event loop runs on its own goroutine;
 // the trace is byte-identical for every value) and -workers bounds the
@@ -48,16 +58,15 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"runtime/debug"
 	"time"
 
-	"repro/internal/capture"
+	p2pquery "repro"
+	"repro/internal/cliflags"
 	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/geo"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/stats"
-	"repro/internal/stream"
 	"repro/internal/trace"
 )
 
@@ -85,16 +94,11 @@ func main() {
 	only := flag.String("only", "all", "section to print (summary, table1..3, fig1..fig11, fits, all)")
 	csvDir := flag.String("csv", "", "optional directory for CSV exports of the distribution figures")
 	simulate := flag.Bool("simulate", false, "simulate the trace in-process instead of reading a file")
-	seed := flag.Uint64("seed", 2004, "simulation seed (with -simulate)")
-	scale := flag.Float64("scale", 0.01, "fraction of the paper's arrival rate; 1.0 = full scale (with -simulate)")
-	days := flag.Int("days", 4, "trace length in days; the paper measured 40 (with -simulate)")
-	nodes := flag.Int("nodes", 1, "ultrapeer vantage points; >1 shards arrivals across a measurement fleet and characterizes the merged trace (with -simulate)")
-	simWorkers := flag.Int("simworkers", 0, "simulation engine worker pool size (0 = GOMAXPROCS, 1 = sequential); trace is byte-identical for every value (with -simulate)")
+	sim := cliflags.Bind(flag.CommandLine, cliflags.Defaults{Seed: 2004, Scale: 0.01, Days: 4, Nodes: 1, MemLimit: -1})
 	workers := flag.Int("workers", 0, "characterization worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	ksboot := flag.Int("ksboot", 0, "parametric-bootstrap replicates for the appendix-fit KS p-values (0 = asymptotic Lilliefors-biased p-values)")
 	perf := flag.Bool("perf", false, "print a wall-clock/peak-RSS accounting line to stderr, simulate and characterize phases separately")
-	streamMode := flag.Bool("stream", false, "with -simulate: run the bounded-memory streaming engine (bounded-lookahead producer, online k-way merge, live sketches) and print the online characterization; the drained trace is byte-identical to the batch path")
-	memLimit := flag.Int64("memlimit", -1, "soft Go memory limit in bytes (-1 = auto: 2 GiB in -stream mode, runtime default otherwise; 0 = always runtime default). The streaming engine's live state is bounded by design; the limit stops the collector's 2x headroom from inflating peak RSS over it")
+	checks := flag.Bool("checks", false, "with -spec/-preset: evaluate the spec's headline-metric checks and exit 1 on any failure")
 	traceHash := flag.Bool("tracehash", false, "print the trace's canonical SHA-256 to stderr (comparable across the batch and streaming paths)")
 	perfLabel := flag.String("perflabel", "", "label attached to the -perf accounting line, so benchjson can track phases across runs")
 	flag.Parse()
@@ -104,80 +108,82 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *streamMode && !*simulate {
+	// A spec or preset describes a simulation, so naming one implies
+	// -simulate.
+	doSim := *simulate || sim.Declarative()
+	if sim.Stream && !doSim {
 		fmt.Fprintln(os.Stderr, "-stream requires -simulate (streaming characterizes the simulation's live event stream)")
 		os.Exit(2)
 	}
-
-	// The streaming engine keeps its live state bounded (bounded producer,
-	// incremental merge), but with the default GC target the heap floats
-	// to ~2x the live set before a cycle runs, which is most of a batch
-	// run's footprint handed right back. A soft memory limit makes the
-	// collector enforce what the data structures already guarantee; it
-	// never OOMs — if live state truly needed more, the GC just runs
-	// harder. GOMEMLIMIT in the environment still wins over the auto
-	// default (SetMemoryLimit is only called when a limit is chosen here).
-	switch {
-	case *memLimit > 0:
-		debug.SetMemoryLimit(*memLimit)
-	case *memLimit < 0 && *streamMode && os.Getenv("GOMEMLIMIT") == "":
-		// 2 GiB holds the paper-scale streaming run (live peak ≈ 1.9 GB)
-		// with ≈250 MB of GC headroom and lands the process peak RSS near
-		// 2.3 GB — under half the batch engine's simulate-phase peak. At
-		// scales beyond the paper's, raise it with -memlimit or GOMEMLIMIT
-		// (a too-low soft limit degrades to extra GC, never OOM).
-		debug.SetMemoryLimit(2 << 30)
+	if *checks && !sim.Declarative() {
+		fmt.Fprintln(os.Stderr, "-checks requires -spec or -preset (checks live in the spec)")
+		os.Exit(2)
 	}
 
 	var tr *trace.Trace
 	start := time.Now()
 	var simulated time.Duration
 	var simulatePeakRSS, simulateHeapLive int64
-	var st capture.FleetStats
+	var st p2pquery.FleetStats
 	var maxPeak int
 	var mergePeakPending, spilledSessions int
 	var schedEventsMaxNode, schedEventsTotal uint64
 	var deadInputs int
 	var lostSessions uint64
+	var streamMode bool
+	var simWorkers int
+	checksFailed := false
 	switch {
-	case *simulate:
+	case doSim:
 		if flag.NArg() != 0 {
-			fmt.Fprintln(os.Stderr, "usage: analyze -simulate [-seed N] [-scale F] [-days D] [-nodes N] [-simworkers W] [-stream]")
+			fmt.Fprintln(os.Stderr, "usage: analyze -simulate [-seed N] [-scale F] [-days D] [-nodes N] [-simworkers W] [-stream] | -spec FILE | -preset NAME")
 			os.Exit(2)
 		}
-		cfg := capture.DefaultConfig(*seed, *scale)
-		cfg.Workload.Days = *days
-		eng := engine.New(engine.Config{
-			Fleet:   capture.FleetConfig{Node: cfg, Nodes: *nodes},
-			Workers: *simWorkers,
+		sc, err := sim.Resolve()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resolving run configuration: %v\n", err)
+			os.Exit(2)
+		}
+		streamMode, simWorkers = sc.Stream, sc.Workers
+		// The streaming engine keeps its live state bounded (bounded
+		// producer, incremental merge), but with the default GC target the
+		// heap floats to ~2x the live set before a cycle runs. The soft
+		// limit makes the collector enforce what the data structures
+		// already guarantee; see cliflags.ApplyMemLimit.
+		cliflags.ApplyMemLimit(sc.MemLimit, sc.Stream)
+		res, err := p2pquery.Run(p2pquery.RunConfig{
+			Sim:     sc.Sim,
+			Nodes:   sc.Nodes,
+			Workers: sc.Workers,
+			Stream:  sc.Stream,
+			Online:  sc.Stream,
 		})
-		if *streamMode {
-			// Streaming mode: bounded producer + per-node emission + online
-			// k-way merge, with the sketch layer riding the merge sink. The
-			// drained trace is byte-identical to eng.Run()'s; the phase's
-			// peak RSS is what the -stream flag exists to cut.
-			online := stream.NewOnline(stream.OnlineConfig{})
-			tr = eng.RunStream(online)
-			snap := online.Snapshot(10)
-			if err := snap.WriteText(os.Stdout); err != nil {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simulating: %v\n", err)
+			os.Exit(1)
+		}
+		tr = res.Trace
+		if res.Online != nil {
+			// Streaming mode prints the online sketch characterization
+			// before the standard report; the phase's peak RSS is what
+			// the -stream flag exists to cut.
+			if err := res.Online.WriteText(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "rendering online snapshot: %v\n", err)
 				os.Exit(1)
 			}
 			fmt.Fprintln(os.Stdout)
-		} else {
-			tr = eng.Run()
 		}
-		st = eng.Stats()
+		st = res.Stats
 		for _, ns := range st.PerNode {
 			if ns.PeakConns > maxPeak {
 				maxPeak = ns.PeakConns
 			}
 		}
-		mergePeakPending = eng.PeakPending()
-		spilledSessions = eng.SpilledSessions()
-		deadInputs = eng.DeadInputs()
-		lostSessions = eng.LostSessions()
-		for _, n := range eng.ScheduledPerNode() {
+		mergePeakPending = res.PeakPending
+		spilledSessions = res.SpilledSessions
+		deadInputs = res.DeadInputs
+		lostSessions = res.LostSessions
+		for _, n := range res.ScheduledPerNode {
 			if n > schedEventsMaxNode {
 				schedEventsMaxNode = n
 			}
@@ -191,6 +197,18 @@ func main() {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		simulateHeapLive = int64(ms.HeapAlloc)
+
+		if *checks {
+			results, ok := p2pquery.EvaluateScenario(tr, sc)
+			if len(results) == 0 {
+				fmt.Fprintf(os.Stderr, "checks: spec %s declares none\n", sc.Name)
+			}
+			if err := scenario.WriteChecks(os.Stderr, results); err != nil {
+				fmt.Fprintf(os.Stderr, "writing checks: %v\n", err)
+				os.Exit(1)
+			}
+			checksFailed = !ok
+		}
 	case flag.NArg() == 1:
 		var err error
 		tr, err = trace.ReadFile(flag.Arg(0))
@@ -230,15 +248,15 @@ func main() {
 		// Arrival accounting, per-node peaks and the simulate phase's own
 		// wall-clock / peak RSS are measurements of the simulation run, not
 		// properties a saved trace records — they are only emitted on the
-		// -simulate path, never as misleading zeros.
+		// simulation path, never as misleading zeros.
 		simFields := ""
-		if *simulate {
+		if doSim {
 			// Streaming mode ignores the worker pool (every node runs its
 			// own goroutine, throttled by the producer window), so the
 			// accounting reports 0 there rather than an echoed flag that
 			// had no effect.
-			perfWorkers := *simWorkers
-			if *streamMode {
+			perfWorkers := simWorkers
+			if streamMode {
 				perfWorkers = 0
 			}
 			// merge_peak_pending / spilled_sessions report the k-way
@@ -253,7 +271,7 @@ func main() {
 			// distributed collector (internal/ingest), where they count
 			// evicted vantages and their still-open sessions.
 			simFields = fmt.Sprintf(`"arrivals":%d,"rejected_arrivals":%d,"max_peak_conns":%d,"merge_peak_pending":%d,"spilled_sessions":%d,"dead_inputs":%d,"lost_sessions":%d,"sched_events_max_node":%d,"sched_events_total":%d,"simulate_s":%.2f,"simulate_peak_rss_bytes":%d,"simulate_heap_live_bytes":%d,"simworkers":%d,"stream":%v,`,
-				st.Arrivals, st.Rejected, maxPeak, mergePeakPending, spilledSessions, deadInputs, lostSessions, schedEventsMaxNode, schedEventsTotal, simulated.Seconds(), simulatePeakRSS, simulateHeapLive, perfWorkers, *streamMode)
+				st.Arrivals, st.Rejected, maxPeak, mergePeakPending, spilledSessions, deadInputs, lostSessions, schedEventsMaxNode, schedEventsTotal, simulated.Seconds(), simulatePeakRSS, simulateHeapLive, perfWorkers, streamMode)
 		}
 		labelField := ""
 		if *perfLabel != "" {
@@ -271,6 +289,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "CSV series written to %s\n", *csvDir)
+	}
+	if checksFailed {
+		fmt.Fprintln(os.Stderr, "scenario checks FAILED")
+		os.Exit(1)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"os/exec"
 	"time"
 
+	p2pquery "repro"
 	"repro/internal/capture"
 	"repro/internal/engine"
 	"repro/internal/ingest"
@@ -59,7 +60,11 @@ func main() {
 	// Reference: the single-process streaming run every scenario must match.
 	cfg := capture.DefaultConfig(p.seed, p.scale)
 	cfg.Workload.Days = p.days
-	ref := engine.New(engine.Config{Fleet: capture.FleetConfig{Node: cfg, Nodes: p.nodes}}).RunStream(nil)
+	refRes, err := p2pquery.Run(p2pquery.RunConfig{Sim: cfg, Nodes: p.nodes, Stream: true})
+	if err != nil {
+		log.Fatalf("distfleet: reference run: %v", err)
+	}
+	ref := refRes.Trace
 	refHash, err := ref.Hash()
 	if err != nil {
 		log.Fatalf("distfleet: reference hash: %v", err)

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	repro [-seed N] [-scale F] [-days N] [-nodes N] [-simworkers W] [-ksboot B] [-trace FILE] [-maxconns N]
+//	repro -spec FILE | -preset NAME [overriding flags]
 //
 // At -scale 1.0 the simulation generates the paper's full 4.36 M
 // connections; the default 0.05 finishes in tens of seconds and is more
@@ -13,7 +14,9 @@
 // arrivals shard across a fleet of vantage ultrapeers and the merged
 // trace is characterized — at -scale 1.0 with enough nodes that the
 // per-node caps don't bind, the whole 4.36 M-connection stream is
-// recorded (see internal/capture's Fleet).
+// recorded (see internal/capture's Fleet). -spec/-preset describe the
+// run declaratively (internal/scenario); explicitly set flags override
+// the spec.
 package main
 
 import (
@@ -22,38 +25,44 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/capture"
+	p2pquery "repro"
+	"repro/internal/cliflags"
 	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/report"
 )
 
 func main() {
-	seed := flag.Uint64("seed", 2004, "simulation seed (same seed ⇒ identical trace)")
-	scale := flag.Float64("scale", 0.05, "fraction of the paper's connection volume")
-	days := flag.Int("days", 40, "measurement period in days")
-	nodes := flag.Int("nodes", 1, "ultrapeer vantage points; >1 shards arrivals across a measurement fleet")
-	simWorkers := flag.Int("simworkers", 0, "simulation engine worker pool size (0 = GOMAXPROCS, 1 = sequential); the trace is byte-identical for every value")
+	sim := cliflags.Bind(flag.CommandLine, cliflags.Defaults{Seed: 2004, Scale: 0.05, Days: 40, Nodes: 1, MemLimit: -1})
 	ksboot := flag.Int("ksboot", 0, "parametric-bootstrap replicates for the appendix-fit KS p-values (0 = asymptotic)")
 	tracePath := flag.String("trace", "", "optional path to save the raw trace")
 	maxConns := flag.Int("maxconns", 200, "simultaneous connection cap per node (the paper's node held 200)")
 	flag.Parse()
 
-	cfg := capture.DefaultConfig(*seed, *scale)
-	cfg.Workload.Days = *days
-	cfg.MaxConns = *maxConns
+	sc, err := sim.Resolve()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "resolving run configuration: %v\n", err)
+		os.Exit(2)
+	}
+	sc.Sim.MaxConns = *maxConns
+	cliflags.ApplyMemLimit(sc.MemLimit, sc.Stream)
 
-	fmt.Printf("simulating %d days at scale %.3g across %d node(s) (seed %d)...\n", *days, *scale, *nodes, *seed)
+	wl := sc.Sim.Workload
+	fmt.Printf("simulating %d days at scale %.3g across %d node(s) (seed %d)...\n", wl.Days, wl.Scale, sc.Nodes, wl.Seed)
 	start := time.Now()
-	eng := engine.New(engine.Config{
-		Fleet:   capture.FleetConfig{Node: cfg, Nodes: *nodes},
-		Workers: *simWorkers,
+	res, err := p2pquery.Run(p2pquery.RunConfig{
+		Sim:     sc.Sim,
+		Nodes:   sc.Nodes,
+		Workers: sc.Workers,
+		Stream:  sc.Stream,
 	})
-	tr := eng.Run()
-	st := eng.Stats()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulating: %v\n", err)
+		os.Exit(1)
+	}
+	tr := res.Trace
 	fmt.Printf("simulated %d connections, %d hop-1 queries, %d total messages in %v (rejected %d at the per-node %d-conn cap)\n\n",
 		len(tr.Conns), len(tr.Queries), tr.Counts.Total(), time.Since(start).Round(time.Millisecond),
-		st.Rejected, cfg.MaxConns)
+		res.Stats.Rejected, sc.Sim.MaxConns)
 
 	if *tracePath != "" {
 		if err := tr.WriteFile(*tracePath); err != nil {

@@ -1,6 +1,13 @@
 // Command tracegen runs the measurement simulation and writes the raw
 // trace to a file for later analysis (cmd/analyze) or external tooling
 // (-jsonl exports the connection and query records as JSON lines).
+//
+// The run is described either by the shared simulation flags or by a
+// declarative spec: -spec FILE / -preset NAME compile through
+// internal/scenario, with explicitly set flags overriding the spec
+// (precedence spec < preset < flag). -stream drains the bounded-memory
+// streaming engine instead of the batch path; the written trace is
+// byte-identical either way.
 package main
 
 import (
@@ -9,33 +16,38 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/capture"
-	"repro/internal/engine"
+	p2pquery "repro"
+	"repro/internal/cliflags"
 )
 
 func main() {
-	seed := flag.Uint64("seed", 2004, "simulation seed")
-	scale := flag.Float64("scale", 0.05, "fraction of the paper's connection volume")
-	days := flag.Int("days", 40, "measurement period in days")
-	nodes := flag.Int("nodes", 1, "ultrapeer vantage points; >1 shards arrivals across a measurement fleet and writes the merged trace")
-	simWorkers := flag.Int("simworkers", 0, "simulation engine worker pool size (0 = GOMAXPROCS, 1 = sequential); the trace is byte-identical for every value")
+	sim := cliflags.Bind(flag.CommandLine, cliflags.Defaults{Seed: 2004, Scale: 0.05, Days: 40, Nodes: 1, MemLimit: -1})
 	out := flag.String("o", "gnutella.trace", "output trace file")
 	jsonl := flag.String("jsonl", "", "optional JSONL export path")
 	flag.Parse()
 
-	cfg := capture.DefaultConfig(*seed, *scale)
-	cfg.Workload.Days = *days
+	sc, err := sim.Resolve()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "resolving run configuration: %v\n", err)
+		os.Exit(2)
+	}
+	cliflags.ApplyMemLimit(sc.MemLimit, sc.Stream)
 
 	start := time.Now()
-	eng := engine.New(engine.Config{
-		Fleet:   capture.FleetConfig{Node: cfg, Nodes: *nodes},
-		Workers: *simWorkers,
+	res, err := p2pquery.Run(p2pquery.RunConfig{
+		Sim:     sc.Sim,
+		Nodes:   sc.Nodes,
+		Workers: sc.Workers,
+		Stream:  sc.Stream,
 	})
-	tr := eng.Run()
-	st := eng.Stats()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulating: %v\n", err)
+		os.Exit(1)
+	}
+	tr := res.Trace
 	fmt.Printf("simulated %d connections / %d messages across %d node(s) in %v (%d arrivals, %d rejected)\n",
-		len(tr.Conns), tr.Counts.Total(), eng.NodeCount(),
-		time.Since(start).Round(time.Millisecond), st.Arrivals, st.Rejected)
+		len(tr.Conns), tr.Counts.Total(), sc.Nodes,
+		time.Since(start).Round(time.Millisecond), res.Stats.Arrivals, res.Stats.Rejected)
 
 	if err := tr.WriteFile(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/capture"
+	"repro/internal/cliflags"
 	"repro/internal/engine"
 	"repro/internal/faultnet"
 	"repro/internal/ingest"
@@ -36,10 +37,11 @@ func main() {
 	collector := flag.String("collector", "", "collector address to emit to (required)")
 	input := flag.Int("input", 0, "vantage index, also the collector input this process feeds")
 
-	seed := flag.Uint64("seed", 2004, "workload seed (must match the fleet's)")
-	scale := flag.Float64("scale", 0.01, "workload scale (must match the fleet's)")
-	days := flag.Int("days", 4, "observation days (must match the fleet's)")
-	nodes := flag.Int("nodes", 1, "fleet size the arrival stream is sharded over")
+	// The shared block supplies -seed -scale -days -nodes and the
+	// declarative -spec/-preset pair (all of which must match the
+	// fleet's); -simworkers/-stream/-memlimit are accepted but inert
+	// here — an emitter is inherently a single streaming node.
+	sim := cliflags.Bind(flag.CommandLine, cliflags.Defaults{Seed: 2004, Scale: 0.01, Days: 4, Nodes: 1, MemLimit: -1})
 	lookahead := flag.Int("lookahead", 0, "bounded-producer lookahead (0 = engine default)")
 
 	retryMax := flag.Int("retry-max", 10, "reconnect attempts per outage")
@@ -62,13 +64,17 @@ func main() {
 		log.Fatal("vantage: -collector is required")
 	}
 
-	cfg := capture.DefaultConfig(*seed, *scale)
-	cfg.Workload.Days = *days
+	sc, err := sim.Resolve()
+	if err != nil {
+		log.Fatalf("vantage: resolving run configuration: %v", err)
+	}
+	cfg := sc.Sim
+	seed := cfg.Workload.Seed
 
 	ecfg := ingest.EmitterConfig{
 		Addr:           *collector,
 		Input:          *input,
-		Retry:          transport.Retry{Max: *retryMax, Base: *retryBase, Cap: *retryCap, Seed: *seed + uint64(*input) + 1},
+		Retry:          transport.Retry{Max: *retryMax, Base: *retryBase, Cap: *retryCap, Seed: seed + uint64(*input) + 1},
 		AckTimeout:     *ackTimeout,
 		WelcomeTimeout: *welcomeTimeout,
 		WriteTimeout:   *writeTimeout,
@@ -94,7 +100,7 @@ func main() {
 
 	start := time.Now()
 	st, err := engine.NodeStream(
-		engine.Config{Fleet: capture.FleetConfig{Node: cfg, Nodes: *nodes}, Lookahead: *lookahead},
+		engine.Config{Fleet: capture.FleetConfig{Node: cfg, Nodes: sc.Nodes}, Lookahead: *lookahead},
 		*input,
 		stream.NewProducer(*input, em.Intake()),
 	)

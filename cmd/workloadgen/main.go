@@ -3,6 +3,15 @@
 // form. Downstream simulators consume the stream to evaluate new P2P
 // system designs against realistic, geographically and diurnally
 // heterogeneous query behavior.
+//
+// With -spec FILE or -preset NAME the workload is described
+// declaratively (internal/scenario): client classes partition the
+// arrivals — each session line then carries a "class" column naming its
+// class (absent for the base class) — and churn events shape the arrival
+// rate. Explicitly set flags override the spec; the fleet-shape flags
+// the shared block also binds (-nodes -simworkers -stream -memlimit)
+// are accepted but inert here, since no measurement node is simulated.
+// Same spec + seed ⇒ byte-identical output (pinned by test).
 package main
 
 import (
@@ -12,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliflags"
 	"repro/internal/workload"
 )
 
@@ -29,18 +39,20 @@ type jsonSession struct {
 	SharedFiles int         `json:"shared_files"`
 	Passive     bool        `json:"passive"`
 	DurationSec float64     `json:"duration_sec"`
+	Class       string      `json:"class,omitempty"`
 	Queries     []jsonQuery `json:"queries,omitempty"`
 }
 
 func main() {
-	seed := flag.Uint64("seed", 2004, "generator seed")
-	scale := flag.Float64("scale", 0.01, "fraction of the paper's session volume")
-	days := flag.Int("days", 1, "workload period in days")
+	sim := cliflags.Bind(flag.CommandLine, cliflags.Defaults{Seed: 2004, Scale: 0.01, Days: 1, Nodes: 1, MemLimit: -1})
 	flag.Parse()
 
-	cfg := workload.DefaultConfig(*seed, *scale)
-	cfg.Days = *days
-	gen := workload.NewGenerator(cfg)
+	sc, err := sim.Resolve()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "resolving run configuration: %v\n", err)
+		os.Exit(2)
+	}
+	gen := workload.NewGenerator(sc.Sim.Workload)
 
 	w := bufio.NewWriterSize(os.Stdout, 1<<20)
 	enc := json.NewEncoder(w)
@@ -54,6 +66,7 @@ func main() {
 			SharedFiles: s.SharedFiles,
 			Passive:     s.Passive,
 			DurationSec: s.Duration.Seconds(),
+			Class:       s.Class,
 		}
 		for _, q := range s.Queries {
 			rec.Queries = append(rec.Queries, jsonQuery{

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -97,5 +98,109 @@ func TestCLIWorkloadgenDeterministic(t *testing.T) {
 	c, _ := runWorkloadgen(t, bin, "-seed", "6", "-scale", "0.003", "-days", "1")
 	if a == c {
 		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// multiClassSpec declares two client classes so the generated stream
+// exercises the class column and the scenario overlay.
+const multiClassSpec = `version: 1
+name: workloadgen-test
+sim:
+  seed: 11
+  scale: 0.004
+  days: 1
+classes:
+  - name: heavy
+    share: 0.3
+    query_scale: 2.0
+  - name: bot
+    share: 0.1
+    inject:
+      - planted file
+      - decoy content
+`
+
+func writeSpec(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.yaml")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatalf("writing spec: %v", err)
+	}
+	return path
+}
+
+// TestCLIWorkloadgenSpecDeterministic: the declarative path is as
+// deterministic as the flag path — same spec + seed, identical bytes.
+func TestCLIWorkloadgenSpecDeterministic(t *testing.T) {
+	bin := buildWorkloadgen(t)
+	spec := writeSpec(t, multiClassSpec)
+	a, _ := runWorkloadgen(t, bin, "-spec", spec)
+	b, _ := runWorkloadgen(t, bin, "-spec", spec)
+	if a != b {
+		t.Fatal("identical -spec invocations differ")
+	}
+	// An explicit flag overrides the spec's seed and must change the stream.
+	c, _ := runWorkloadgen(t, bin, "-spec", spec, "-seed", "12")
+	if a == c {
+		t.Fatal("-seed override did not change the stream")
+	}
+}
+
+// TestCLIWorkloadgenClassColumn: with a multi-class spec, session lines
+// carry the class column for non-base classes, shares are roughly
+// honored, and injected classes query from their planted vocabulary.
+func TestCLIWorkloadgenClassColumn(t *testing.T) {
+	bin := buildWorkloadgen(t)
+	spec := writeSpec(t, multiClassSpec)
+	stdout, _ := runWorkloadgen(t, bin, "-spec", spec)
+
+	type session struct {
+		Class   string `json:"class"`
+		Queries []struct {
+			Text string `json:"text"`
+		} `json:"queries"`
+	}
+	counts := map[string]int{}
+	botQueries, botPlanted := 0, 0
+	total := 0
+	sc := bufio.NewScanner(strings.NewReader(stdout))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var s session
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %d: %v", total+1, err)
+		}
+		counts[s.Class]++
+		total++
+		if s.Class == "bot" {
+			for _, q := range s.Queries {
+				botQueries++
+				if q.Text == "planted file" || q.Text == "decoy content" {
+					botPlanted++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no sessions emitted")
+	}
+	if counts["heavy"] == 0 || counts["bot"] == 0 {
+		t.Fatalf("classes missing from stream: %v", counts)
+	}
+	if counts[""] == 0 {
+		t.Fatalf("base class vanished: %v", counts)
+	}
+	heavyShare := float64(counts["heavy"]) / float64(total)
+	if heavyShare < 0.15 || heavyShare > 0.45 {
+		t.Errorf("heavy share %.3f far from declared 0.3 (n=%d)", heavyShare, total)
+	}
+	if botQueries > 0 && botPlanted != botQueries {
+		t.Errorf("bot class queried outside its inject vocabulary: %d/%d planted", botPlanted, botQueries)
+	}
+
+	// Flag-only invocations must not grow a class column.
+	plain, _ := runWorkloadgen(t, bin, "-seed", "5", "-scale", "0.003", "-days", "1")
+	if strings.Contains(plain, `"class"`) {
+		t.Error("flag-only stream unexpectedly carries a class column")
 	}
 }

@@ -114,6 +114,32 @@
 // traffic as JSON; examples/livecapture feeds the same layer from
 // loopback TCP.
 //
+// # Declarative scenarios and the run facade
+//
+// Run(RunConfig) is the one entry point every fleet simulation goes
+// through: batch or streaming, sequential or sharded-parallel, with the
+// online sketch layer optionally attached — the historical
+// SimulateFleet/SimulateFleetWorkers/SimulateFleetStream trio survives
+// as thin deprecated wrappers over it, pinned byte-identical by test.
+//
+// internal/scenario makes whole experiments declarative: a strict,
+// versioned YAML spec (parsed by a dependency-free reader that rejects
+// unknown fields with line numbers and dotted paths) pins the base
+// simulation shape, layers named presets (paper40d, laptop, tenweek),
+// declares workload client classes (arrival share, session/query
+// scaling, injected query vocabulary — the polluter scenario) and a
+// timeline of churn transients (mass disconnect, outage, linear
+// recovery surge), and attaches headline-metric checks evaluated
+// against the recorded trace. Specs compile into the same
+// capture/engine/workload configs the flags produce — the paper40d
+// preset compiles to exactly the historical default run, SHA-256-equal
+// trace and all — and every simulation command takes -spec/-preset
+// through the shared internal/cliflags block with precedence
+// spec < preset < explicitly set flag. LoadScenario, ScenarioPreset,
+// RunScenario and EvaluateScenario are the library faces of the same
+// path; the committed specs under scenarios/ run in CI with their
+// checks gating the build (make scenario-suite).
+//
 // # Concurrency model
 //
 // The characterization pipeline is parallel by default, end to end. The

@@ -389,16 +389,29 @@ type Generator struct {
 	users  *workload.Generator
 	shaper *Shaper
 	rng    *rand.Rand
+	// scenario mirrors cfg.Scenario; nil for scenario-free runs, in which
+	// case every scenario hook below is a no-op and the generated stream
+	// is byte-identical to the historical generator's.
+	scenario *workload.Scenario
+	// churnRNG drives churn truncation draws, deliberately separate from
+	// rng so attaching churn events leaves the quick/wrap decisions and
+	// shaping draws of every session untouched.
+	churnRNG *rand.Rand
 }
 
 // NewGenerator builds the composed generator.
 func NewGenerator(cfg workload.Config) *Generator {
 	ug := workload.NewGenerator(cfg)
-	return &Generator{
-		users:  ug,
-		shaper: NewShaper(cfg.Seed^0x51e55ed, ug.Vocabulary(), ug.Params()),
-		rng:    rand.New(rand.NewPCG(cfg.Seed, 0xfeedface)),
+	g := &Generator{
+		users:    ug,
+		shaper:   NewShaper(cfg.Seed^0x51e55ed, ug.Vocabulary(), ug.Params()),
+		rng:      rand.New(rand.NewPCG(cfg.Seed, 0xfeedface)),
+		scenario: cfg.Scenario,
 	}
+	if cfg.Scenario != nil && len(cfg.Scenario.Churn) > 0 {
+		g.churnRNG = rand.New(rand.NewPCG(cfg.Seed, 0xc4c41dead))
+	}
+	return g
 }
 
 // Workload exposes the inner user-session generator.
@@ -413,8 +426,58 @@ func (g *Generator) Next() *Session {
 	if s == nil {
 		return nil
 	}
-	if g.rng.Float64() < model.QuickDisconnectFraction {
-		return g.shaper.Quick(s)
+	// The quick draw happens for every arrival — automated scenario
+	// classes merely ignore its outcome — so the rng stream stays
+	// positional across scenarios.
+	quick := g.rng.Float64() < model.QuickDisconnectFraction
+	if quick && g.automated(s.Class) {
+		quick = false
 	}
-	return g.shaper.Wrap(s)
+	var cs *Session
+	if quick {
+		cs = g.shaper.Quick(s)
+	} else {
+		cs = g.shaper.Wrap(s)
+	}
+	g.applyChurn(cs)
+	return cs
+}
+
+// automated reports whether the session's scenario class models automated
+// clients (content injectors), which never take the user quick-disconnect
+// path: a polluter that disconnects after 20 seconds pollutes nothing.
+func (g *Generator) automated(class string) bool {
+	cls := g.scenario.ClassByName(class)
+	return cls != nil && cls.Automated()
+}
+
+// applyChurn truncates sessions caught by a scenario churn transient: a
+// session spanning the mass-disconnect instant is, with the event's
+// Fraction probability, cut off at that instant — its remaining queries
+// never sent, exactly like a peer whose connection an intervention tore
+// down. Draws come from the dedicated churn stream, one per spanning
+// (session, event) pair, so the decision is positional and identical in
+// every execution mode (sequential fleet, eager engine, bounded producer,
+// per-vantage NodeStream regeneration).
+func (g *Generator) applyChurn(cs *Session) {
+	if g.churnRNG == nil {
+		return
+	}
+	for i := range g.scenario.Churn {
+		e := &g.scenario.Churn[i]
+		if cs.Start >= e.At || cs.End() <= e.At {
+			continue
+		}
+		if g.churnRNG.Float64() >= e.Fraction {
+			continue
+		}
+		cs.Duration = e.At - cs.Start
+		kept := cs.Queries[:0]
+		for _, q := range cs.Queries {
+			if q.Offset < cs.Duration {
+				kept = append(kept, q)
+			}
+		}
+		cs.Queries = kept
+	}
 }

@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: Parse must never panic, and whatever it accepts must
+// compile without panicking either. Seeds cover the grammar's corners
+// plus each malformed shape the strict decoder rejects.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		fullSpec,
+		"version: 1\n",
+		"version: 1\nsim:\n  seed: 2004\n  scale: 1.0\n",
+		"version: 1\nclasses:\n  - name: a\n    share: 0.5\n    inject:\n      - \"q\"\n",
+		"version: 1\nevents:\n  - churn:\n      at: 1d\n      fraction: 0.5\n",
+		"version: 1\nchecks:\n  - metric: conns\n    min: 1\n",
+		"version: 1\npreset: laptop\n",
+		"",
+		"\t",
+		"- a\n- b\n",
+		"key 'unclosed\n",
+		"a: \"unterminated\n",
+		"version: [1]\n",
+		"version: 1\nname: a\nname: b\n",
+		"version: 1\nsim:\n      deep: 1\n  shallow: 2\n",
+		"version: 1\nclasses:\n  -\n",
+		strings.Repeat("a:\n ", 200),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	for _, p := range presets {
+		f.Add([]byte(p))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := Parse(data)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("empty error message")
+			}
+			return
+		}
+		if sp == nil {
+			t.Fatal("nil spec with nil error")
+		}
+		// Accepted specs must compile without panicking (either outcome
+		// is fine; preset references were validated at parse time, so
+		// this cannot hit the filesystem).
+		Compile(sp)
+	})
+}

@@ -1,0 +1,59 @@
+package scenario
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCommittedSpecsParseAndCompile: every spec committed under
+// scenarios/ must parse under the strict decoder and compile to a
+// runnable config — a broken example in the directory users copy from
+// is a doc bug this test turns into a red build. It also pins the
+// shape each family relies on: every spec declares checks (the suite
+// gates on them), and the three scenario families are all represented.
+func TestCommittedSpecsParseAndCompile(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.yaml"))
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	if len(paths) < 4 {
+		t.Fatalf("found %d committed specs, want at least 4 (paper40d + the three scenario families)", len(paths))
+	}
+	var haveChurn, havePolluter, haveLongrun bool
+	for _, path := range paths {
+		sp, err := Load(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		c, err := Compile(sp)
+		if err != nil {
+			t.Errorf("%s: compile: %v", path, err)
+			continue
+		}
+		if len(c.Checks) == 0 {
+			t.Errorf("%s: committed specs must declare checks (the scenario suite gates on them)", path)
+		}
+		if c.Name == "" {
+			t.Errorf("%s: committed specs must be named", path)
+		}
+		if c.FirstChurn() != nil {
+			haveChurn = true
+		}
+		if len(c.InjectSet()) > 0 {
+			havePolluter = true
+		}
+		if c.Sim.Workload.Days > 40 {
+			haveLongrun = true
+		}
+	}
+	if !haveChurn {
+		t.Error("no committed spec exercises a churn event")
+	}
+	if !havePolluter {
+		t.Error("no committed spec exercises a polluter class")
+	}
+	if !haveLongrun {
+		t.Error("no committed spec exercises a >40-day long run")
+	}
+}

@@ -1,0 +1,293 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The spec format is a strict, small subset of YAML — the subset every
+// committed spec in scenarios/ actually uses — parsed by hand because the
+// module carries zero dependencies. Supported: block mappings with
+// identifier keys, block sequences ("- item"), scalar values (bare,
+// double-quoted with Go escapes, or single-quoted), full-line and
+// trailing "#" comments, and blank lines. Not supported (by design, with
+// errors that say so): tabs in indentation, flow collections ("[a, b]",
+// "{k: v}"), anchors/aliases, multi-document streams, multi-line block
+// scalars. Every error carries the 1-based line number and, one layer up
+// in decode.go, the dotted field path.
+
+// kind discriminates parsed node types.
+type kind int
+
+const (
+	scalarNode kind = iota
+	mapNode
+	seqNode
+)
+
+// node is one parsed YAML-subset value.
+type node struct {
+	line     int
+	kind     kind
+	scalar   string // scalarNode: raw text, quotes not yet resolved
+	keys     []string
+	children map[string]*node // mapNode
+	items    []*node          // seqNode
+}
+
+func (k kind) String() string {
+	switch k {
+	case scalarNode:
+		return "scalar"
+	case mapNode:
+		return "mapping"
+	default:
+		return "list"
+	}
+}
+
+// srcLine is one significant (non-blank, non-comment) input line.
+type srcLine struct {
+	no     int
+	indent int
+	text   string
+}
+
+type yamlErr struct {
+	line int
+	msg  string
+}
+
+func (e *yamlErr) Error() string {
+	if e.line > 0 {
+		return fmt.Sprintf("line %d: %s", e.line, e.msg)
+	}
+	return e.msg
+}
+
+func errAt(line int, format string, args ...any) error {
+	return &yamlErr{line: line, msg: fmt.Sprintf(format, args...)}
+}
+
+// stripComment removes an unquoted trailing comment: a '#' at the start
+// of the content or preceded by whitespace, outside quotes.
+func stripComment(s string) string {
+	inDouble, inSingle := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case inDouble:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inDouble = false
+			}
+		case inSingle:
+			if c == '\'' {
+				inSingle = false
+			}
+		case c == '"':
+			inDouble = true
+		case c == '\'':
+			inSingle = true
+		case c == '#' && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t'):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// scanLines splits the input into significant lines, rejecting tabs in
+// indentation (the classic YAML footgun — refuse instead of guessing).
+func scanLines(data []byte) ([]srcLine, error) {
+	var out []srcLine
+	for no, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, " \t\r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, errAt(no+1, "tab in indentation; use spaces")
+		}
+		text := strings.TrimSpace(stripComment(line[indent:]))
+		if text == "" {
+			continue
+		}
+		out = append(out, srcLine{no: no + 1, indent: indent, text: text})
+	}
+	return out, nil
+}
+
+type yamlParser struct {
+	lines []srcLine
+	pos   int
+}
+
+// parseYAML parses a spec document into a node tree; the document root
+// must be a mapping.
+func parseYAML(data []byte) (*node, error) {
+	lines, err := scanLines(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, errAt(0, "empty document")
+	}
+	if lines[0].indent != 0 {
+		return nil, errAt(lines[0].no, "document must start at column 0")
+	}
+	p := &yamlParser{lines: lines}
+	root, err := p.parseBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, errAt(p.lines[p.pos].no, "unexpected indentation")
+	}
+	if root.kind != mapNode {
+		return nil, errAt(lines[0].no, "document root must be a mapping, got %s", root.kind)
+	}
+	return root, nil
+}
+
+// parseBlock parses the run of lines at exactly the given indent.
+func (p *yamlParser) parseBlock(indent int) (*node, error) {
+	first := p.lines[p.pos]
+	if first.text == "-" || strings.HasPrefix(first.text, "- ") {
+		return p.parseSeq(indent)
+	}
+	return p.parseMap(indent)
+}
+
+var flowStarters = "[{&*|>%@`"
+
+func looksLikeKey(s string) (key, rest string, ok bool) {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 {
+		return "", "", false
+	}
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return "", "", false
+	}
+	key = s[:i]
+	for j := 0; j < len(key); j++ {
+		c := key[j]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-') {
+			return "", "", false
+		}
+	}
+	return key, strings.TrimSpace(s[i+1:]), true
+}
+
+func (p *yamlParser) parseMap(indent int) (*node, error) {
+	n := &node{line: p.lines[p.pos].no, kind: mapNode, children: map[string]*node{}}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, errAt(ln.no, "unexpected indentation (expected %d spaces, got %d)", indent, ln.indent)
+		}
+		if ln.text == "-" || strings.HasPrefix(ln.text, "- ") {
+			return nil, errAt(ln.no, "list item in a mapping block")
+		}
+		key, rest, ok := looksLikeKey(ln.text)
+		if !ok {
+			return nil, errAt(ln.no, "expected \"key: value\" (keys are letters, digits, _ and -; quote scalars containing ':')")
+		}
+		if _, dup := n.children[key]; dup {
+			return nil, errAt(ln.no, "duplicate key %q", key)
+		}
+		p.pos++
+		var child *node
+		switch {
+		case rest != "":
+			if strings.ContainsAny(rest[:1], flowStarters) {
+				return nil, errAt(ln.no, "field %s: flow syntax %q is not supported; use block lists/mappings", key, rest[:1])
+			}
+			child = &node{line: ln.no, kind: scalarNode, scalar: rest}
+		case p.pos < len(p.lines) && p.lines[p.pos].indent > indent:
+			var err error
+			if child, err = p.parseBlock(p.lines[p.pos].indent); err != nil {
+				return nil, err
+			}
+		default:
+			child = &node{line: ln.no, kind: scalarNode, scalar: ""}
+		}
+		n.keys = append(n.keys, key)
+		n.children[key] = child
+	}
+	return n, nil
+}
+
+func (p *yamlParser) parseSeq(indent int) (*node, error) {
+	n := &node{line: p.lines[p.pos].no, kind: seqNode}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, errAt(ln.no, "unexpected indentation (expected %d spaces, got %d)", indent, ln.indent)
+		}
+		if ln.text != "-" && !strings.HasPrefix(ln.text, "- ") {
+			return nil, errAt(ln.no, "expected \"- item\" in list block")
+		}
+		rest := strings.TrimSpace(ln.text[1:])
+		switch {
+		case rest == "":
+			// Item body is the nested block on the following lines.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, errAt(ln.no, "empty list item")
+			}
+			item, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			n.items = append(n.items, item)
+		default:
+			if _, _, isKey := looksLikeKey(rest); isKey && rest[0] != '"' && rest[0] != '\'' {
+				// "- key: value": an inline-started mapping. Rewrite the
+				// line as if the mapping began at the item body's column
+				// and let parseMap consume it plus the continuation lines.
+				itemIndent := ln.indent + (len(ln.text) - len(rest))
+				p.lines[p.pos] = srcLine{no: ln.no, indent: itemIndent, text: rest}
+				item, err := p.parseMap(itemIndent)
+				if err != nil {
+					return nil, err
+				}
+				n.items = append(n.items, item)
+			} else {
+				p.pos++
+				n.items = append(n.items, &node{line: ln.no, kind: scalarNode, scalar: rest})
+			}
+		}
+	}
+	return n, nil
+}
+
+// unquote resolves a scalar's surface form: double quotes take Go escape
+// sequences, single quotes are literal with ” as the escaped quote, and
+// bare scalars are themselves.
+func unquote(line int, s string) (string, error) {
+	switch {
+	case s == "":
+		return "", nil
+	case s[0] == '"':
+		u, err := strconv.Unquote(s)
+		if err != nil {
+			return "", errAt(line, "bad double-quoted string %s", s)
+		}
+		return u, nil
+	case s[0] == '\'':
+		if len(s) < 2 || s[len(s)-1] != '\'' {
+			return "", errAt(line, "unterminated single-quoted string %s", s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	default:
+		return s, nil
+	}
+}

@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Scenario is the compiled runtime form of a declarative experiment spec
+// (internal/scenario): per-client-class workload overrides plus a timeline
+// of churn transients, attached to Config.Scenario. A nil Scenario — the
+// zero configuration, and what every preset-free default run carries — is
+// contractually a no-op: the generator consumes exactly the same random
+// streams and produces exactly the same sessions as before the field
+// existed (the paper40d byte-identity test pins this).
+//
+// All scenario-specific randomness is drawn from dedicated PCG streams
+// (class assignment, churn truncation), never from the base generator's,
+// so attaching a scenario perturbs only what it claims to: the base
+// session drawn at a given arrival position is the same session the
+// unmodified generator would draw there.
+type Scenario struct {
+	// Classes partitions arrivals into named client classes by share;
+	// arrivals beyond the summed shares stay in the unnamed base class.
+	Classes []ClientClass
+	// Churn is the timeline of mass-disconnect/recovery transients, in
+	// event order.
+	Churn []ChurnEvent
+}
+
+// ClientClass describes one client population's deviation from the
+// paper-calibrated base behavior.
+type ClientClass struct {
+	// Name labels the class; it is carried on Session.Class (and the
+	// workloadgen JSONL class column).
+	Name string
+	// Share is the fraction of arrivals assigned to this class.
+	Share float64
+	// DurationScale multiplies the session duration (0 means 1.0). For
+	// active sessions the duration never shrinks below the last query
+	// offset.
+	DurationScale float64
+	// QueryScale scales an active session's query count (0 means 1.0):
+	// above 1 adds uniformly placed extra queries, below 1 thins the
+	// stream (always keeping at least one query).
+	QueryScale float64
+	// Inject, when non-empty, is the class's own query vocabulary — the
+	// content-injection ("polluter") knob: every query text, base and
+	// extra, is drawn uniformly from this list, so the injected strings'
+	// share of recorded traffic is directly measurable downstream.
+	Inject []string
+}
+
+// scale resolves a multiplicative knob's zero value to 1.
+func scaleOr1(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	return v
+}
+
+// Automated reports whether the class models automated (non-user)
+// clients. Content-injection classes are automated by definition: the
+// behavior layer exempts them from the user quick-disconnect draw, so a
+// polluter session always lives long enough to emit its payload.
+func (c *ClientClass) Automated() bool { return len(c.Inject) > 0 }
+
+// ChurnEvent is one intervention transient à la Altman et al.'s "measures
+// against P2P networks": at time At a Fraction of the connected population
+// is disconnected at once, new arrivals are suppressed for Outage, and the
+// disconnected users reconnect as a surge decaying over Recovery.
+type ChurnEvent struct {
+	// At is the mass-disconnect instant in trace time.
+	At simtime.Time
+	// Fraction is the share of spanning sessions truncated at At, and the
+	// arrival suppression factor during the outage window.
+	Fraction float64
+	// Outage is how long new arrivals stay suppressed after At.
+	Outage simtime.Time
+	// Recovery is the reconnection-wave length: the arrival rate starts at
+	// the surge multiplier when the outage lifts and decays linearly back
+	// to 1 over this window.
+	Recovery simtime.Time
+	// Surge is the peak arrival-rate multiplier at the start of recovery;
+	// 0 means 1 + Fraction (the disconnected population coming back on top
+	// of the base rate).
+	Surge float64
+}
+
+// surge resolves the event's peak recovery multiplier.
+func (e *ChurnEvent) surge() float64 {
+	if e.Surge > 0 {
+		return e.Surge
+	}
+	return 1 + e.Fraction
+}
+
+// RateMultiplier returns the scenario's arrival-rate factor at the given
+// instant: 1 outside every churn window, 1−Fraction during an outage, and
+// the decaying reconnection surge during recovery. Overlapping events
+// compose multiplicatively.
+func (sc *Scenario) RateMultiplier(at simtime.Time) float64 {
+	if sc == nil {
+		return 1
+	}
+	m := 1.0
+	for i := range sc.Churn {
+		e := &sc.Churn[i]
+		outageEnd := e.At + e.Outage
+		switch {
+		case at >= e.At && at < outageEnd:
+			m *= 1 - e.Fraction
+		case at >= outageEnd && e.Recovery > 0 && at < outageEnd+e.Recovery:
+			x := float64(at-outageEnd) / float64(e.Recovery)
+			m *= e.surge()*(1-x) + x
+		}
+	}
+	return m
+}
+
+// MaxRateMultiplier bounds RateMultiplier over all instants — the factor
+// the thinned-Poisson arrival sampler's envelope rate must carry so that
+// acceptance probabilities stay ≤ 1 through every recovery surge.
+func (sc *Scenario) MaxRateMultiplier() float64 {
+	if sc == nil {
+		return 1
+	}
+	m := 1.0
+	for i := range sc.Churn {
+		if s := sc.Churn[i].surge(); s > 1 {
+			m *= s
+		}
+	}
+	return m
+}
+
+// classRNGSalt salts the scenario's class-assignment stream.
+const classRNGSalt = 0x5ce7a7105
+
+// newScenarioRNG builds the dedicated class/override random stream.
+func newScenarioRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, classRNGSalt))
+}
+
+// pickClass assigns an arrival to a class by cumulative share, or nil for
+// the base class. Exactly one draw per call, so the assignment stream is
+// positional: arrival k gets the same class in every execution mode.
+func (sc *Scenario) pickClass(rng *rand.Rand) *ClientClass {
+	u := rng.Float64()
+	acc := 0.0
+	for i := range sc.Classes {
+		acc += sc.Classes[i].Share
+		if u < acc {
+			return &sc.Classes[i]
+		}
+	}
+	return nil
+}
+
+// applyClass rewrites a freshly generated base session according to its
+// class: label, query-text injection, query-count scaling, duration
+// scaling. All randomness comes from the dedicated scenario stream.
+func (g *Generator) applyClass(s *Session, cls *ClientClass) {
+	rng := g.scenRNG
+	s.Class = cls.Name
+
+	inject := func() string {
+		return cls.Inject[rng.IntN(len(cls.Inject))]
+	}
+	if len(cls.Inject) > 0 {
+		for i := range s.Queries {
+			s.Queries[i].Text = inject()
+		}
+	}
+
+	if qs := scaleOr1(cls.QueryScale); qs != 1 && !s.Passive && len(s.Queries) > 0 {
+		if qs > 1 {
+			extra := int(math.Round((qs - 1) * float64(len(s.Queries))))
+			day := simtime.DayIndex(s.Start)
+			if day >= g.cfg.Days {
+				day = g.cfg.Days - 1
+			}
+			for i := 0; i < extra; i++ {
+				q := Query{Offset: time.Duration(rng.Float64() * float64(s.Duration))}
+				if len(cls.Inject) > 0 {
+					q.Text = inject()
+				} else {
+					q.Text = g.vocab.Sample(rng, s.Region, day)
+				}
+				s.Queries = append(s.Queries, q)
+			}
+			sortQueriesByOffset(s.Queries)
+		} else {
+			kept := s.Queries[:0]
+			for i := range s.Queries {
+				if len(kept) == 0 && i == len(s.Queries)-1 {
+					kept = append(kept, s.Queries[i]) // never thin to zero
+					continue
+				}
+				if rng.Float64() < qs {
+					kept = append(kept, s.Queries[i])
+				}
+			}
+			s.Queries = kept
+		}
+	}
+
+	if ds := scaleOr1(cls.DurationScale); ds != 1 {
+		s.Duration = time.Duration(float64(s.Duration) * ds)
+		if n := len(s.Queries); n > 0 {
+			if floor := s.Queries[n-1].Offset + time.Second; s.Duration < floor {
+				s.Duration = floor
+			}
+		}
+		if s.Duration < time.Second {
+			s.Duration = time.Second
+		}
+	}
+}
+
+// sortQueriesByOffset restores time order after extra-query insertion,
+// stably so equal offsets keep generation order (determinism).
+func sortQueriesByOffset(qs []Query) {
+	sort.SliceStable(qs, func(i, j int) bool { return qs[i].Offset < qs[j].Offset })
+}
+
+// ClassByName returns the named class, or nil.
+func (sc *Scenario) ClassByName(name string) *ClientClass {
+	if sc == nil || name == "" {
+		return nil
+	}
+	for i := range sc.Classes {
+		if sc.Classes[i].Name == name {
+			return &sc.Classes[i]
+		}
+	}
+	return nil
+}

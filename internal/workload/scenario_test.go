@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScenarioNilAndEmptyAreNoOps: attaching an empty scenario must not
+// change a single generated session — the same invariance the paper40d
+// preset's byte-identity rests on.
+func TestScenarioNilAndEmptyAreNoOps(t *testing.T) {
+	base := DefaultConfig(7, 0.01)
+	base.Days = 1
+	with := base
+	with.Scenario = &Scenario{}
+
+	ga, gb := NewGenerator(base), NewGenerator(with)
+	n := 0
+	for {
+		a, b := ga.Next(), gb.Next()
+		if (a == nil) != (b == nil) {
+			t.Fatalf("session %d: one stream ended early", n)
+		}
+		if a == nil {
+			break
+		}
+		if a.Start != b.Start || a.Region != b.Region || a.Duration != b.Duration ||
+			a.Passive != b.Passive || len(a.Queries) != len(b.Queries) || a.Class != b.Class {
+			t.Fatalf("session %d differs with empty scenario: %+v vs %+v", n, a, b)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no sessions generated")
+	}
+}
+
+// TestScenarioClassAssignment: shares land near their targets, class
+// labels are carried, and injection replaces every query text.
+func TestScenarioClassAssignment(t *testing.T) {
+	inject := []string{"planted content alpha", "planted content beta"}
+	cfg := DefaultConfig(11, 0.05)
+	cfg.Days = 1
+	cfg.Scenario = &Scenario{Classes: []ClientClass{
+		{Name: "polluter", Share: 0.2, QueryScale: 3, Inject: inject},
+		{Name: "lurker", Share: 0.1, DurationScale: 2},
+	}}
+	injected := map[string]bool{}
+	for _, s := range inject {
+		injected[s] = true
+	}
+
+	gen := NewGenerator(cfg)
+	counts := map[string]int{}
+	total := 0
+	for s := gen.Next(); s != nil; s = gen.Next() {
+		total++
+		counts[s.Class]++
+		if s.Class == "polluter" {
+			for _, q := range s.Queries {
+				if !injected[q.Text] {
+					t.Fatalf("polluter query text %q not from inject list", q.Text)
+				}
+			}
+		}
+	}
+	if total < 500 {
+		t.Fatalf("only %d sessions; scale too small for share assertions", total)
+	}
+	for name, want := range map[string]float64{"polluter": 0.2, "lurker": 0.1} {
+		got := float64(counts[name]) / float64(total)
+		if got < want*0.7 || got > want*1.3 {
+			t.Errorf("class %s share = %.3f, want ≈ %.2f", name, got, want)
+		}
+	}
+	if counts[""] == 0 {
+		t.Error("no base-class sessions survived")
+	}
+}
+
+// TestScenarioQueryScale: a query-scaled class carries proportionally more
+// queries than the base class, and the stream stays time-ordered.
+func TestScenarioQueryScale(t *testing.T) {
+	cfg := DefaultConfig(13, 0.05)
+	cfg.Days = 1
+	cfg.Scenario = &Scenario{Classes: []ClientClass{{Name: "chatty", Share: 0.3, QueryScale: 4}}}
+	gen := NewGenerator(cfg)
+	var baseQ, baseN, chattyQ, chattyN int
+	for s := gen.Next(); s != nil; s = gen.Next() {
+		if s.Passive {
+			continue
+		}
+		for i := 1; i < len(s.Queries); i++ {
+			if s.Queries[i].Offset < s.Queries[i-1].Offset {
+				t.Fatalf("class %q queries out of order", s.Class)
+			}
+		}
+		if s.Class == "chatty" {
+			chattyQ += len(s.Queries)
+			chattyN++
+		} else {
+			baseQ += len(s.Queries)
+			baseN++
+		}
+	}
+	if baseN == 0 || chattyN == 0 {
+		t.Fatal("missing class populations")
+	}
+	baseMean := float64(baseQ) / float64(baseN)
+	chattyMean := float64(chattyQ) / float64(chattyN)
+	if chattyMean < 2.5*baseMean {
+		t.Errorf("chatty mean %.2f queries/session vs base %.2f; want ≥ 2.5×", chattyMean, baseMean)
+	}
+}
+
+// TestScenarioChurnRateMultiplier pins the piecewise shape: suppression
+// during the outage, a decaying surge through recovery, 1 elsewhere.
+func TestScenarioChurnRateMultiplier(t *testing.T) {
+	sc := &Scenario{Churn: []ChurnEvent{{
+		At:       10 * time.Hour,
+		Fraction: 0.6,
+		Outage:   time.Hour,
+		Recovery: 2 * time.Hour,
+	}}}
+	approx := func(got, want float64) bool { d := got - want; return d < 1e-9 && d > -1e-9 }
+	if m := sc.RateMultiplier(9 * time.Hour); !approx(m, 1) {
+		t.Errorf("before churn: %v", m)
+	}
+	if m := sc.RateMultiplier(10*time.Hour + 30*time.Minute); !approx(m, 0.4) {
+		t.Errorf("during outage: %v, want 0.4", m)
+	}
+	if m := sc.RateMultiplier(11 * time.Hour); !approx(m, 1.6) {
+		t.Errorf("at recovery start: %v, want surge 1.6", m)
+	}
+	if m := sc.RateMultiplier(12 * time.Hour); !approx(m, 1.3) {
+		t.Errorf("mid recovery: %v, want 1.3", m)
+	}
+	if m := sc.RateMultiplier(13*time.Hour + time.Minute); !approx(m, 1) {
+		t.Errorf("after recovery: %v", m)
+	}
+	if m := sc.MaxRateMultiplier(); !approx(m, 1.6) {
+		t.Errorf("max multiplier: %v, want 1.6", m)
+	}
+}
+
+// TestScenarioChurnSuppressesArrivals: the arrival stream itself must
+// show the outage dip — this is the observable the churn_outage_drop
+// headline metric gates in CI.
+func TestScenarioChurnSuppressesArrivals(t *testing.T) {
+	cfg := DefaultConfig(17, 0.1)
+	cfg.Days = 1
+	cfg.Scenario = &Scenario{Churn: []ChurnEvent{{
+		At:       8 * time.Hour,
+		Fraction: 0.9,
+		Outage:   4 * time.Hour,
+		Recovery: 2 * time.Hour,
+	}}}
+	gen := NewGenerator(cfg)
+	var pre, during int
+	for s := gen.Next(); s != nil; s = gen.Next() {
+		switch {
+		case s.Start >= 4*time.Hour && s.Start < 8*time.Hour:
+			pre++
+		case s.Start >= 8*time.Hour && s.Start < 12*time.Hour:
+			during++
+		}
+	}
+	if pre < 100 {
+		t.Fatalf("pre-churn window too thin (%d arrivals)", pre)
+	}
+	ratio := float64(during) / float64(pre)
+	if ratio > 0.35 {
+		t.Errorf("outage arrivals at %.2f of pre-churn rate; want ≤ 0.35 under 0.9 suppression", ratio)
+	}
+}

@@ -59,6 +59,9 @@ type Session struct {
 	// Queries holds the user queries of an active session in time order;
 	// empty for passive sessions.
 	Queries []Query
+	// Class names the scenario client class this session was assigned to;
+	// empty for the base class (and for every run without a scenario).
+	Class string
 }
 
 // NumQueries returns the session's user query count.
@@ -82,6 +85,11 @@ type Config struct {
 	// 4–5). Those queries count toward the session's query total and the
 	// popularity distribution but have no valid interarrival time.
 	PreConnectQueryFraction float64
+	// Scenario, when non-nil, attaches a compiled experiment scenario:
+	// client-class overrides and churn transients (see Scenario). Nil is
+	// contractually a no-op — the generator's output is byte-identical to
+	// a scenario-free run.
+	Scenario *Scenario
 }
 
 // DefaultConfig returns the paper-scale configuration at the given scale
@@ -104,6 +112,15 @@ type Generator struct {
 	rng     *rand.Rand
 	now     simtime.Time
 	horizon simtime.Time
+	// scenRNG is the dedicated scenario stream (class assignment and
+	// overrides); nil without a scenario. Keeping it separate from rng is
+	// what makes a scenario perturb only what it claims to: the base
+	// draws at every arrival position are untouched.
+	scenRNG *rand.Rand
+	// maxMult bounds the scenario's arrival-rate multiplier (1 without
+	// one), folded into the thinning envelope so recovery surges keep
+	// acceptance probabilities ≤ 1.
+	maxMult float64
 }
 
 // NewGenerator builds a generator over the default model parameters.
@@ -114,14 +131,19 @@ func NewGenerator(cfg Config) *Generator {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 1
 	}
-	return &Generator{
+	g := &Generator{
 		cfg:     cfg,
 		params:  model.Default(),
 		vocab:   vocab.New(cfg.Seed),
 		geoReg:  geo.Default(),
 		rng:     rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15)),
 		horizon: simtime.Time(cfg.Days) * simtime.Day,
+		maxMult: cfg.Scenario.MaxRateMultiplier(),
 	}
+	if cfg.Scenario != nil {
+		g.scenRNG = newScenarioRNG(cfg.Seed)
+	}
+	return g
 }
 
 // Params exposes the generator's model (shared, immutable).
@@ -143,15 +165,20 @@ func (g *Generator) arrivalRate(at simtime.Time) float64 {
 	// normalized around its daily mean (≈0.69).
 	naShare := g.params.RegionShare(geo.NorthAmerica, hour)
 	shape := naShare / 0.69
-	return model.SessionsPerHourFullScale * g.cfg.Scale * shape
+	// The scenario multiplier is exactly 1.0 without churn events, so a
+	// scenario-free run's acceptance draws are bit-identical to the
+	// historical sampler's (multiplying by 1.0 is exact in IEEE-754).
+	return model.SessionsPerHourFullScale * g.cfg.Scale * shape * g.cfg.Scenario.RateMultiplier(at)
 }
 
 // Next generates the next arriving session, advancing the generator's
 // clock. It returns nil when the trace horizon is reached.
 func (g *Generator) Next() *Session {
 	// Thinned nonhomogeneous Poisson arrivals: draw at the maximum rate,
-	// accept with probability rate(t)/maxRate.
-	maxRate := model.SessionsPerHourFullScale * g.cfg.Scale * (0.80 / 0.69)
+	// accept with probability rate(t)/maxRate. The envelope carries the
+	// scenario's surge bound (1 without one) so recovery waves stay
+	// correctly thinned.
+	maxRate := model.SessionsPerHourFullScale * g.cfg.Scale * (0.80 / 0.69) * g.maxMult
 	for {
 		step := g.rng.ExpFloat64() / maxRate // hours
 		g.now += simtime.Time(step * float64(time.Hour))
@@ -188,7 +215,7 @@ func (g *Generator) SessionAt(start simtime.Time) *Session {
 		// (3) Passive: connected session length from Table A.1.
 		s.Passive = true
 		s.Duration = secs(g.params.PassiveDuration(region, period).Sample(rng))
-		return s
+		return g.finishSession(s)
 	}
 
 	// (4a) Number of queries from Table A.2.
@@ -236,6 +263,21 @@ func (g *Generator) SessionAt(start simtime.Time) *Session {
 	// silently depleting the small-gap mass of every conditional measure.
 	if min := 64*time.Second + time.Duration(rng.IntN(2000))*time.Millisecond; s.Duration < min {
 		s.Duration = min
+	}
+	return g.finishSession(s)
+}
+
+// finishSession applies the scenario's client-class overlay (if any) to a
+// fully generated base session. Without a scenario it is the identity —
+// not even a random draw happens — preserving byte-identity with
+// scenario-free runs.
+func (g *Generator) finishSession(s *Session) *Session {
+	sc := g.cfg.Scenario
+	if sc == nil || len(sc.Classes) == 0 {
+		return s
+	}
+	if cls := sc.pickClass(g.scenRNG); cls != nil {
+		g.applyClass(s, cls)
 	}
 	return s
 }

@@ -1,13 +1,16 @@
 package p2pquery
 
 import (
+	"errors"
 	"io"
+	"time"
 
 	"repro/internal/capture"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/geo"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/stream"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -47,49 +50,205 @@ func Simulate(cfg SimulationConfig) *Trace {
 	return capture.New(cfg).Run()
 }
 
-// SimulateFleet runs the multi-vantage measurement fabric: nodes
-// ultrapeer vantage points sharding one arrival stream, each under the
-// paper's per-node methodology, returning the merged full-volume trace.
-// With nodes sized so no per-node 200-connection cap binds, the merged
-// trace records the entire arrival stream (≈4.36 M connections at scale
-// 1.0 over 40 days). The simulation runs on the parallel sharded engine
-// sized to the machine; the trace is byte-identical to the sequential
-// fleet (see SimulateFleetWorkers).
-func SimulateFleet(cfg SimulationConfig, nodes int) *Trace {
-	return SimulateFleetWorkers(cfg, nodes, 0)
-}
-
-// SimulateFleetWorkers is SimulateFleet with an explicit simulation
-// worker-pool bound: each vantage node's event loop runs on its own
-// goroutine over a pool of workers goroutines (0 = GOMAXPROCS, 1 =
-// sequential). The merged trace is byte-identical for every setting —
-// the engine's determinism contract (see internal/engine).
-func SimulateFleetWorkers(cfg SimulationConfig, nodes, workers int) *Trace {
-	return engine.New(engine.Config{
-		Fleet:   capture.FleetConfig{Node: cfg, Nodes: nodes},
-		Workers: workers,
-	}).Run()
-}
+// FleetStats aggregates a fleet run's arrival accounting and per-node
+// peaks; see capture.FleetStats.
+type FleetStats = capture.FleetStats
 
 // OnlineMetrics is a snapshot of the streaming characterization layer:
 // sketch-based top-K keyword ranking, duration/interarrival quantiles and
 // sliding-window rates; see internal/stream for the accuracy contracts.
 type OnlineMetrics = stream.Snapshot
 
-// SimulateFleetStream runs the multi-vantage simulation in full streaming
-// mode: a bounded-lookahead arrival producer feeds per-node event loops,
-// each vantage emits records into the streaming k-way merge as they
-// finalize, and the online layer characterizes the merged stream as it
-// retires. Neither the partitioned session set nor per-node traces are
-// ever materialized, which is what bounds the memory of a paper-scale
-// run; the returned trace is byte-identical to SimulateFleet's (the
-// engine's streaming determinism contract, pinned by test).
+// RunConfig is the one description of a fleet simulation run: the
+// vantage-node configuration plus every knob that shapes how the fleet
+// executes. It replaces the SimulateFleet/SimulateFleetWorkers/
+// SimulateFleetStream trio — the zero value of each knob means "the
+// default those entry points used".
+type RunConfig struct {
+	// Sim is the per-vantage measurement configuration (required; start
+	// from DefaultSimulation or a compiled scenario).
+	Sim SimulationConfig
+	// Nodes is the vantage fleet size (0 = 1, the paper's single node).
+	Nodes int
+	// Workers bounds the engine's worker pool in the eager mode
+	// (0 = GOMAXPROCS, 1 = sequential); byte-identical for every value.
+	Workers int
+	// Stream selects the bounded-memory streaming engine: bounded
+	// producer, per-node emission, online k-way merge. The drained trace
+	// is byte-identical to the batch path.
+	Stream bool
+	// Lookahead bounds the streaming producer's in-flight sessions per
+	// node (0 = engine default; only meaningful with Stream).
+	Lookahead int
+	// MergeWindow bounds the streaming merge's emission barrier
+	// (0 = engine default; see engine.Config.MergeWindow).
+	MergeWindow time.Duration
+	// Online attaches the sketch-based online characterization layer to
+	// the merged stream (requires Stream).
+	Online bool
+	// OnlineTopK sizes the online snapshot's keyword ranking (0 = 10).
+	OnlineTopK int
+}
+
+// Result is everything a fleet run produces: the merged trace, arrival
+// accounting, the engine's perf counters, and — when requested — the
+// online characterization snapshot.
+type Result struct {
+	// Trace is the merged full-volume trace.
+	Trace *Trace
+	// Stats is the fleet's arrival accounting and per-node peaks.
+	Stats FleetStats
+	// Online is the streaming characterization snapshot; nil unless
+	// RunConfig.Online was set.
+	Online *OnlineMetrics
+	// PeakPending and SpilledSessions are the k-way merge's high-water
+	// mark and emission-window outlier count.
+	PeakPending     int
+	SpilledSessions int
+	// DeadInputs and LostSessions are the merge's degradation ledger
+	// (always 0 in-process; meaningful under the distributed collector).
+	DeadInputs   int
+	LostSessions uint64
+	// ScheduledPerNode is the engine's per-node scheduled-event counts.
+	ScheduledPerNode []uint64
+}
+
+// Run executes a fleet simulation described by cfg. It is the single
+// entry point every mode routes through: batch (the historical
+// SimulateFleet), explicit worker bounds (SimulateFleetWorkers), and
+// streaming with online metrics (SimulateFleetStream). The merged trace
+// is byte-identical across all of them — the engine's determinism
+// contract (see internal/engine).
+func Run(cfg RunConfig) (*Result, error) {
+	if cfg.Sim.MaxConns == 0 && cfg.Sim.Workload.Scale == 0 {
+		return nil, errors.New("p2pquery.Run: zero RunConfig.Sim; build it with DefaultSimulation or LoadScenario")
+	}
+	if cfg.Online && !cfg.Stream {
+		return nil, errors.New("p2pquery.Run: Online requires Stream (online metrics ride the streaming merge)")
+	}
+	if cfg.Lookahead < 0 {
+		return nil, errors.New("p2pquery.Run: negative Lookahead")
+	}
+	nodes := cfg.Nodes
+	if nodes == 0 {
+		nodes = 1
+	}
+	if nodes < 0 {
+		return nil, errors.New("p2pquery.Run: negative Nodes")
+	}
+	eng := engine.New(engine.Config{
+		Fleet:       capture.FleetConfig{Node: cfg.Sim, Nodes: nodes},
+		Workers:     cfg.Workers,
+		Lookahead:   cfg.Lookahead,
+		MergeWindow: cfg.MergeWindow,
+	})
+	res := &Result{}
+	if cfg.Stream {
+		var online *stream.Online
+		var sink stream.Sink
+		if cfg.Online {
+			online = stream.NewOnline(stream.OnlineConfig{})
+			sink = online
+		}
+		res.Trace = eng.RunStream(sink)
+		if online != nil {
+			k := cfg.OnlineTopK
+			if k == 0 {
+				k = 10
+			}
+			snap := online.Snapshot(k)
+			res.Online = &snap
+		}
+	} else {
+		res.Trace = eng.Run()
+	}
+	res.Stats = eng.Stats()
+	res.PeakPending = eng.PeakPending()
+	res.SpilledSessions = eng.SpilledSessions()
+	res.DeadInputs = eng.DeadInputs()
+	res.LostSessions = eng.LostSessions()
+	res.ScheduledPerNode = eng.ScheduledPerNode()
+	return res, nil
+}
+
+// SimulateFleet runs the multi-vantage measurement fabric and returns
+// the merged full-volume trace.
+//
+// Deprecated: use Run(RunConfig{Sim: cfg, Nodes: nodes}); this wrapper
+// remains for compatibility and is equivalence-tested against Run.
+func SimulateFleet(cfg SimulationConfig, nodes int) *Trace {
+	return SimulateFleetWorkers(cfg, nodes, 0)
+}
+
+// SimulateFleetWorkers is SimulateFleet with an explicit simulation
+// worker-pool bound.
+//
+// Deprecated: use Run(RunConfig{Sim: cfg, Nodes: nodes, Workers:
+// workers}); this wrapper remains for compatibility and is
+// equivalence-tested against Run.
+func SimulateFleetWorkers(cfg SimulationConfig, nodes, workers int) *Trace {
+	res, err := Run(RunConfig{Sim: cfg, Nodes: nodes, Workers: workers})
+	if err != nil {
+		panic(err) // unreachable for configs the old API accepted
+	}
+	return res.Trace
+}
+
+// SimulateFleetStream runs the multi-vantage simulation in full
+// streaming mode and returns the drained trace plus the online
+// characterization snapshot.
+//
+// Deprecated: use Run(RunConfig{Sim: cfg, Nodes: nodes, Stream: true,
+// Online: true}); this wrapper remains for compatibility and is
+// equivalence-tested against Run.
 func SimulateFleetStream(cfg SimulationConfig, nodes int) (*Trace, OnlineMetrics) {
-	online := stream.NewOnline(stream.OnlineConfig{})
-	tr := engine.New(engine.Config{
-		Fleet: capture.FleetConfig{Node: cfg, Nodes: nodes},
-	}).RunStream(online)
-	return tr, online.Snapshot(10)
+	res, err := Run(RunConfig{Sim: cfg, Nodes: nodes, Stream: true, Online: true})
+	if err != nil {
+		panic(err) // unreachable for configs the old API accepted
+	}
+	return res.Trace, *res.Online
+}
+
+// Scenario is a compiled declarative experiment: the YAML spec subsystem's
+// runtime form (see internal/scenario for the schema reference).
+type Scenario = scenario.Compiled
+
+// ScenarioCheck is one evaluated headline-metric assertion.
+type ScenarioCheck = scenario.CheckResult
+
+// LoadScenario reads, parses and compiles a YAML experiment spec.
+func LoadScenario(path string) (*Scenario, error) {
+	sp, err := scenario.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.Compile(sp)
+}
+
+// ScenarioPreset compiles a built-in preset (paper40d, laptop, tenweek).
+func ScenarioPreset(name string) (*Scenario, error) {
+	sp, err := scenario.Preset(name)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.Compile(sp)
+}
+
+// RunScenario executes a compiled scenario through Run.
+func RunScenario(c *Scenario) (*Result, error) {
+	return Run(RunConfig{
+		Sim:     c.Sim,
+		Nodes:   c.Nodes,
+		Workers: c.Workers,
+		Stream:  c.Stream,
+		Online:  c.Stream,
+	})
+}
+
+// EvaluateScenario measures the scenario's headline metrics on a trace
+// and applies its checks, returning every result and whether all passed.
+func EvaluateScenario(tr *Trace, c *Scenario) ([]ScenarioCheck, bool) {
+	return scenario.EvaluateChecks(tr, c)
 }
 
 // Characterize applies the filter pipeline, all analyses and the appendix

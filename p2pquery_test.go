@@ -87,6 +87,111 @@ func TestFacadeFleet(t *testing.T) {
 	}
 }
 
+// TestRunEquivalence: the deprecated wrapper trio must be byte-identical
+// to the Run(RunConfig) calls that replaced them — the acceptance
+// contract that lets callers migrate without re-validating traces.
+func TestRunEquivalence(t *testing.T) {
+	cfg := DefaultSimulation(7, 0.002)
+	cfg.Workload.Days = 1
+
+	traceBytes := func(tr *Trace) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	// SimulateFleet ≡ Run{Nodes}.
+	res, err := Run(RunConfig{Sim: cfg, Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traceBytes(SimulateFleet(cfg, 3)), traceBytes(res.Trace)) {
+		t.Error("SimulateFleet differs from Run")
+	}
+	if res.Stats.Arrivals == 0 || len(res.ScheduledPerNode) != 3 {
+		t.Errorf("Run result accounting empty: %+v", res.Stats)
+	}
+
+	// SimulateFleetWorkers ≡ Run{Nodes, Workers}.
+	resW, err := Run(RunConfig{Sim: cfg, Nodes: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traceBytes(SimulateFleetWorkers(cfg, 3, 1)), traceBytes(resW.Trace)) {
+		t.Error("SimulateFleetWorkers differs from Run")
+	}
+
+	// SimulateFleetStream ≡ Run{Nodes, Stream, Online} — trace and
+	// snapshot both.
+	trS, snap := SimulateFleetStream(cfg, 3)
+	resS, err := Run(RunConfig{Sim: cfg, Nodes: 3, Stream: true, Online: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traceBytes(trS), traceBytes(resS.Trace)) {
+		t.Error("SimulateFleetStream trace differs from Run")
+	}
+	if resS.Online == nil || resS.Online.Sessions != snap.Sessions || resS.Online.Queries != snap.Queries {
+		t.Errorf("online snapshots differ: %+v vs %+v", resS.Online, snap)
+	}
+
+	// And the streaming path drains to the batch path's bytes.
+	if !bytes.Equal(traceBytes(res.Trace), traceBytes(resS.Trace)) {
+		t.Error("streaming trace differs from batch trace")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(RunConfig{}); err == nil {
+		t.Error("zero RunConfig accepted")
+	}
+	cfg := DefaultSimulation(7, 0.001)
+	cfg.Workload.Days = 1
+	if _, err := Run(RunConfig{Sim: cfg, Online: true}); err == nil {
+		t.Error("Online without Stream accepted")
+	}
+	if _, err := Run(RunConfig{Sim: cfg, Nodes: -1}); err == nil {
+		t.Error("negative Nodes accepted")
+	}
+	if _, err := Run(RunConfig{Sim: cfg, Lookahead: -1}); err == nil {
+		t.Error("negative Lookahead accepted")
+	}
+}
+
+// TestScenarioFacade: preset loading, scenario runs and check evaluation
+// through the public surface only.
+func TestScenarioFacade(t *testing.T) {
+	c, err := ScenarioPreset("laptop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink for test runtime; explicit overrides mimic the CLI path.
+	c.Sim.Workload.Scale = 0.002
+	c.Sim.Workload.Days = 1
+	c.Nodes = 2
+	res, err := RunScenario(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace.Conns) == 0 {
+		t.Fatal("scenario run produced an empty trace")
+	}
+	results, ok := EvaluateScenario(res.Trace, c)
+	if !ok || len(results) != 0 {
+		t.Errorf("preset without checks must evaluate clean: %v %v", results, ok)
+	}
+
+	if _, err := ScenarioPreset("warpdrive"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := LoadScenario("/nonexistent.yaml"); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}
+
 func TestFacadeDeterminism(t *testing.T) {
 	cfg := DefaultSimulation(11, 0.001)
 	cfg.Workload.Days = 1
