@@ -8,7 +8,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: test race bench bench-ci speedup-check distfleet-smoke scenario-suite fullscale fullscale-single lint
+.PHONY: test race bench bench-ci obs-overhead speedup-check distfleet-smoke scenario-suite fullscale fullscale-single lint
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -46,7 +46,7 @@ bench:
 # single -benchtime=1x iteration on an arbitrary runner against numbers
 # recorded elsewhere — so only catastrophic (algorithmic) regressions
 # trip it; finer-grained tracking uses `make bench` snapshots across PRs.
-bench-ci:
+bench-ci: obs-overhead
 	{ $(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./... ; \
 	  $(GO) run ./cmd/analyze $(PHASE_ARGS) -stream -perflabel phase-stream 2>&1 >/dev/null ; \
 	  $(GO) run ./cmd/analyze $(PHASE_ARGS) -perflabel phase-batch 2>&1 >/dev/null ; \
@@ -54,6 +54,24 @@ bench-ci:
 		$(GO) run ./cmd/benchjson -compare BENCH_pr6.json \
 			-tolerance 8 -ns-slack 100000 -alloc-tolerance 2 -alloc-slack 256 \
 			-rss-tolerance 2 -rss-slack 134217728
+
+# obs-overhead is the observability layer's cost gate: the hot-path
+# packages' benchmarks (which run with no registry installed — the
+# nil-handle fast path) plus the labeled pipeline phase runs, gated
+# against the PRE-observability PR-6 baseline with the standard bench-ci
+# tolerances. If internal/obs instrumentation ever costs measurable time
+# on a disabled path or a phase's wall clock/RSS, this fails before the
+# main bench sweep even starts.
+obs-overhead:
+	{ $(GO) test -run '^$$' -bench . -benchtime=1x -benchmem \
+	      ./internal/engine ./internal/stream ./internal/simtime ./internal/obs . ; \
+	  $(GO) run ./cmd/analyze $(PHASE_ARGS) -stream -perflabel phase-stream 2>&1 >/dev/null ; \
+	  $(GO) run ./cmd/analyze $(PHASE_ARGS) -perflabel phase-batch 2>&1 >/dev/null ; \
+	  $(GO) run ./cmd/analyze $(PHASE_ARGS_WIDE) -perflabel phase-widefleet 2>&1 >/dev/null ; } | \
+		$(GO) run ./cmd/benchjson -compare BENCH_pr6.json \
+			-tolerance 8 -ns-slack 100000 -alloc-tolerance 2 -alloc-slack 256 \
+			-rss-tolerance 2 -rss-slack 134217728
+	@echo obs-overhead PASS
 
 # speedup-check proves the two parallel stages on a multi-core host, each
 # ≥ 2× over its sequential reference at 4 workers: the characterization

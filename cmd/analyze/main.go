@@ -40,6 +40,13 @@
 // BENCH_pr*.json were recorded; -perflabel tags the line so cmd/benchjson
 // can track phases across runs.
 //
+// -journal FILE appends the run's observability journal — one JSON line
+// per phase span (partition/simulate/merge/characterize), heartbeat and
+// final metrics snapshot; see internal/obs for the schema. -heartbeat D
+// emits a liveness line every D while the run progresses. -pprof ADDR
+// serves net/http/pprof plus the Prometheus metric registry on ADDR for
+// live profiling of full-scale runs.
+//
 // -stream (with -simulate) runs the bounded-memory streaming engine: the
 // bounded-lookahead arrival producer feeds per-node event loops, each
 // vantage emits records into the streaming k-way merge as they finalize,
@@ -55,6 +62,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -64,6 +73,7 @@ import (
 	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/stats"
@@ -101,6 +111,9 @@ func main() {
 	checks := flag.Bool("checks", false, "with -spec/-preset: evaluate the spec's headline-metric checks and exit 1 on any failure")
 	traceHash := flag.Bool("tracehash", false, "print the trace's canonical SHA-256 to stderr (comparable across the batch and streaming paths)")
 	perfLabel := flag.String("perflabel", "", "label attached to the -perf accounting line, so benchjson can track phases across runs")
+	journalPath := flag.String("journal", "", "write the run's observability journal (JSON lines; see internal/obs) to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and the Prometheus metric registry on this address")
+	heartbeat := flag.Duration("heartbeat", 0, "emit a journal heartbeat line at this interval (requires -journal)")
 	flag.Parse()
 	render, ok := sections[*only]
 	if !ok {
@@ -118,6 +131,55 @@ func main() {
 	if *checks && !sim.Declarative() {
 		fmt.Fprintln(os.Stderr, "-checks requires -spec or -preset (checks live in the spec)")
 		os.Exit(2)
+	}
+
+	// The observability layer: the registry is always live (it is what
+	// -perf and -pprof read), the journal only with -journal.
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
+	ob := &obs.Observer{Metrics: reg}
+	var journalFile *os.File
+	if *journalPath != "" {
+		f, err := os.Create(*journalPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opening journal: %v\n", err)
+			os.Exit(2)
+		}
+		journalFile = f
+		ob.Journal = obs.NewJournal(f)
+	}
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pprof listen: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "observability endpoint on http://%s (/metrics, /debug/pprof/)\n", ln.Addr())
+		srv := &http.Server{Handler: obs.NewHTTPHandler(obs.HTTPConfig{Registry: reg, Pprof: true})}
+		go func() { _ = srv.Serve(ln) }()
+	}
+	stopHeartbeat := obs.StartHeartbeat(ob.Journal, *heartbeat, func() []obs.Attr {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return []obs.Attr{
+			obs.A("heap_live_bytes", ms.HeapAlloc),
+			obs.A("peak_rss_bytes", obs.PeakRSSBytes()),
+			obs.A("goroutines", runtime.NumGoroutine()),
+			obs.A("arrivals", reg.Value("engine_arrivals_total", 0)),
+			obs.A("merge_pending", reg.Value("merge_pending_sessions", 0)),
+			obs.A("merge_barrier_s", reg.Value("merge_barrier_seconds", 0)),
+		}
+	})
+	// flushObs ends the deterministic journal record: heartbeats stop,
+	// then one final metrics snapshot. Call before every normal exit.
+	flushObs := func() {
+		stopHeartbeat()
+		ob.SnapshotMetrics()
+		if journalFile != nil {
+			if err := journalFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "closing journal: %v\n", err)
+			}
+		}
 	}
 
 	var tr *trace.Trace
@@ -157,6 +219,7 @@ func main() {
 			Workers: sc.Workers,
 			Stream:  sc.Stream,
 			Online:  sc.Stream,
+			Obs:     ob,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simulating: %v\n", err)
@@ -193,7 +256,7 @@ func main() {
 		// VmHWM is monotone, so the value right after the simulate phase is
 		// that phase's own peak; the end-of-process value is the overall
 		// peak, which at full volume the characterize phase sets.
-		simulatePeakRSS = peakRSSBytes()
+		simulatePeakRSS = obs.PeakRSSBytes()
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		simulateHeapLive = int64(ms.HeapAlloc)
@@ -203,6 +266,7 @@ func main() {
 			if len(results) == 0 {
 				fmt.Fprintf(os.Stderr, "checks: spec %s declares none\n", sc.Name)
 			}
+			scenario.RecordChecks(ob, results)
 			if err := scenario.WriteChecks(os.Stderr, results); err != nil {
 				fmt.Fprintf(os.Stderr, "writing checks: %v\n", err)
 				os.Exit(1)
@@ -231,7 +295,9 @@ func main() {
 	}
 
 	charStart := time.Now()
+	csp := ob.Begin("characterize", obs.A("workers", *workers), obs.A("conns", len(tr.Conns)))
 	c := core.CharacterizeOpts(tr, core.Options{Workers: *workers, KSBootstrap: *ksboot})
+	csp.End(obs.A("queries", len(tr.Queries)))
 	characterized := time.Since(charStart)
 	if err := render(os.Stdout, c); err != nil {
 		fmt.Fprintf(os.Stderr, "rendering: %v\n", err)
@@ -245,11 +311,24 @@ func main() {
 		if trNodes == 0 {
 			trNodes = 1
 		}
+		line := &perfLine{
+			Label:         *perfLabel,
+			Conns:         len(tr.Conns),
+			Nodes:         trNodes,
+			Hop1Queries:   len(tr.Queries),
+			CharacterizeS: characterized.Seconds(),
+			TotalS:        time.Since(start).Seconds(),
+			PeakRSSBytes:  obs.PeakRSSBytes(),
+			Workers:       *workers,
+			Scale:         tr.Scale,
+			Days:          tr.Days,
+		}
 		// Arrival accounting, per-node peaks and the simulate phase's own
 		// wall-clock / peak RSS are measurements of the simulation run, not
 		// properties a saved trace records — they are only emitted on the
-		// simulation path, never as misleading zeros.
-		simFields := ""
+		// simulation path, never as misleading zeros. The counters come
+		// from the obs registry (the engine and merge publish them there);
+		// the locally tracked values are the fallback and always agree.
 		if doSim {
 			// Streaming mode ignores the worker pool (every node runs its
 			// own goroutine, throttled by the producer window), so the
@@ -270,18 +349,27 @@ func main() {
 			// the fields exist so the same perf line covers the
 			// distributed collector (internal/ingest), where they count
 			// evicted vantages and their still-open sessions.
-			simFields = fmt.Sprintf(`"arrivals":%d,"rejected_arrivals":%d,"max_peak_conns":%d,"merge_peak_pending":%d,"spilled_sessions":%d,"dead_inputs":%d,"lost_sessions":%d,"sched_events_max_node":%d,"sched_events_total":%d,"simulate_s":%.2f,"simulate_peak_rss_bytes":%d,"simulate_heap_live_bytes":%d,"simworkers":%d,"stream":%v,`,
-				st.Arrivals, st.Rejected, maxPeak, mergePeakPending, spilledSessions, deadInputs, lostSessions, schedEventsMaxNode, schedEventsTotal, simulated.Seconds(), simulatePeakRSS, simulateHeapLive, perfWorkers, streamMode)
+			line.perfSim = &perfSim{
+				Arrivals:           regInt(reg, "engine_arrivals_total", st.Arrivals),
+				RejectedArrivals:   regInt(reg, "engine_rejected_arrivals", st.Rejected),
+				MaxPeakConns:       int(regInt(reg, "engine_max_peak_conns", uint64(maxPeak))),
+				MergePeakPending:   int(regInt(reg, "merge_peak_pending", uint64(mergePeakPending))),
+				SpilledSessions:    int(regInt(reg, "merge_spilled_total", uint64(spilledSessions))),
+				DeadInputs:         int(regInt(reg, "merge_dead_inputs", uint64(deadInputs))),
+				LostSessions:       regInt(reg, "merge_lost_sessions", lostSessions),
+				SchedEventsMaxNode: regInt(reg, "engine_sched_events_max_node", schedEventsMaxNode),
+				SchedEventsTotal:   regInt(reg, "engine_sched_events_total", schedEventsTotal),
+				SimulateS:          simulated.Seconds(),
+				SimulatePeakRSS:    simulatePeakRSS,
+				SimulateHeapLive:   simulateHeapLive,
+				SimWorkers:         perfWorkers,
+				Stream:             streamMode,
+			}
 		}
-		labelField := ""
-		if *perfLabel != "" {
-			labelField = fmt.Sprintf(`"label":%q,`, *perfLabel)
+		if err := writePerf(os.Stderr, line); err != nil {
+			fmt.Fprintf(os.Stderr, "writing perf line: %v\n", err)
+			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr,
-			`{%s"conns":%d,%s"nodes":%d,"hop1_queries":%d,"characterize_s":%.2f,"total_s":%.2f,"peak_rss_bytes":%d,"workers":%d,"scale":%g,"days":%d}`+"\n",
-			labelField, len(tr.Conns), simFields, trNodes, len(tr.Queries),
-			characterized.Seconds(),
-			time.Since(start).Seconds(), peakRSSBytes(), *workers, tr.Scale, tr.Days)
 	}
 	if *csvDir != "" {
 		if err := exportCSV(*csvDir, c); err != nil {
@@ -290,6 +378,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "CSV series written to %s\n", *csvDir)
 	}
+	flushObs()
 	if checksFailed {
 		fmt.Fprintln(os.Stderr, "scenario checks FAILED")
 		os.Exit(1)

@@ -1,36 +1,84 @@
 package main
 
 import (
-	"bufio"
-	"os"
-	"strconv"
-	"strings"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/obs"
 )
 
-// peakRSSBytes returns the process's peak resident set size from
-// /proc/self/status (VmHWM), or 0 where the proc filesystem is
-// unavailable — the accounting line then simply reports no memory figure.
-func peakRSSBytes() int64 {
-	f, err := os.Open("/proc/self/status")
+// perfSim is the simulation-phase block of the -perf accounting line,
+// present only on simulation runs — a saved trace measures none of it.
+// Field order mirrors the historical hand-rolled line so diffs across
+// BENCH_pr*.json generations stay readable.
+type perfSim struct {
+	Arrivals           uint64  `json:"arrivals"`
+	RejectedArrivals   uint64  `json:"rejected_arrivals"`
+	MaxPeakConns       int     `json:"max_peak_conns"`
+	MergePeakPending   int     `json:"merge_peak_pending"`
+	SpilledSessions    int     `json:"spilled_sessions"`
+	DeadInputs         int     `json:"dead_inputs"`
+	LostSessions       uint64  `json:"lost_sessions"`
+	SchedEventsMaxNode uint64  `json:"sched_events_max_node"`
+	SchedEventsTotal   uint64  `json:"sched_events_total"`
+	SimulateS          float64 `json:"simulate_s"`
+	SimulatePeakRSS    int64   `json:"simulate_peak_rss_bytes"`
+	SimulateHeapLive   int64   `json:"simulate_heap_live_bytes"`
+	SimWorkers         int     `json:"simworkers"`
+	Stream             bool    `json:"stream"`
+}
+
+// perfLine is the full -perf accounting line. The embedded *perfSim
+// splices the simulation fields into the middle of the object exactly
+// where the hand-rolled fmt.Sprintf used to put them; a nil pointer
+// drops the whole block (not merely zeroes it, which omitempty could
+// not express for the always-present "stream":false).
+type perfLine struct {
+	Label string `json:"label,omitempty"`
+	Conns int    `json:"conns"`
+	*perfSim
+	Nodes         int     `json:"nodes"`
+	Hop1Queries   int     `json:"hop1_queries"`
+	CharacterizeS float64 `json:"characterize_s"`
+	TotalS        float64 `json:"total_s"`
+	PeakRSSBytes  int64   `json:"peak_rss_bytes"`
+	Workers       int     `json:"workers"`
+	Scale         float64 `json:"scale"`
+	Days          int     `json:"days"`
+}
+
+// round2 keeps the wall-clock figures at the historical two-decimal
+// precision instead of full float64 noise.
+func round2(s float64) float64 { return math.Round(s*100) / 100 }
+
+// writePerf emits the accounting line as one JSON object per line, the
+// format cmd/benchjson parses.
+func writePerf(w io.Writer, line *perfLine) error {
+	line.SimRound()
+	line.CharacterizeS = round2(line.CharacterizeS)
+	line.TotalS = round2(line.TotalS)
+	b, err := json.Marshal(line)
 	if err != nil {
-		return 0
+		return err
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		line := sc.Text()
-		if !strings.HasPrefix(line, "VmHWM:") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return 0
-		}
-		kb, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return 0
-		}
-		return kb * 1024
+	_, err = fmt.Fprintf(w, "%s\n", b)
+	return err
+}
+
+// SimRound rounds the sim block's wall-clock figure when present.
+func (l *perfLine) SimRound() {
+	if l.perfSim != nil {
+		l.perfSim.SimulateS = round2(l.perfSim.SimulateS)
 	}
-	return 0
+}
+
+// regInt reads a registry gauge as an integer perf field, falling back
+// to the engine-reported value when the registry has no such series.
+// The engine publishes these from its authoritative post-run fields
+// (engine.publishRunMetrics), so the two sources always agree; routing
+// through the registry keeps the perf line a pure registry consumer.
+func regInt(reg *obs.Registry, name string, fallback uint64) uint64 {
+	return uint64(reg.Value(name, float64(fallback)))
 }

@@ -276,3 +276,38 @@ func TestStdinPhaseLineParsed(t *testing.T) {
 		t.Errorf("phase filtering wrong: %+v", phases)
 	}
 }
+
+func TestPhaseLineFormatCompat(t *testing.T) {
+	// The -perf line switched from a hand-rolled fmt.Sprintf (through
+	// PR 6's recorded baselines) to encoding/json over a struct. Both
+	// generations must keep decoding into the same Phase: old baselines
+	// stay comparable, and the new encoder must not have renamed or
+	// reordered anything a decoder relies on.
+	old := `{"label":"stream-full","conns":4362622,"arrivals":4362622,"rejected_arrivals":0,"max_peak_conns":200,"merge_peak_pending":1861,"spilled_sessions":0,"dead_inputs":0,"lost_sessions":0,"sched_events_max_node":1194034,"sched_events_total":119272887,"simulate_s":116.32,"simulate_peak_rss_bytes":655590400,"simulate_heap_live_bytes":331837744,"simworkers":0,"stream":true,"nodes":128,"hop1_queries":9608692,"characterize_s":31.31,"total_s":147.63,"peak_rss_bytes":3966092800,"workers":0,"scale":1,"days":40}`
+	var phOld Phase
+	if err := json.Unmarshal([]byte(old), &phOld); err != nil {
+		t.Fatalf("PR6-era line: %v", err)
+	}
+	if phOld.Label != "stream-full" || !phOld.Stream || phOld.PeakRSS != 3966092800 {
+		t.Fatalf("decoded PR6-era phase wrong: %+v", phOld)
+	}
+	if phOld.SimulateS != 116.32 || phOld.MergePeakPending != 1861 || phOld.SchedEventsMaxNode != 1194034 {
+		t.Fatalf("decoded PR6-era phase wrong: %+v", phOld)
+	}
+
+	// Verbatim capture of the struct encoder's output (a smoke-scale
+	// run): zero floats render as 0 rather than 0.00 and the sim block
+	// rides an embedded struct, but the field names and order are the
+	// same contract.
+	now := `{"label":"smoke","conns":549,"arrivals":549,"rejected_arrivals":0,"max_peak_conns":9,"merge_peak_pending":549,"spilled_sessions":0,"dead_inputs":0,"lost_sessions":0,"sched_events_max_node":18099,"sched_events_total":33623,"simulate_s":0.04,"simulate_peak_rss_bytes":15863808,"simulate_heap_live_bytes":3550880,"simworkers":0,"stream":false,"nodes":2,"hop1_queries":1197,"characterize_s":0,"total_s":0.04,"peak_rss_bytes":16084992,"workers":0,"scale":0.005,"days":1}`
+	var phNow Phase
+	if err := json.Unmarshal([]byte(now), &phNow); err != nil {
+		t.Fatalf("current line: %v", err)
+	}
+	if phNow.Label != "smoke" || phNow.Conns != 549 || phNow.PeakRSS != 16084992 {
+		t.Fatalf("decoded current phase wrong: %+v", phNow)
+	}
+	if phNow.SimulateS != 0.04 || phNow.CharacterizeS != 0 || phNow.MergePeakPending != 549 {
+		t.Fatalf("decoded current phase wrong: %+v", phNow)
+	}
+}

@@ -19,6 +19,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +32,7 @@ import (
 	"repro/internal/capture"
 	"repro/internal/engine"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -94,10 +97,17 @@ func runScenario(p params, sc scenario, refHash [32]byte, refConns int) {
 	if evictAfter == 0 {
 		evictAfter = 2 * p.timeout // must never fire in lossless scenarios
 	}
+	// Each scenario gets its own observability capture: the collector's
+	// liveness narrative (input_stalled/input_evicted/...) lands in an
+	// in-memory journal the dead-input scenario asserts on below.
+	var journal bytes.Buffer
+	ob := &obs.Observer{Metrics: obs.NewRegistry(), Journal: obs.NewJournal(&journal)}
 	col, err := ingest.NewCollector(ingest.CollectorConfig{
 		Inputs:     p.nodes,
 		Window:     trace.Time(engine.DefaultMergeWindow),
+		StallAfter: evictAfter / 4,
 		EvictAfter: evictAfter,
+		Obs:        ob,
 	})
 	if err != nil {
 		log.Fatalf("%s: collector: %v", sc.name, err)
@@ -173,6 +183,7 @@ func runScenario(p params, sc scenario, refHash [32]byte, refConns int) {
 		if res.tr.Nodes != p.nodes {
 			log.Fatalf("%s: trace nodes=%d, want %d", sc.name, res.tr.Nodes, p.nodes)
 		}
+		assertStallThenEvict(sc.name, journal.Bytes(), victim)
 		return
 	}
 	if dead != 0 || lost != 0 {
@@ -244,4 +255,48 @@ func waitApplied(p params, sc scenario, col *ingest.Collector, input int, min ui
 
 func appliedSeq(col *ingest.Collector, input int) uint64 {
 	return col.Health().Inputs[input].AppliedSeq
+}
+
+// assertStallThenEvict checks the collector's journal told the dead
+// input's story in order: input_stalled (StallAfter) strictly before
+// input_evicted (EvictAfter), both for the killed vantage.
+func assertStallThenEvict(name string, journal []byte, victim int) {
+	stalled, evicted := -1, -1
+	dec := json.NewDecoder(bytes.NewReader(journal))
+	for i := 0; dec.More(); i++ {
+		var rec struct {
+			Kind  string         `json:"kind"`
+			Name  string         `json:"name"`
+			Attrs map[string]any `json:"attrs"`
+		}
+		if err := dec.Decode(&rec); err != nil {
+			log.Fatalf("%s: journal line %d unparseable: %v", name, i, err)
+		}
+		if rec.Kind != "event" {
+			continue
+		}
+		in, ok := rec.Attrs["input"].(float64)
+		if !ok || int(in) != victim {
+			continue
+		}
+		switch rec.Name {
+		case "input_stalled":
+			if stalled < 0 {
+				stalled = i
+			}
+		case "input_evicted":
+			if evicted < 0 {
+				evicted = i
+			}
+		}
+	}
+	if stalled < 0 || evicted < 0 {
+		log.Fatalf("%s: journal missing the victim's liveness transitions (stalled line %d, evicted line %d):\n%s",
+			name, stalled, evicted, journal)
+	}
+	if stalled >= evicted {
+		log.Fatalf("%s: journal order broken: input_stalled (line %d) must precede input_evicted (line %d)",
+			name, stalled, evicted)
+	}
+	log.Printf("%s: journal records input_stalled -> input_evicted for vantage %d", name, victim)
 }

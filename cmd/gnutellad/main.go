@@ -7,9 +7,13 @@
 // With -metrics ADDR it also serves the live online characterization of
 // everything it has ingested — Space-Saving top-K keyword ranking,
 // streaming duration/interarrival quantiles, sliding-window arrival and
-// query rates (internal/stream) — as JSON at http://ADDR/metrics: the
-// daemon-side half of the streaming pipeline, characterizing wire traffic
-// as it arrives with bounded state.
+// query rates (internal/stream). http://ADDR/metrics is the Prometheus
+// text exposition of the daemon's metric registry (online gauges, message
+// counters, process stats; internal/obs); the historical JSON snapshot
+// lives on at http://ADDR/metrics.json, and -pprof additionally mounts
+// net/http/pprof under /debug/pprof/ on the same mux: the daemon-side
+// half of the streaming pipeline, characterizing wire traffic as it
+// arrives with bounded state.
 //
 // With -emit ADDR the daemon is also an ingest emitter: every closed
 // connection's session record (with its hop-1 queries) is streamed to an
@@ -41,6 +45,7 @@ import (
 
 	"repro/internal/guid"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/stream"
 	"repro/internal/trace"
@@ -51,7 +56,8 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:6346", "listen address")
 	library := flag.String("library", "", "optional file with one shared file name per line")
-	metrics := flag.String("metrics", "", "optional HTTP address serving the live online characterization at /metrics")
+	metrics := flag.String("metrics", "", "optional HTTP address serving Prometheus text at /metrics and the online characterization JSON at /metrics.json")
+	pprofFlag := flag.Bool("pprof", false, "with -metrics: mount net/http/pprof under /debug/pprof/")
 	emit := flag.String("emit", "", "optional ingest collector address to stream session records to")
 	emitInput := flag.Int("emit-input", 0, "collector input index this daemon feeds")
 	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "reap connections silent for this long (0 disables)")
@@ -87,9 +93,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("metrics listen: %v", err)
 		}
-		log.Printf("metrics on http://%s/metrics", ml.Addr())
+		log.Printf("metrics on http://%s/metrics (legacy JSON at /metrics.json)", ml.Addr())
 		go func() {
-			if err := http.Serve(ml, d.metricsHandler()); err != nil {
+			if err := http.Serve(ml, d.metricsHandler(*pprofFlag)); err != nil {
 				log.Printf("metrics server: %v", err)
 			}
 		}()
@@ -97,7 +103,11 @@ func main() {
 
 	var emitDone chan error
 	if *emit != "" {
-		em := ingest.NewEmitter(ingest.EmitterConfig{Addr: *emit, Input: *emitInput})
+		em := ingest.NewEmitter(ingest.EmitterConfig{
+			Addr:  *emit,
+			Input: *emitInput,
+			Obs:   &obs.Observer{Metrics: d.reg},
+		})
 		d.emitter = em
 		d.prod = stream.NewProducer(*emitInput, em.Intake())
 		emitDone = make(chan error, 1)
@@ -177,6 +187,14 @@ type daemon struct {
 	start  time.Time
 	online *stream.Online
 
+	// The daemon's metric registry: online characterization gauges,
+	// wire-message counters, process stats — what /metrics serves.
+	reg     *obs.Registry
+	mConns  *obs.Counter
+	mQuery  *obs.Counter
+	mHop1   *obs.Counter
+	mActive *obs.Gauge
+
 	// emitter/prod are set when -emit is configured; prod is guarded by mu.
 	emitter *ingest.Emitter
 	prod    *stream.Producer
@@ -188,7 +206,14 @@ func newDaemon(files []overlay.SharedFile) *daemon {
 		opened: make(map[int]*liveConn),
 		start:  time.Now(),
 		online: stream.NewOnline(stream.OnlineConfig{}),
+		reg:    obs.NewRegistry(),
 	}
+	obs.RegisterProcessMetrics(d.reg)
+	d.online.Register(d.reg)
+	d.mConns = d.reg.Counter("gnutellad_conns_total", "peer connections accepted")
+	d.mQuery = d.reg.Counter("gnutellad_queries_total", "QUERY messages received at any hop count")
+	d.mHop1 = d.reg.Counter("gnutellad_queries_hop1_total", "hop-1 QUERY messages recorded")
+	d.mActive = d.reg.Gauge("gnutellad_active_conns", "currently open peer connections")
 	d.node = overlay.New(overlay.Config{
 		Self:      guid.NewSource(uint64(time.Now().UnixNano()), 1).Next(),
 		Ultrapeer: true,
@@ -206,10 +231,12 @@ func newDaemon(files []overlay.SharedFile) *daemon {
 		OnMessage: func(conn int, env wire.Envelope) {
 			if q, ok := env.Payload.(*wire.Query); ok {
 				d.counts.Query++
+				d.mQuery.Inc()
 				if env.Header.Hops != 1 {
 					return
 				}
 				d.counts.QueryHop1++
+				d.mHop1.Inc()
 				log.Printf("conn %d query %q (sha1=%v)", conn, q.SearchText, q.HasSHA1())
 				at := time.Since(d.start)
 				d.online.ObserveQuery(at, q.SearchText, q.HasSHA1())
@@ -230,10 +257,11 @@ func newDaemon(files []overlay.SharedFile) *daemon {
 	return d
 }
 
-// metricsHandler serves the online characterization snapshot as JSON.
-func (d *daemon) metricsHandler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+// metricsHandler serves the daemon's observability surface: the metric
+// registry as Prometheus text at /metrics, the online characterization
+// snapshot as JSON at /metrics.json, and optionally pprof.
+func (d *daemon) metricsHandler(pprof bool) http.Handler {
+	legacy := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -241,7 +269,7 @@ func (d *daemon) metricsHandler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	return mux
+	return obs.NewHTTPHandler(obs.HTTPConfig{Registry: d.reg, LegacyJSON: legacy, Pprof: pprof})
 }
 
 func (d *daemon) serve(peer *transport.Peer, idle time.Duration) {
@@ -249,6 +277,8 @@ func (d *daemon) serve(peer *transport.Peer, idle time.Duration) {
 	id := d.nextID
 	d.nextID++
 	d.peers[id] = peer
+	d.mConns.Inc()
+	d.mActive.SetInt(int64(len(d.peers)))
 	start := time.Since(d.start)
 	d.opened[id] = &liveConn{start: start}
 	d.node.AddConn(id, peer.Info().Ultrapeer)
@@ -264,6 +294,7 @@ func (d *daemon) serve(peer *transport.Peer, idle time.Duration) {
 		d.mu.Lock()
 		d.node.RemoveConn(id)
 		delete(d.peers, id)
+		d.mActive.SetInt(int64(len(d.peers)))
 		lc := d.opened[id]
 		delete(d.opened, id)
 		end := time.Since(d.start)

@@ -4,13 +4,17 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/httptest"
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 
@@ -115,8 +119,8 @@ func TestCLIGnutelladServesQueriesAndMetrics(t *testing.T) {
 	}
 	peer.Close()
 
-	// Poll the metrics endpoint until the daemon has ingested the queries
-	// and observed the session close.
+	// Poll the legacy JSON endpoint until the daemon has ingested the
+	// queries and observed the session close.
 	var snap struct {
 		Sessions    uint64 `json:"sessions"`
 		Queries     uint64 `json:"queries"`
@@ -128,7 +132,7 @@ func TestCLIGnutelladServesQueriesAndMetrics(t *testing.T) {
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		resp, err := http.Get(fmt.Sprintf("http://%s/metrics", metricsAddr))
+		resp, err := http.Get(fmt.Sprintf("http://%s/metrics.json", metricsAddr))
 		if err == nil {
 			err = json.NewDecoder(resp.Body).Decode(&snap)
 			resp.Body.Close()
@@ -146,6 +150,81 @@ func TestCLIGnutelladServesQueriesAndMetrics(t *testing.T) {
 	}
 	if len(snap.TopKeywords) == 0 || snap.TopKeywords[0].Count != 2 {
 		t.Errorf("top keyword entry should have count 2: %+v", snap.TopKeywords)
+	}
+
+	// /metrics is the Prometheus exposition of the same state.
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", metricsAddr))
+	if err != nil {
+		t.Fatalf("prometheus endpoint: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentTypePrometheus {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE gnutellad_queries_hop1_total counter",
+		"gnutellad_queries_hop1_total 3",
+		"online_sessions 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestGnutelladMetricsHandler exercises the handler in-process: /metrics
+// serves Prometheus text over the daemon registry, /metrics.json the
+// historical online-characterization snapshot.
+func TestGnutelladMetricsHandler(t *testing.T) {
+	d := newDaemon(nil)
+	d.mConns.Inc()
+	d.online.ObserveQuery(time.Second, "metallica one", false)
+	srv := httptest.NewServer(d.metricsHandler(false))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentTypePrometheus {
+		t.Fatalf("content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE gnutellad_conns_total counter",
+		"gnutellad_conns_total 1",
+		"online_queries 1",
+		"# TYPE process_goroutines gauge",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("legacy content type %q", ct)
+	}
+	var snap struct {
+		Queries uint64 `json:"queries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Queries != 1 {
+		t.Fatalf("legacy snapshot queries = %d, want 1", snap.Queries)
 	}
 }
 

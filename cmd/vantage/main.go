@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -28,6 +29,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/faultnet"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/transport"
 )
@@ -58,10 +60,26 @@ func main() {
 	faultReorder := flag.Float64("fault-reorder", 0, "probability a write is held and swapped with the next")
 	faultDelay := flag.Float64("fault-delay", 0, "probability a write is delayed")
 	faultDelayMax := flag.Duration("fault-delay-max", 50*time.Millisecond, "max injected write delay")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and the process metric registry on this address")
 	flag.Parse()
 
 	if *collector == "" {
 		log.Fatal("vantage: -collector is required")
+	}
+
+	// The vantage's observability surface: arrival counter plus emitter
+	// reconnect/ack/backlog gauges, live on -pprof for a stuck fleet.
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
+	ob := &obs.Observer{Metrics: reg}
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("vantage: pprof listen: %v", err)
+		}
+		log.Printf("vantage %d: observability endpoint on http://%s (/metrics, /debug/pprof/)", *input, ln.Addr())
+		srv := &http.Server{Handler: obs.NewHTTPHandler(obs.HTTPConfig{Registry: reg, Pprof: true})}
+		go func() { _ = srv.Serve(ln) }()
 	}
 
 	sc, err := sim.Resolve()
@@ -74,6 +92,7 @@ func main() {
 	ecfg := ingest.EmitterConfig{
 		Addr:           *collector,
 		Input:          *input,
+		Obs:            ob,
 		Retry:          transport.Retry{Max: *retryMax, Base: *retryBase, Cap: *retryCap, Seed: seed + uint64(*input) + 1},
 		AckTimeout:     *ackTimeout,
 		WelcomeTimeout: *welcomeTimeout,
@@ -100,7 +119,7 @@ func main() {
 
 	start := time.Now()
 	st, err := engine.NodeStream(
-		engine.Config{Fleet: capture.FleetConfig{Node: cfg, Nodes: sc.Nodes}, Lookahead: *lookahead},
+		engine.Config{Fleet: capture.FleetConfig{Node: cfg, Nodes: sc.Nodes}, Lookahead: *lookahead, Obs: ob},
 		*input,
 		stream.NewProducer(*input, em.Intake()),
 	)

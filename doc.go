@@ -111,7 +111,8 @@
 // prints the online characterization above the standard report and
 // `-tracehash` the canonical SHA-256 that proves the two paths equal;
 // cmd/gnutellad -metrics serves the live snapshot of wire-ingested
-// traffic as JSON; examples/livecapture feeds the same layer from
+// traffic (Prometheus text at /metrics, the JSON snapshot at
+// /metrics.json); examples/livecapture feeds the same layer from
 // loopback TCP.
 //
 // # Declarative scenarios and the run facade
@@ -166,6 +167,27 @@
 // building a day ranking for all seven classes dropped from 6.1 ms /
 // 588 KB to 1.5 ms / 19 KB, and a cold single-class draw from 6.0 ms to
 // 0.6 ms; cached draws stay at ~120 ns with zero allocations.
+//
+// # Observability
+//
+// internal/obs is the shared, dependency-free observability layer the
+// whole pipeline reports through. An obs.Registry holds counters, gauges
+// and fixed-bucket histograms with atomic hot paths; every handle is
+// nil-receiver safe, so instrumented code pays one nil check when no
+// observer is installed — the obs-overhead make target gates that cost
+// against the pre-observability benchmark baseline in CI. An
+// obs.Observer couples a registry with a JSONL run journal: engine,
+// stream and ingest record phase spans (partition, simulate, merge,
+// characterize), discrete events (input_stalled, input_evicted,
+// scenario_check) and a final metrics snapshot. Journals are
+// deterministic by construction — wall-clock-dependent values ride
+// exposition-only GaugeFuncs, excluded from snapshots — so two runs of
+// the same spec are identical after obs.Canonical strips timestamps
+// (pinned by test). The long-running commands share one HTTP surface
+// (obs.NewHTTPHandler): Prometheus text exposition at /metrics, any
+// legacy JSON payload at /metrics.json, and net/http/pprof behind a
+// -pprof flag; `analyze -journal run.jsonl -heartbeat 5s` records a
+// batch run's full story to disk.
 //
 // # Quickstart
 //

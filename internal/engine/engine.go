@@ -69,6 +69,7 @@ import (
 	"repro/internal/behavior"
 	"repro/internal/capture"
 	"repro/internal/guid"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/simtime"
 	"repro/internal/stream"
@@ -103,6 +104,13 @@ type Config struct {
 	// disables the window (the pending buffer is then bounded only by the
 	// oldest open session, the pre-window behavior).
 	MergeWindow simtime.Time
+	// Obs attaches the observability layer: phase spans
+	// (partition/simulate/merge) on the journal, the arrival-throughput
+	// counter and post-run scheduler/merge gauges on the registry.
+	// Instrumentation never touches RNG streams or scheduling order — the
+	// merged trace is byte-identical with or without it — and a nil
+	// observer runs at the uninstrumented cost (nil-handle no-ops).
+	Obs *obs.Observer
 }
 
 // DefaultMergeWindow is the emission window RunStream uses when
@@ -203,31 +211,68 @@ func (e *Engine) run() {
 	}
 
 	if e.cfg.Lookahead > 0 {
+		sp := e.cfg.Obs.Begin("simulate",
+			obs.A("mode", "bounded"), obs.A("nodes", e.cfg.Fleet.Nodes), obs.A("lookahead", e.cfg.Lookahead))
 		e.runBounded(nil)
+		sp.End(obs.A("arrivals", e.stats.Arrivals))
 	} else {
 		e.runEager()
 	}
 	// The production merge is the streaming k-way merge (fed the
 	// materialized per-node traces here); batch trace.Merge remains the
 	// reference oracle the equivalence tests compare against.
+	msp := e.cfg.Obs.Begin("merge", obs.A("inputs", len(e.nodeTraces)))
 	var ms stream.MergeStats
-	e.merged, ms = stream.MergeTracesStats(e.nodeTraces...)
+	e.merged, ms = stream.MergeTracesObs(e.cfg.Obs, e.nodeTraces...)
 	e.peakPending = ms.PeakPending
 	e.spilled = ms.Spilled
 	e.deadInputs = ms.DeadInputs
 	e.lostSessions = ms.LostSessions
+	msp.End(obs.A("conns", len(e.merged.Conns)), obs.A("peak_pending", ms.PeakPending), obs.A("spilled", ms.Spilled))
+	e.publishRunMetrics()
 	// Mark the memo only after the run completed: a panic recovered by
 	// the caller must leave the engine retryable, not poisoned into
 	// returning a nil trace and zero stats forever.
 	e.ran = true
 }
 
+// publishRunMetrics writes the engine's post-run summary gauges from its
+// authoritative fields, so a registry scrape (or the final journal
+// metrics snapshot) reports exactly the values the Stats/accessor API
+// returns. No-op without a registry.
+func (e *Engine) publishRunMetrics() {
+	reg := e.cfg.Obs.Reg()
+	if reg == nil {
+		return
+	}
+	var total, maxNode uint64
+	for _, n := range e.schedPerNode {
+		total += n
+		if n > maxNode {
+			maxNode = n
+		}
+	}
+	maxPeak := 0
+	for i := range e.stats.PerNode {
+		if p := e.stats.PerNode[i].PeakConns; p > maxPeak {
+			maxPeak = p
+		}
+	}
+	reg.Gauge("engine_sched_events_total", "scheduler events fired across all nodes").SetInt(int64(total))
+	reg.Gauge("engine_sched_events_max_node", "busiest node's scheduled-event count").SetInt(int64(maxNode))
+	reg.Gauge("engine_rejected_arrivals", "arrivals rejected by per-node connection caps").SetInt(int64(e.stats.Rejected))
+	reg.Gauge("engine_max_peak_conns", "largest per-node concurrent-connection peak").SetInt(int64(maxPeak))
+	reg.Gauge("engine_nodes", "vantage nodes in the fleet").SetInt(int64(e.cfg.Fleet.Nodes))
+}
+
 func (e *Engine) runEager() {
 	nodeCfg := e.cfg.Fleet.Node
+	nodes := e.cfg.Fleet.Nodes
+	psp := e.cfg.Obs.Begin("partition", obs.A("nodes", nodes))
 	part, shared := partitionArrivals(e.cfg.Fleet)
+	psp.End(obs.A("arrivals", len(part.starts)))
 	horizon := simtime.Time(nodeCfg.Workload.Days) * simtime.Day
 
-	nodes := e.cfg.Fleet.Nodes
 	e.nodeTraces = make([]*trace.Trace, nodes)
 	e.schedPerNode = make([]uint64, nodes)
 	perNode := make([]capture.NodeStats, nodes)
@@ -238,15 +283,19 @@ func (e *Engine) runEager() {
 	for i := range scheds {
 		scheds[i] = e.newSched()
 	}
+	arrivals := e.cfg.Obs.Counter("engine_arrivals_total", "arrival events fired across all vantage nodes")
+	ssp := e.cfg.Obs.Begin("simulate",
+		obs.A("mode", "eager"), obs.A("nodes", nodes), obs.A("workers", par.Workers(e.Workers())))
 	tasks := make([]func(), nodes)
 	for i := range tasks {
 		i := i
 		tasks[i] = func() {
-			e.nodeTraces[i], perNode[i] = runNode(nodeCfg, i, scheds[i], shared, part, horizon)
+			e.nodeTraces[i], perNode[i] = runNode(nodeCfg, i, scheds[i], shared, part, horizon, arrivals)
 			e.schedPerNode[i] = scheds[i].Scheduled()
 		}
 	}
 	par.Run(par.Workers(e.Workers()), tasks)
+	ssp.End(obs.A("arrivals", len(part.starts)))
 
 	e.stats = capture.FleetStats{
 		Arrivals: uint64(len(part.starts)),
@@ -393,6 +442,9 @@ type keyedRun struct {
 	mine     []ownedSession
 	cursor   int    // next own session
 	chainPos uint64 // global arrivals counted as dispatched so far
+	// arrivals is the fleet-wide throughput counter (atomic; nil when no
+	// registry is installed — the Inc is then a nil-check no-op).
+	arrivals *obs.Counter
 }
 
 // beforeFire is the scheduler's pre-fire hook. Own arrivals carry Pos 0
@@ -429,18 +481,19 @@ func (r *keyedRun) Fire(now simtime.Time) {
 	// Release consumed sessions as the run progresses; at full volume
 	// the partitioned session set is the engine's main memory cost.
 	r.mine[i].sess = nil
+	r.arrivals.Inc()
 	r.node.Arrive(now, sess)
 }
 
 // runNode simulates one vantage to the horizon on its own scheduler and
 // returns its trace and accounting row.
-func runNode(cfg capture.Config, idx int, sched simtime.Scheduler, shared *capture.SharedModel, part *partition, horizon simtime.Time) (*trace.Trace, capture.NodeStats) {
+func runNode(cfg capture.Config, idx int, sched simtime.Scheduler, shared *capture.SharedModel, part *partition, horizon simtime.Time, arrivals *obs.Counter) (*trace.Trace, capture.NodeStats) {
 	// Reserve Pos 0 of epoch 0 for the virtual chain head before anything
 	// is scheduled, keeping the epoch/Pos split an invariant from the
 	// first event on.
 	sched.Reseed(simtime.SeqKey{Epoch: 0, Pos: 1})
 	node := capture.NewNode(cfg, idx, sched, shared)
-	r := &keyedRun{sched: sched, node: node, starts: part.starts, mine: part.perNode[idx]}
+	r := &keyedRun{sched: sched, node: node, starts: part.starts, mine: part.perNode[idx], arrivals: arrivals}
 	sched.SetFireHook(r.beforeFire)
 	if len(r.mine) > 0 {
 		sched.ScheduleKeyed(r.mine[0].sess.Start, simtime.SeqKey{Epoch: r.mine[0].gidx}, r)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/behavior"
 	"repro/internal/capture"
 	"repro/internal/guid"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/stream"
 	"repro/internal/trace"
@@ -185,6 +186,9 @@ type keyedBoundedRun struct {
 	queue    <-chan ownedSession
 	cur      ownedSession // the session this scheduled arrival delivers
 	chainPos uint64
+	// arrivals is the fleet-wide throughput counter (atomic; nil when no
+	// registry is installed — the Inc is then a nil-check no-op).
+	arrivals *obs.Counter
 }
 
 // beforeFire mirrors keyedRun.beforeFire; countThrough blocks this node's
@@ -210,13 +214,14 @@ func (r *keyedBoundedRun) Fire(now simtime.Time) {
 		r.cur = next
 		r.sched.ScheduleKeyed(next.sess.Start, simtime.SeqKey{Epoch: next.gidx}, r)
 	}
+	r.arrivals.Inc()
 	r.node.Arrive(now, sess)
 }
 
 // runNodeBounded simulates one vantage to the horizon against the
 // bounded producer, in retained mode (sink nil) or streaming-sink mode.
 func runNodeBounded(cfg capture.Config, idx int, sched simtime.Scheduler, shared *capture.SharedModel,
-	ch *chain, queue <-chan ownedSession, horizon simtime.Time, sink *stream.Producer) *capture.Node {
+	ch *chain, queue <-chan ownedSession, horizon simtime.Time, sink *stream.Producer, arrivals *obs.Counter) *capture.Node {
 	sched.Reseed(simtime.SeqKey{Epoch: 0, Pos: 1})
 	var node *capture.Node
 	if sink != nil {
@@ -224,7 +229,7 @@ func runNodeBounded(cfg capture.Config, idx int, sched simtime.Scheduler, shared
 	} else {
 		node = capture.NewNode(cfg, idx, sched, shared)
 	}
-	r := &keyedBoundedRun{sched: sched, node: node, ch: ch, queue: queue}
+	r := &keyedBoundedRun{sched: sched, node: node, ch: ch, queue: queue, arrivals: arrivals}
 	sched.SetFireHook(r.beforeFire)
 	if first, ok := <-queue; ok {
 		r.cur = first
@@ -276,6 +281,7 @@ func (e *Engine) runBounded(intake chan<- stream.Batch) {
 		arrivals = produceArrivals(e.cfg.Fleet, gen, ch, queues)
 	}()
 
+	arrCounter := e.cfg.Obs.Counter("engine_arrivals_total", "arrival events fired across all vantage nodes")
 	e.nodeTraces = make([]*trace.Trace, nodes)
 	e.schedPerNode = make([]uint64, nodes)
 	perNode := make([]capture.NodeStats, nodes)
@@ -288,7 +294,7 @@ func (e *Engine) runBounded(intake chan<- stream.Batch) {
 			if intake != nil {
 				sink = stream.NewProducer(i, intake)
 			}
-			node := runNodeBounded(nodeCfg, i, scheds[i], shared, ch, queues[i], horizon, sink)
+			node := runNodeBounded(nodeCfg, i, scheds[i], shared, ch, queues[i], horizon, sink, arrCounter)
 			e.nodeTraces[i] = node.Trace()
 			perNode[i] = node.Stats()
 			e.schedPerNode[i] = scheds[i].Scheduled()
@@ -319,7 +325,14 @@ func (e *Engine) RunStream(sink stream.Sink) *trace.Trace {
 	if e.ran {
 		return e.merged
 	}
+	// One span covers the overlapped simulate+merge pipeline, emitted
+	// from this goroutine only so journal line order stays deterministic
+	// (per-node goroutines touch atomic metric handles, never the
+	// journal).
+	sp := e.cfg.Obs.Begin("simulate",
+		obs.A("mode", "stream"), obs.A("nodes", e.cfg.Fleet.Nodes))
 	merger := stream.NewMerger(e.cfg.Fleet.Nodes, sink)
+	merger.SetObserver(e.cfg.Obs)
 	merger.SetWindow(e.mergeWindow())
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -334,6 +347,9 @@ func (e *Engine) RunStream(sink stream.Sink) *trace.Trace {
 	e.spilled = merger.Spilled()
 	e.deadInputs = merger.DeadInputs()
 	e.lostSessions = merger.LostSessions()
+	sp.End(obs.A("arrivals", e.stats.Arrivals), obs.A("conns", len(e.merged.Conns)),
+		obs.A("peak_pending", e.peakPending), obs.A("spilled", e.spilled))
+	e.publishRunMetrics()
 	// As in run(): the memo marks success only, so a panic recovered by
 	// the caller leaves the engine retryable instead of poisoned.
 	e.ran = true

@@ -56,7 +56,8 @@ func NodeStream(cfg Config, idx int, sink *stream.Producer) (capture.NodeStats, 
 		produceArrivalsOwn(cfg.Fleet, gen, ch, idx, queue)
 	}()
 
-	node := runNodeBounded(nodeCfg, idx, simtime.NewCalendarScheduler(), shared, ch, queue, horizon, sink)
+	arrivals := cfg.Obs.Counter("engine_arrivals_total", "arrival events fired by this vantage")
+	node := runNodeBounded(nodeCfg, idx, simtime.NewCalendarScheduler(), shared, ch, queue, horizon, sink, arrivals)
 	wg.Wait()
 	return node.Stats(), nil
 }

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -38,7 +40,7 @@ type InputHealth struct {
 	Reordered  int        `json:"reordered"`
 }
 
-// Health is the collector's live status, served as JSON at /metrics.
+// Health is the collector's live status, served as JSON at /metrics.json.
 type Health struct {
 	Inputs     []InputHealth `json:"inputs"`
 	Live       int           `json:"live"`
@@ -63,7 +65,9 @@ type CollectorConfig struct {
 	Window trace.Time
 
 	// StallAfter is how long an input may be silent before Health calls
-	// it stalled (default 2 s). Informational only.
+	// it stalled (default 2 s). Informational: the merge is unaffected,
+	// but the transition is recorded as an input_stalled journal event
+	// (and input_recovered when frames resume).
 	StallAfter time.Duration
 	// EvictAfter is how long an input may be silent before it is declared
 	// dead and evicted from the merge (default 30 s). Negative disables
@@ -84,6 +88,14 @@ type CollectorConfig struct {
 	// 1<<15). A connection that overflows it is dropped, forcing an
 	// in-order retransmit.
 	MaxReorder int
+
+	// Obs attaches the observability layer: per-input liveness
+	// transitions (input_stalled / input_recovered / input_evicted /
+	// input_done) as journal events, stall/eviction counters and
+	// per-input applied-seq gauges on the registry. nil disables both.
+	Obs *obs.Observer
+	// Pprof mounts net/http/pprof on MetricsHandler's mux.
+	Pprof bool
 }
 
 func (c *CollectorConfig) defaults() {
@@ -135,8 +147,11 @@ type inputTrack struct {
 	lastProgress time.Time
 	done         bool
 	evicted      bool
-	active       net.Conn
-	conns        int
+	// stalled marks that an input_stalled event was emitted for the
+	// current silence; cleared (with input_recovered) when frames resume.
+	stalled bool
+	active  net.Conn
+	conns   int
 }
 
 // Collector accepts emitter connections, reassembles each input's exact
@@ -147,6 +162,11 @@ type Collector struct {
 	l      net.Listener
 	merger *stream.Merger
 	tracks []*inputTrack
+
+	obs        *obs.Observer
+	reg        *obs.Registry
+	mStalls    *obs.Counter
+	mEvictions *obs.Counter
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -191,7 +211,66 @@ func NewCollector(cfg CollectorConfig) (*Collector, error) {
 			lastProgress: now, // a vantage that never connects still gets evicted
 		}
 	}
+	c.obs = cfg.Obs
+	m.SetObserver(cfg.Obs)
+	c.registerMetrics()
 	return c, nil
+}
+
+// registerMetrics publishes the collector's ingest_* metric families.
+// The registry is always populated — when no observer was configured a
+// private one backs MetricsHandler so /metrics still works — but journal
+// events only flow when CollectorConfig.Obs carried a journal.
+func (c *Collector) registerMetrics() {
+	c.reg = c.obs.Reg()
+	if c.reg == nil {
+		c.reg = obs.NewRegistry()
+	}
+	c.mStalls = c.reg.Counter("ingest_stalls_total", "input_stalled transitions observed by the liveness loop")
+	c.mEvictions = c.reg.Counter("ingest_evictions_total", "inputs evicted from the merge after EvictAfter of silence")
+	for _, t := range c.tracks {
+		t := t
+		l := obs.L("input", strconv.Itoa(t.input))
+		c.reg.GaugeFunc("ingest_applied_seq", "cumulative ack watermark: events applied in order for this input", func() float64 {
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			return float64(t.applied)
+		}, l)
+		c.reg.GaugeFunc("ingest_reordered_events", "events that arrived ahead of the contiguous run for this input", func() float64 {
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			return float64(t.reordered)
+		}, l)
+		c.reg.GaugeFunc("ingest_input_conns", "connections this input's emitter has made so far", func() float64 {
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			return float64(t.conns)
+		}, l)
+	}
+	health := func(pick func(Health) int) func() float64 {
+		return func() float64 { return float64(pick(c.Health())) }
+	}
+	c.reg.GaugeFunc("ingest_inputs_live", "inputs currently delivering frames", health(func(h Health) int { return h.Live }))
+	c.reg.GaugeFunc("ingest_inputs_done", "inputs whose trailer has arrived", health(func(h Health) int { return h.Done }))
+	c.reg.GaugeFunc("ingest_inputs_dead", "inputs evicted from the merge", health(func(h Health) int { return h.DeadInputs }))
+	c.reg.GaugeFunc("ingest_inputs_stalled", "inputs silent past StallAfter but not yet evicted", health(func(h Health) int {
+		n := 0
+		for _, in := range h.Inputs {
+			if in.State == StateStalled {
+				n++
+			}
+		}
+		return n
+	}))
+	c.reg.GaugeFunc("ingest_inputs_waiting", "inputs whose emitter has never connected", health(func(h Health) int {
+		n := 0
+		for _, in := range h.Inputs {
+			if in.State == StateWaiting {
+				n++
+			}
+		}
+		return n
+	}))
 }
 
 // Addr is the listen address emitters should dial.
@@ -371,13 +450,24 @@ func (c *Collector) apply(t *inputTrack, df *dataFrame) (ack uint64, ok bool) {
 	// Any valid frame is a liveness signal, progress or not: an emitter
 	// retransmitting into a lossy link is alive, not dead.
 	t.lastProgress = time.Now()
+	recovered := t.stalled
+	t.stalled = false
+	doneNow := false
 	for i := range fwd {
-		if fwd[i].Kind == stream.EvDone {
+		if fwd[i].Kind == stream.EvDone && !t.done {
 			t.done = true
+			doneNow = true
 		}
 	}
 	ack = t.applied
 	t.mu.Unlock()
+
+	if recovered {
+		c.obs.Event("input_recovered", obs.A("input", t.input), obs.A("applied_seq", ack))
+	}
+	if doneNow {
+		c.obs.Event("input_done", obs.A("input", t.input), obs.A("applied_seq", ack))
+	}
 
 	if len(fwd) > 0 {
 		select {
@@ -390,7 +480,9 @@ func (c *Collector) apply(t *inputTrack, df *dataFrame) (ack uint64, ok bool) {
 }
 
 // liveness evicts inputs whose silence outlives EvictAfter, injecting
-// the EvEvict that releases the merge barrier and accounts the loss.
+// the EvEvict that releases the merge barrier and accounts the loss. It
+// also records the earlier StallAfter transition — an input_stalled
+// journal event always precedes that input's input_evicted.
 func (c *Collector) liveness() {
 	defer c.wg.Done()
 	if c.cfg.EvictAfter < 0 {
@@ -408,16 +500,29 @@ func (c *Collector) liveness() {
 			t.sendMu.Lock()
 			t.mu.Lock()
 			idle := time.Since(t.lastProgress)
+			if !t.done && !t.evicted && !t.stalled && t.conns > 0 && idle >= c.cfg.StallAfter {
+				t.stalled = true
+				c.mStalls.Inc()
+				c.obs.Event("input_stalled",
+					obs.A("input", t.input),
+					obs.A("silent_ms", idle.Milliseconds()))
+			}
 			if t.done || t.evicted || idle < c.cfg.EvictAfter {
 				t.mu.Unlock()
 				t.sendMu.Unlock()
 				continue
 			}
 			t.evicted = true
+			applied := t.applied
 			if t.active != nil {
 				t.active.Close()
 			}
 			t.mu.Unlock()
+			c.mEvictions.Inc()
+			c.obs.Event("input_evicted",
+				obs.A("input", t.input),
+				obs.A("applied_seq", applied),
+				obs.A("silent_ms", idle.Milliseconds()))
 			// The merge counts the still-open sessions as lost; Nodes 1
 			// records that the vantage existed even though its trailer
 			// never arrived.
@@ -437,7 +542,7 @@ func (c *Collector) liveness() {
 }
 
 // Health snapshots every input's liveness. Safe to call concurrently
-// with Run — this is what /metrics serves.
+// with Run — this is what /metrics.json serves.
 func (c *Collector) Health() Health {
 	h := Health{Inputs: make([]InputHealth, len(c.tracks))}
 	now := time.Now()
@@ -471,11 +576,12 @@ func (c *Collector) Health() Health {
 	return h
 }
 
-// MetricsHandler serves Health as JSON at /metrics, the collector-side
-// twin of gnutellad's online characterization endpoint.
+// MetricsHandler serves the collector's observability surface: the
+// ingest_* registry as Prometheus text at /metrics, the legacy Health
+// JSON at /metrics.json, and (when CollectorConfig.Pprof is set)
+// net/http/pprof under /debug/pprof/.
 func (c *Collector) MetricsHandler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	legacy := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -483,5 +589,9 @@ func (c *Collector) MetricsHandler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	return mux
+	return obs.NewHTTPHandler(obs.HTTPConfig{
+		Registry:   c.reg,
+		LegacyJSON: legacy,
+		Pprof:      c.cfg.Pprof,
+	})
 }

@@ -55,5 +55,8 @@
 // sessions in LostSessions, and lets the merge drain. The drained trace
 // is exactly the merge of what arrived; what is missing is reported.
 // Ingest applies the End-of-run accounting to analyze -perf and the
-// collector's /metrics endpoint (JSON Health).
+// collector's observability surface (internal/obs): stall, recovery and
+// eviction transitions land as journal events and ingest_* counters, the
+// MetricsHandler serves the registry as Prometheus text at /metrics, and
+// the legacy Health JSON lives on at /metrics.json.
 package ingest

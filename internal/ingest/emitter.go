@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/transport"
 )
@@ -61,6 +63,11 @@ type EmitterConfig struct {
 	// to say from a dead one. Keep it well under the collector's
 	// EvictAfter.
 	KeepAlive time.Duration
+
+	// Obs attaches the observability layer: reconnect counts, the acked
+	// watermark and the retransmit-buffer depth, all labeled by input.
+	// nil runs uninstrumented.
+	Obs *obs.Observer
 }
 
 func (c *EmitterConfig) defaults() {
@@ -102,12 +109,21 @@ type Emitter struct {
 	intake   chan stream.Batch
 	stop     chan struct{}
 	stopOnce sync.Once
+
+	mReconnects *obs.Counter
+	mUnacked    *obs.Gauge
+	mAcked      *obs.Gauge
 }
 
 // NewEmitter builds an emitter; Run does the work.
 func NewEmitter(cfg EmitterConfig) *Emitter {
 	cfg.defaults()
-	return &Emitter{cfg: cfg, intake: make(chan stream.Batch, 4), stop: make(chan struct{})}
+	e := &Emitter{cfg: cfg, intake: make(chan stream.Batch, 4), stop: make(chan struct{})}
+	l := obs.L("input", strconv.Itoa(cfg.Input))
+	e.mReconnects = cfg.Obs.Counter("emitter_reconnects_total", "successful collector connections beyond the first", l)
+	e.mUnacked = cfg.Obs.Gauge("emitter_unacked_events", "events in the retransmit buffer awaiting a cumulative ack", l)
+	e.mAcked = cfg.Obs.Gauge("emitter_acked_seq", "highest cumulative ack received from the collector", l)
+	return e
 }
 
 // Stop aborts Run immediately — nothing is flushed, exactly like the
@@ -150,6 +166,7 @@ func (e *Emitter) Run() error {
 		intakeClosed bool
 		lastProgress time.Time
 		lastSend     time.Time
+		connects     int
 	)
 	tick := e.cfg.AckTimeout / 4
 	if k := e.cfg.KeepAlive / 2; k < tick {
@@ -194,9 +211,15 @@ func (e *Emitter) Run() error {
 			if err != nil {
 				return err
 			}
+			connects++
+			if connects > 1 {
+				e.mReconnects.Inc()
+			}
 			if welcome.Resume > ackedSeq {
 				ackedSeq = welcome.Resume
 				unacked = dropAcked(unacked, ackedSeq)
+				e.mAcked.SetInt(int64(ackedSeq))
+				e.mUnacked.SetInt(int64(len(unacked)))
 			}
 			if intakeClosed && len(unacked) == 0 {
 				c.Close()
@@ -239,6 +262,7 @@ func (e *Emitter) Run() error {
 				fresh = append(fresh, pendingEv{seq: seq, ev: ev})
 			}
 			unacked = append(unacked, fresh...)
+			e.mUnacked.SetInt(int64(len(unacked)))
 			if len(fresh) > 0 {
 				if err := e.send(conn, fresh); err != nil {
 					teardown()
@@ -255,6 +279,8 @@ func (e *Emitter) Run() error {
 				ackedSeq = a.seq
 				unacked = dropAcked(unacked, ackedSeq)
 				lastProgress = time.Now()
+				e.mAcked.SetInt(int64(ackedSeq))
+				e.mUnacked.SetInt(int64(len(unacked)))
 			}
 		case <-time.After(tick):
 			if len(unacked) > 0 && time.Since(lastProgress) > e.cfg.AckTimeout {

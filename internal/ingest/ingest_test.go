@@ -4,15 +4,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http/httptest"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/faultnet"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -382,8 +385,9 @@ func TestIngestDeadInputEvictedNoDeadlock(t *testing.T) {
 	}
 }
 
-// TestCollectorMetricsHandler scrapes /metrics mid-run and checks it
-// serves the Health JSON.
+// TestCollectorMetricsHandler scrapes the observability surface mid-run:
+// /metrics serves Prometheus text with the ingest_* families, and the
+// legacy Health JSON lives on at /metrics.json.
 func TestCollectorMetricsHandler(t *testing.T) {
 	col, err := ingest.NewCollector(ingest.CollectorConfig{Inputs: 1})
 	if err != nil {
@@ -398,6 +402,32 @@ func TestCollectorMetricsHandler(t *testing.T) {
 	defer srv.Close()
 
 	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentTypePrometheus {
+		t.Fatalf("content type %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE ingest_inputs_waiting gauge",
+		`ingest_applied_seq{input="0"} 0`,
+		"ingest_inputs_waiting 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}

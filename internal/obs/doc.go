@@ -1,0 +1,67 @@
+// Package obs is the repository's dependency-free observability layer:
+// a concurrency-safe metrics registry, phase/span tracing with a JSONL
+// run journal, Prometheus text exposition, and the shared HTTP surface
+// (with optional net/http/pprof) every long-running command mounts.
+//
+// # Handles and the overhead contract
+//
+// All instrumentation flows through one *Observer handle threaded into
+// configs (engine.Config.Obs, p2pquery.RunConfig.Obs,
+// ingest.CollectorConfig.Obs, …). Every method on Observer, Registry,
+// Journal, Span, Counter, Gauge and Histogram is nil-receiver safe, so
+// production code is instrumented unconditionally and the disabled path
+// costs a nil check per call site — no branches on "is observability
+// on", no interface dispatch, no allocation. The enabled hot path is one
+// atomic op per counter/gauge update (histograms: two atomics plus a CAS
+// accumulate). `make obs-overhead` gates this contract in CI: the
+// engine/stream benchmarks run instrumented-but-disabled and must land
+// within benchmark noise of the pre-obs baseline, and the merged-trace
+// byte-identity (full-scale SHA-256) is untouched because
+// instrumentation never perturbs RNG streams or scheduling order.
+//
+// # Metric naming conventions
+//
+// Names are snake_case with a subsystem prefix matching the package that
+// owns the value: engine_* (arrival/scheduler facts), merge_* (the
+// streaming k-way merge), ingest_* (collector) / emitter_* (vantage
+// emitters), online_* (stream.Online sketches), gnutellad_* (daemon),
+// scenario_check_* (declarative-spec check results) and process_*
+// (RSS/heap/goroutines). Counters end in _total; gauges are bare nouns;
+// histograms carry a unit suffix (_seconds). Per-entity breakdowns use
+// labels (input="3", metric="under64_share"), never name splicing.
+//
+// Scrape-time values that depend on the wall clock or the host — RSS,
+// snapshot ages, liveness states — are GaugeFuncs: they appear in the
+// Prometheus exposition but are excluded from Registry.Samples and
+// therefore from journal metric snapshots, which keeps the journal a
+// deterministic function of the run.
+//
+// # Journal schema
+//
+// A Journal is JSONL, one self-contained object per line, ordered by
+// emission under one mutex. Common fields: "kind" and "t_ms"
+// (monotonic-clock milliseconds since the journal opened). Kinds:
+//
+//	span_start  {kind,t_ms,id,parent?,name,attrs?}
+//	span_end    {kind,t_ms,id,name,dur_ms,attrs?}
+//	event       {kind,t_ms,name,attrs?}        discrete transitions
+//	                                           (input_stalled, input_evicted,
+//	                                           input_recovered, scenario_check…)
+//	heartbeat   {kind,t_ms,attrs?}             periodic progress
+//	metrics     {kind,t_ms,samples{name:val}}  registry snapshot
+//
+// Span ids are sequential and parent links give the phase tree
+// (partition → simulate → merge → characterize on the batch path).
+// Canonical(r) normalizes a journal for determinism comparison: it drops
+// heartbeat lines and strips t_ms/dur_ms, leaving span structure,
+// ordering, attributes and metric values — two runs of the same spec
+// must compare equal (pinned by TestJournalDeterminism… at paper40d
+// smoke scale).
+//
+// # HTTP surface
+//
+// NewHTTPHandler serves Prometheus text at /metrics (Content-Type
+// version=0.0.4), each daemon's pre-existing JSON payload at
+// /metrics.json, and — behind a -pprof flag — net/http/pprof under
+// /debug/pprof/ for profiling the hot paths the ROADMAP targets.
+package obs

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPHandlerPrometheusAndLegacy(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total", "served requests").Add(3)
+	legacy := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]int{"requests": 3})
+	})
+	h := NewHTTPHandler(HTTPConfig{Registry: reg, LegacyJSON: legacy, Pprof: true})
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != ContentTypePrometheus {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	body := rr.Body.String()
+	if !strings.Contains(body, "# TYPE requests_total counter\n") ||
+		!strings.Contains(body, "requests_total 3\n") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics.json", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/metrics.json Content-Type = %q", ct)
+	}
+	var legacyBody map[string]int
+	if err := json.Unmarshal(rr.Body.Bytes(), &legacyBody); err != nil {
+		t.Fatalf("legacy payload not JSON: %v", err)
+	}
+	if legacyBody["requests"] != 3 {
+		t.Fatalf("legacy payload = %v", legacyBody)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("pprof index status = %d", rr.Code)
+	}
+}
+
+func TestHTTPHandlerPprofDisabledByDefault(t *testing.T) {
+	h := NewHTTPHandler(HTTPConfig{Registry: NewRegistry()})
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("pprof served without flag: status %d", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics.json", nil))
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("legacy endpoint without handler: status %d", rr.Code)
+	}
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Journal records a machine-readable run timeline as JSONL: one line per
+// span start/end, discrete event, heartbeat, or metrics snapshot. Times
+// are monotonic-clock milliseconds since the journal was created (t_ms),
+// so journals from different hosts and runs line up structurally; the
+// Canonical helper strips them for determinism comparisons. All methods
+// are safe for concurrent use and no-ops on a nil *Journal.
+type Journal struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+	ids   uint64
+	err   error
+}
+
+// NewJournal starts a journal writing JSONL lines to w. Lines are written
+// unbuffered (one Write per line) so a crash loses at most the line being
+// written.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: w, start: time.Now()}
+}
+
+// Err reports the first write error, if any.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Attr is one key/value attribute attached to a journal line.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A is shorthand for constructing an Attr.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// record is the wire shape of one journal line. encoding/json emits
+// struct fields in declaration order and sorts map keys, so identical
+// logical lines render byte-identically.
+type record struct {
+	Kind    string             `json:"kind"`
+	TMs     float64            `json:"t_ms"`
+	ID      uint64             `json:"id,omitempty"`
+	Parent  uint64             `json:"parent,omitempty"`
+	Name    string             `json:"name,omitempty"`
+	DurMs   float64            `json:"dur_ms,omitempty"`
+	Attrs   map[string]any     `json:"attrs,omitempty"`
+	Samples map[string]float64 `json:"samples,omitempty"`
+}
+
+func (j *Journal) write(rec record) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		j.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := j.w.Write(b); err != nil {
+		j.err = err
+	}
+}
+
+func (j *Journal) since() float64 {
+	return float64(time.Since(j.start).Microseconds()) / 1000
+}
+
+func (j *Journal) nextID() uint64 {
+	j.mu.Lock()
+	j.ids++
+	id := j.ids
+	j.mu.Unlock()
+	return id
+}
+
+// Span is one traced phase: a named interval with a parent, attributes at
+// start and end, and a recorded duration. Obtain via Journal.Begin or
+// Span.Child; a nil *Span (from a nil journal) no-ops.
+type Span struct {
+	j     *Journal
+	id    uint64
+	name  string
+	start time.Time
+}
+
+// Begin opens a top-level span and writes its span_start line.
+func (j *Journal) Begin(name string, attrs ...Attr) *Span {
+	return j.span(0, name, attrs)
+}
+
+func (j *Journal) span(parent uint64, name string, attrs []Attr) *Span {
+	if j == nil {
+		return nil
+	}
+	s := &Span{j: j, id: j.nextID(), name: name, start: time.Now()}
+	j.write(record{Kind: "span_start", TMs: j.since(), ID: s.id, Parent: parent, Name: name, Attrs: attrMap(attrs)})
+	return s
+}
+
+// Child opens a sub-span whose parent is s.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.j.span(s.id, name, attrs)
+}
+
+// End closes the span, writing its span_end line with the measured
+// duration and any final attributes.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	dur := float64(time.Since(s.start).Microseconds()) / 1000
+	s.j.write(record{Kind: "span_end", TMs: s.j.since(), ID: s.id, Name: s.name, DurMs: dur, Attrs: attrMap(attrs)})
+}
+
+// Event writes a discrete (instant) event line.
+func (j *Journal) Event(name string, attrs ...Attr) {
+	if j == nil {
+		return
+	}
+	j.write(record{Kind: "event", TMs: j.since(), Name: name, Attrs: attrMap(attrs)})
+}
+
+// Heartbeat writes a periodic progress line.
+func (j *Journal) Heartbeat(attrs ...Attr) {
+	if j == nil {
+		return
+	}
+	j.write(record{Kind: "heartbeat", TMs: j.since(), Attrs: attrMap(attrs)})
+}
+
+// Metrics snapshots the deterministic metric state of r (counters,
+// gauges, histogram sums/counts — GaugeFuncs excluded) as one metrics
+// line.
+func (j *Journal) Metrics(r *Registry) {
+	if j == nil || r == nil {
+		return
+	}
+	samples := r.Samples()
+	m := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		m[s.Name] = s.Value
+	}
+	j.write(record{Kind: "metrics", TMs: j.since(), Samples: m})
+}
+
+// StartHeartbeat emits a heartbeat line (and calls fn for its attributes)
+// every interval until the returned stop function is called. A nil
+// journal or non-positive interval yields a no-op stop. fn may be nil.
+func StartHeartbeat(j *Journal, interval time.Duration, fn func() []Attr) (stop func()) {
+	if j == nil || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				var attrs []Attr
+				if fn != nil {
+					attrs = fn()
+				}
+				j.Heartbeat(attrs...)
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Canonical reads a JSONL journal and returns its lines normalized for
+// determinism comparison: heartbeat lines (wall-clock driven, count
+// varies run to run) are dropped, and the t_ms / dur_ms timestamps are
+// stripped from the rest. Span structure, ordering, ids, names,
+// attributes and metric snapshot values all survive, so two Canonical
+// journals of the same deterministic run compare equal line for line.
+func Canonical(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []string
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			return nil, fmt.Errorf("journal line %d: %w", ln, err)
+		}
+		if m["kind"] == "heartbeat" {
+			continue
+		}
+		delete(m, "t_ms")
+		delete(m, "dur_ms")
+		b, err := json.Marshal(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, string(b))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJournalSpanStructure(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	sp := j.Begin("simulate", A("nodes", 4))
+	sub := sp.Child("partition")
+	sub.End(A("arrivals", 100))
+	sp.End()
+	j.Event("input_evicted", A("input", 2))
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	type line struct {
+		Kind   string         `json:"kind"`
+		TMs    float64        `json:"t_ms"`
+		ID     uint64         `json:"id"`
+		Parent uint64         `json:"parent"`
+		Name   string         `json:"name"`
+		Attrs  map[string]any `json:"attrs"`
+	}
+	var lines []line
+	for _, raw := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var l line
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("unparseable journal line %q: %v", raw, err)
+		}
+		lines = append(lines, l)
+	}
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), buf.String())
+	}
+	if lines[0].Kind != "span_start" || lines[0].Name != "simulate" || lines[0].ID != 1 || lines[0].Parent != 0 {
+		t.Fatalf("line 0 = %+v", lines[0])
+	}
+	if lines[0].Attrs["nodes"] != float64(4) {
+		t.Fatalf("start attrs = %v", lines[0].Attrs)
+	}
+	if lines[1].Kind != "span_start" || lines[1].Name != "partition" || lines[1].Parent != 1 {
+		t.Fatalf("child start = %+v", lines[1])
+	}
+	if lines[2].Kind != "span_end" || lines[2].ID != lines[1].ID || lines[2].Attrs["arrivals"] != float64(100) {
+		t.Fatalf("child end = %+v", lines[2])
+	}
+	if lines[3].Kind != "span_end" || lines[3].ID != 1 {
+		t.Fatalf("outer end = %+v", lines[3])
+	}
+	if lines[4].Kind != "event" || lines[4].Name != "input_evicted" {
+		t.Fatalf("event = %+v", lines[4])
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i].TMs < lines[i-1].TMs {
+			t.Fatalf("t_ms not monotone at line %d: %v < %v", i, lines[i].TMs, lines[i-1].TMs)
+		}
+	}
+}
+
+func TestJournalMetricsLine(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	r := NewRegistry()
+	r.Counter("arrivals_total", "").Add(7)
+	r.GaugeFunc("rss", "", func() float64 { return 123 })
+	j.Metrics(r)
+	var m struct {
+		Kind    string             `json:"kind"`
+		Samples map[string]float64 `json:"samples"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != "metrics" || m.Samples["arrivals_total"] != 7 {
+		t.Fatalf("metrics line = %+v", m)
+	}
+	if _, ok := m.Samples["rss"]; ok {
+		t.Fatal("GaugeFunc leaked into journal metrics snapshot")
+	}
+}
+
+func TestCanonicalStripsTimestampsAndHeartbeats(t *testing.T) {
+	mk := func(pause time.Duration) []string {
+		var buf bytes.Buffer
+		j := NewJournal(&buf)
+		sp := j.Begin("phase", A("n", 1))
+		time.Sleep(pause)
+		j.Heartbeat(A("rss", int(pause)))
+		sp.End(A("ok", true))
+		lines, err := Canonical(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lines
+	}
+	a, b := mk(0), mk(3*time.Millisecond)
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("canonical lengths %d, %d (heartbeat not dropped?)", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("canonical mismatch at %d:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+	if strings.Contains(a[0], "t_ms") || strings.Contains(a[1], "dur_ms") {
+		t.Fatalf("timestamps survived canonicalization: %v", a)
+	}
+}
+
+func TestStartHeartbeatEmitsAndStops(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	stop := StartHeartbeat(j, time.Millisecond, func() []Attr {
+		return []Attr{A("live", 3)}
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		j.mu.Lock()
+		n := buf.Len()
+		j.mu.Unlock()
+		if n > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	j.mu.Lock()
+	out := buf.String()
+	j.mu.Unlock()
+	if !strings.Contains(out, `"kind":"heartbeat"`) || !strings.Contains(out, `"live":3`) {
+		t.Fatalf("no heartbeat emitted: %q", out)
+	}
+}

@@ -1,0 +1,67 @@
+package obs
+
+// Observer bundles the two observability surfaces — the metrics registry
+// and the run journal — into the single handle instrumented code is
+// handed. Either half may be nil independently, and a nil *Observer is
+// fully inert: every method (and every handle it returns) no-ops, so
+// production paths carry instrumentation unconditionally and pay only a
+// nil check when observability is not installed.
+type Observer struct {
+	Metrics *Registry
+	Journal *Journal
+}
+
+// Reg returns the registry (nil-safe).
+func (o *Observer) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// Log returns the journal (nil-safe).
+func (o *Observer) Log() *Journal {
+	if o == nil {
+		return nil
+	}
+	return o.Journal
+}
+
+// Counter registers a counter on the observer's registry.
+func (o *Observer) Counter(name, help string, labels ...Label) *Counter {
+	return o.Reg().Counter(name, help, labels...)
+}
+
+// Gauge registers a gauge on the observer's registry.
+func (o *Observer) Gauge(name, help string, labels ...Label) *Gauge {
+	return o.Reg().Gauge(name, help, labels...)
+}
+
+// Histogram registers a histogram on the observer's registry.
+func (o *Observer) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	return o.Reg().Histogram(name, help, buckets, labels...)
+}
+
+// GaugeFunc registers a scrape-time gauge on the observer's registry.
+func (o *Observer) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	o.Reg().GaugeFunc(name, help, fn, labels...)
+}
+
+// Begin opens a top-level span on the observer's journal.
+func (o *Observer) Begin(name string, attrs ...Attr) *Span {
+	return o.Log().Begin(name, attrs...)
+}
+
+// Event writes a discrete event to the observer's journal.
+func (o *Observer) Event(name string, attrs ...Attr) {
+	o.Log().Event(name, attrs...)
+}
+
+// SnapshotMetrics writes the registry's deterministic state as one
+// journal metrics line.
+func (o *Observer) SnapshotMetrics() {
+	if o == nil {
+		return
+	}
+	o.Journal.Metrics(o.Metrics)
+}

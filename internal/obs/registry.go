@@ -1,0 +1,513 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension. Values are free-form; keys follow the
+// Prometheus label grammar ([a-zA-Z_][a-zA-Z0-9_]*).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing metric. The zero receiver (a nil
+// *Counter, handed out by a nil *Registry) is a no-op on every method, so
+// instrumented code never branches on "is observability installed".
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. Stored as float64 bits in an
+// atomic word; Add is a CAS loop. Nil receivers are no-ops.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Add adds d to the current value.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus
+// `le`-semantics: bucket i counts observations ≤ upper[i], with a final
+// +Inf bucket). All hot-path operations are atomic; nil receivers no-op.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds, +Inf excluded
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if i := sort.SearchFloat64s(h.upper, v); i < len(h.upper) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Sum returns the running total of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start and multiplying by factor, for Registry.Histogram.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindGaugeFunc
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+type series struct {
+	labelStr string // rendered `k="v",…` with keys sorted; "" when unlabeled
+	counter  *Counter
+	gauge    *Gauge
+	hist     *Histogram
+	fn       func() float64
+}
+
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	buckets []float64
+	series  map[string]*series
+}
+
+// Registry is a concurrency-safe metric registry. Registration (the
+// Counter/Gauge/Histogram/GaugeFunc lookups) takes a mutex and is
+// idempotent — the same name + label set returns the same handle — while
+// the handles themselves are lock-free atomics, so the instrumented hot
+// path pays one atomic op per update. A nil *Registry hands out nil
+// handles whose methods no-op, making disabled observability near-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func (r *Registry) lookup(name, help string, kind metricKind, buckets []float64, labels []Label) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets, series: make(map[string]*series)}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind.promType(), f.kind.promType()))
+	}
+	key := renderLabels(labels)
+	s := f.series[key]
+	if s == nil {
+		s = &series{labelStr: key}
+		switch kind {
+		case kindCounter:
+			s.counter = &Counter{}
+		case kindGauge:
+			s.gauge = &Gauge{}
+		case kindHistogram:
+			h := &Histogram{upper: f.buckets}
+			h.counts = make([]atomic.Uint64, len(f.buckets))
+			s.hist = h
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter registers (or re-finds) a counter. Nil registries return nil.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindCounter, nil, labels).counter
+}
+
+// Gauge registers (or re-finds) a gauge. Nil registries return nil.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindGauge, nil, labels).gauge
+}
+
+// Histogram registers (or re-finds) a fixed-bucket histogram. The bucket
+// schema is set by the first registration of the family; later lookups
+// ignore their buckets argument. Nil registries return nil.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	up := make([]float64, len(buckets))
+	copy(up, buckets)
+	sort.Float64s(up)
+	return r.lookup(name, help, kindHistogram, up, labels).hist
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time. Funcs are exposition-only: they appear in WritePrometheus but are
+// excluded from Samples (and therefore from journal metric snapshots),
+// which keeps wall-clock-dependent values — RSS, ages, live health — out
+// of the deterministic run record. Nil registries no-op.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	s := r.lookup(name, help, kindGaugeFunc, nil, labels)
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// Sample is one flattened metric value for journal snapshots.
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// famView / seriesView are a point-in-time copy of the registry's
+// *structure* — family metadata, sorted series, handle pointers and
+// GaugeFunc callbacks — taken in one critical section so scrapes never
+// iterate a series map that concurrent registration is growing. The
+// handles themselves stay lock-free atomics; their values are read (and
+// fns called) after the lock is released.
+type famView struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []seriesView
+}
+
+type seriesView struct {
+	labelStr string
+	counter  *Counter
+	gauge    *Gauge
+	hist     *Histogram
+	fn       func() float64
+}
+
+func (r *Registry) view() []famView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := sortedFamilies(r.families)
+	out := make([]famView, len(fams))
+	for i, f := range fams {
+		ss := sortedSeries(f.series)
+		sv := make([]seriesView, len(ss))
+		for j, s := range ss {
+			sv[j] = seriesView{labelStr: s.labelStr, counter: s.counter, gauge: s.gauge, hist: s.hist, fn: s.fn}
+		}
+		out[i] = famView{name: f.name, help: f.help, kind: f.kind, series: sv}
+	}
+	return out
+}
+
+// Samples flattens the deterministic metric state — counters, gauges and
+// histograms (as name_sum / name_count), not GaugeFuncs — sorted by name
+// then label set. Labeled series render as name{k="v"}.
+func (r *Registry) Samples() []Sample {
+	if r == nil {
+		return nil
+	}
+	var out []Sample
+	for _, f := range r.view() {
+		for _, s := range f.series {
+			full := f.name
+			if s.labelStr != "" {
+				full += "{" + s.labelStr + "}"
+			}
+			switch f.kind {
+			case kindCounter:
+				out = append(out, Sample{full, float64(s.counter.Value())})
+			case kindGauge:
+				out = append(out, Sample{full, s.gauge.Value()})
+			case kindHistogram:
+				sumName, cntName := f.name+"_sum", f.name+"_count"
+				if s.labelStr != "" {
+					sumName += "{" + s.labelStr + "}"
+					cntName += "{" + s.labelStr + "}"
+				}
+				out = append(out,
+					Sample{sumName, s.hist.Sum()},
+					Sample{cntName, float64(s.hist.Count())})
+			}
+		}
+	}
+	return out
+}
+
+// Value returns the current value of the (unlabeled) series of the named
+// family, or fallback when the family or series was never registered.
+// Histogram families return their observation count.
+func (r *Registry) Value(name string, fallback float64) float64 {
+	if r == nil {
+		return fallback
+	}
+	r.mu.Lock()
+	var sv seriesView
+	if f := r.families[name]; f != nil {
+		if s := f.series[""]; s != nil {
+			sv = seriesView{counter: s.counter, gauge: s.gauge, hist: s.hist, fn: s.fn}
+		}
+	}
+	r.mu.Unlock()
+	switch {
+	case sv.counter != nil:
+		return float64(sv.counter.Value())
+	case sv.gauge != nil:
+		return sv.gauge.Value()
+	case sv.hist != nil:
+		return float64(sv.hist.Count())
+	case sv.fn != nil:
+		return sv.fn()
+	}
+	return fallback
+}
+
+func sortedFamilies(m map[string]*family) []*family {
+	fams := make([]*family, 0, len(m))
+	for _, f := range m {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func sortedSeries(m map[string]*series) []*series {
+	ss := make([]*series, 0, len(m))
+	for _, s := range m {
+		ss = append(ss, s)
+	}
+	sort.Slice(ss, func(i, j int) bool { return ss[i].labelStr < ss[j].labelStr })
+	return ss
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers, families and series in
+// deterministic sorted order, histograms as cumulative _bucket{le=…}
+// series plus _sum and _count. A nil registry writes nothing (a valid,
+// empty exposition).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, f := range r.view() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind.promType()); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func escapeHelp(h string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}
+
+func writeSeries(w io.Writer, f famView, s seriesView) error {
+	name := func(suffix, extraLabels string) string {
+		var sb strings.Builder
+		sb.WriteString(f.name)
+		sb.WriteString(suffix)
+		if s.labelStr != "" || extraLabels != "" {
+			sb.WriteByte('{')
+			sb.WriteString(s.labelStr)
+			if s.labelStr != "" && extraLabels != "" {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(extraLabels)
+			sb.WriteByte('}')
+		}
+		return sb.String()
+	}
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", name("", ""), s.counter.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", name("", ""), formatFloat(s.gauge.Value()))
+		return err
+	case kindGaugeFunc:
+		v := 0.0
+		if s.fn != nil {
+			v = s.fn()
+		}
+		_, err := fmt.Fprintf(w, "%s %s\n", name("", ""), formatFloat(v))
+		return err
+	case kindHistogram:
+		h := s.hist
+		var cum uint64
+		for i, up := range h.upper {
+			cum += h.counts[i].Load()
+			le := fmt.Sprintf(`le="%s"`, formatFloat(up))
+			if _, err := fmt.Fprintf(w, "%s %d\n", name("_bucket", le), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.inf.Load()
+		if _, err := fmt.Fprintf(w, "%s %d\n", name("_bucket", `le="+Inf"`), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", name("_sum", ""), formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", name("_count", ""), h.Count())
+		return err
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

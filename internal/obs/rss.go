@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"bufio"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// PeakRSSBytes returns the process's peak resident set size from
+// /proc/self/status (VmHWM), or 0 where the proc filesystem is
+// unavailable — callers then simply report no memory figure.
+func PeakRSSBytes() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}
+
+// RegisterProcessMetrics exposes the standard process-level scrape-time
+// gauges on reg: peak RSS, live heap bytes, and goroutine count. All are
+// GaugeFuncs, so they appear in /metrics but never in journal metric
+// snapshots (they are wall-clock/host-dependent, not run facts).
+func RegisterProcessMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("process_peak_rss_bytes",
+		"peak resident set size (VmHWM) of this process",
+		func() float64 { return float64(PeakRSSBytes()) })
+	reg.GaugeFunc("process_heap_live_bytes",
+		"live heap bytes (runtime.MemStats.HeapAlloc)",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.GaugeFunc("process_goroutines",
+		"current goroutine count",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentStress hammers one registry from writer
+// goroutines (counters, gauges, histograms — the engine/merge hot-path
+// shape), Prometheus scrapers, journal metric flushes, and concurrent
+// re-registrations, all at once. Run under -race by CI's race-stress
+// step; correctness check: counters must not lose increments.
+func TestRegistryConcurrentStress(t *testing.T) {
+	reg := NewRegistry()
+	j := NewJournal(io.Discard)
+	const (
+		writers = 8
+		perG    = 5000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Scrapers: Prometheus exposition while writes are in flight.
+	for range 3 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = reg.WritePrometheus(io.Discard)
+				}
+			}
+		}()
+	}
+	// Journal flushers: metric snapshots while writes are in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				j.Metrics(reg)
+			}
+		}
+	}()
+
+	var writersWG sync.WaitGroup
+	for g := range writers {
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			// Re-register handles mid-flight, as per-node goroutines do.
+			c := reg.Counter("stress_arrivals_total", "")
+			gg := reg.Gauge("stress_pending", "")
+			h := reg.Histogram("stress_dur_seconds", "", ExpBuckets(1, 4, 6))
+			lc := reg.Counter("stress_node_total", "", L("node", strconv.Itoa(g)))
+			for i := range perG {
+				c.Inc()
+				lc.Inc()
+				gg.Set(float64(i))
+				gg.Add(1)
+				h.Observe(float64(i % 100))
+				if i%512 == 0 {
+					c = reg.Counter("stress_arrivals_total", "")
+				}
+			}
+		}()
+	}
+	writersWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := reg.Counter("stress_arrivals_total", "").Value(); got != writers*perG {
+		t.Fatalf("lost counter increments: %d, want %d", got, writers*perG)
+	}
+	if got := reg.Histogram("stress_dur_seconds", "", nil).Count(); got != writers*perG {
+		t.Fatalf("lost histogram observations: %d, want %d", got, writers*perG)
+	}
+	for g := range writers {
+		if got := reg.Counter("stress_node_total", "", L("node", strconv.Itoa(g))).Value(); got != perG {
+			t.Fatalf("node %d counter = %d, want %d", g, got, perG)
+		}
+	}
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalConcurrentWriters checks every journal line stays a
+// self-contained parseable JSON object when spans, events and metric
+// snapshots race from many goroutines.
+func TestJournalConcurrentWriters(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	reg := NewRegistry()
+	reg.Counter("c_total", "").Inc()
+	var wg sync.WaitGroup
+	for g := range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range 200 {
+				sp := j.Begin("phase", A("g", g), A("i", i))
+				sp.Child("sub").End()
+				sp.End()
+				j.Event("tick", A("g", g))
+				j.Metrics(reg)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := Canonical(&buf)
+	if err != nil {
+		t.Fatalf("interleaved journal corrupt: %v", err)
+	}
+	// 8 goroutines × 200 iterations × (2 starts + 2 ends + 1 event + 1 metrics).
+	if want := 8 * 200 * 6; len(lines) != want {
+		t.Fatalf("got %d journal lines, want %d", len(lines), want)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -191,6 +192,25 @@ func EvaluateChecks(tr *trace.Trace, c *Compiled) ([]CheckResult, bool) {
 		results = append(results, r)
 	}
 	return results, allOK
+}
+
+// RecordChecks publishes evaluated check results on the observability
+// layer: each check's measured value and pass/fail as
+// scenario_check_value / scenario_check_ok gauges (labeled by metric
+// name) and one scenario_check journal event per check. Values are
+// deterministic functions of the trace, so they belong in the journal's
+// deterministic record. A nil observer no-ops.
+func RecordChecks(o *obs.Observer, results []CheckResult) {
+	for _, r := range results {
+		l := obs.L("metric", r.Metric)
+		o.Gauge("scenario_check_value", "measured value of a scenario headline-metric check", l).Set(r.Value)
+		ok := 0.0
+		if r.OK {
+			ok = 1
+		}
+		o.Gauge("scenario_check_ok", "1 when the scenario check passed its declared bounds", l).Set(ok)
+		o.Event("scenario_check", obs.A("metric", r.Metric), obs.A("value", r.Value), obs.A("ok", r.OK))
+	}
 }
 
 // WriteChecks renders evaluated checks, one per line.

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -68,6 +69,45 @@ type Merger struct {
 	// deadlocked on.
 	deadInputs   int
 	lostSessions uint64
+
+	// om holds the merge's metric handles. Each is nil until SetObserver
+	// installs a registry, and every method on a nil handle no-ops, so
+	// the uninstrumented merge pays one nil check per update site.
+	om mergerMetrics
+}
+
+// mergerMetrics is the merge's metric surface on the obs registry. The
+// gauges are live (scrapable mid-run over the observability HTTP
+// surface); the counters and the duration histogram accumulate over the
+// whole merge.
+type mergerMetrics struct {
+	pending  *obs.Gauge     // merge_pending_sessions: completed, held behind the barrier
+	peak     *obs.Gauge     // merge_peak_pending: high-water mark of pending
+	barrier  *obs.Gauge     // merge_barrier_seconds: emission-barrier watermark (stream time)
+	emitted  *obs.Counter   // merge_emitted_total
+	spilled  *obs.Counter   // merge_spilled_total: outliers diverted past the window
+	dead     *obs.Gauge     // merge_dead_inputs: evicted inputs
+	lost     *obs.Gauge     // merge_lost_sessions: sessions lost with them
+	duration *obs.Histogram // merge_session_duration_seconds
+}
+
+// SetObserver attaches metric handles from o's registry. Call before
+// Run; a nil observer (or registry) leaves the merge uninstrumented.
+func (m *Merger) SetObserver(o *obs.Observer) {
+	reg := o.Reg()
+	if reg == nil {
+		return
+	}
+	m.om = mergerMetrics{
+		pending:  reg.Gauge("merge_pending_sessions", "completed sessions held behind the emission barrier"),
+		peak:     reg.Gauge("merge_peak_pending", "high-water mark of the pending buffer"),
+		barrier:  reg.Gauge("merge_barrier_seconds", "emission-barrier watermark in stream time"),
+		emitted:  reg.Counter("merge_emitted_total", "sessions retired in merged order"),
+		spilled:  reg.Counter("merge_spilled_total", "outlier sessions diverted to the spill path"),
+		dead:     reg.Gauge("merge_dead_inputs", "inputs evicted dead instead of completing"),
+		lost:     reg.Gauge("merge_lost_sessions", "sessions opened by evicted inputs and never closed"),
+		duration: reg.Histogram("merge_session_duration_seconds", "merged session durations", obs.ExpBuckets(1, 4, 10)),
+	}
 }
 
 type inputState struct {
@@ -185,11 +225,13 @@ func (m *Merger) apply(input int, st *inputState, ev *Event) {
 		if m.window > 0 && ev.Sess.Conn.End-ev.Sess.Conn.Start > m.window {
 			m.spill = append(m.spill, ev.Sess)
 			m.spilled++
+			m.om.spilled.Inc()
 			break
 		}
 		heap.Push(&m.pending, ev.Sess)
 		if len(m.pending) > m.peakPending {
 			m.peakPending = len(m.pending)
+			m.om.peak.SetInt(int64(m.peakPending))
 		}
 	case EvPong:
 		m.out.Pongs = append(m.out.Pongs, ev.Pong)
@@ -205,6 +247,8 @@ func (m *Merger) apply(input int, st *inputState, ev *Event) {
 		m.remain--
 		m.deadInputs++
 		m.lostSessions += uint64(len(st.open))
+		m.om.dead.SetInt(int64(m.deadInputs))
+		m.om.lost.SetInt(int64(m.lostSessions))
 		// The input leaves the barrier entirely: its watermark no longer
 		// pins retirement (done) and its open sessions are written off —
 		// they can never close, so waiting on them would deadlock the
@@ -282,6 +326,10 @@ func (m *Merger) barrier() (trace.Time, bool) {
 // trace.Merge does.
 func (m *Merger) advance() {
 	b, bounded := m.barrier()
+	if bounded {
+		m.om.barrier.Set(b.Seconds())
+	}
+	defer func() { m.om.pending.SetInt(int64(len(m.pending))) }()
 	for len(m.pending) > 0 {
 		if bounded && m.pending[0].Conn.Start >= b {
 			return
@@ -314,6 +362,8 @@ func (m *Merger) emit(r *SessionRecord) {
 		m.sink.MergedSession(&m.out.Conns[id], r.Queries)
 	}
 	m.emitted++
+	m.om.emitted.Inc()
+	m.om.duration.Observe((r.Conn.End - r.Conn.Start).Seconds())
 }
 
 // finish drains everything past the final (absent) barrier, folds any
@@ -376,6 +426,8 @@ func (m *Merger) foldSpill() {
 			m.sink.MergedSession(&conns[len(conns)-1], r.Queries)
 		}
 		m.emitted++
+		m.om.emitted.Inc()
+		m.om.duration.Observe((r.Conn.End - r.Conn.Start).Seconds())
 	}
 
 	for ci := range oldConns {
@@ -457,10 +509,18 @@ type MergeStats struct {
 // callers running the streaming merge over materialized traces report
 // the same PeakPending accounting as the live streaming path.
 func MergeTracesStats(traces ...*trace.Trace) (*trace.Trace, MergeStats) {
+	return MergeTracesObs(nil, traces...)
+}
+
+// MergeTracesObs is MergeTracesStats with the merge's metric handles
+// attached to o's registry (merge_pending_sessions, merge_peak_pending,
+// merge_emitted_total, …). A nil observer merges uninstrumented.
+func MergeTracesObs(o *obs.Observer, traces ...*trace.Trace) (*trace.Trace, MergeStats) {
 	if len(traces) == 0 {
 		return &trace.Trace{Nodes: 0}, MergeStats{}
 	}
 	m := NewMerger(len(traces), nil)
+	m.SetObserver(o)
 
 	type cursor struct {
 		t      *trace.Trace

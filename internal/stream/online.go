@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -57,6 +58,10 @@ type Online struct {
 
 	arrivals *RateWindow
 	qrate    *RateWindow
+
+	// lastWall is the wall-clock instant of the most recent observation,
+	// exposed as a snapshot-age gauge (how stale the live metrics are).
+	lastWall time.Time
 }
 
 // NewOnline builds the online layer.
@@ -84,6 +89,7 @@ func NewOnline(cfg OnlineConfig) *Online {
 func (o *Online) MergedSession(c *trace.Conn, qs []trace.Query) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	o.lastWall = time.Now()
 	o.sessions++
 	o.arrivals.Add(c.Start)
 	d := c.End - c.Start
@@ -108,6 +114,7 @@ func (o *Online) ObserveQuery(at trace.Time, text string, sha1 bool) {
 }
 
 func (o *Online) observeQueryLocked(at trace.Time, text string, sha1 bool) {
+	o.lastWall = time.Now()
 	o.queries++
 	o.qrate.Add(at)
 	if sha1 {
@@ -116,6 +123,56 @@ func (o *Online) observeQueryLocked(at trace.Time, text string, sha1 bool) {
 	if key := wire.KeywordKey(text); key != "" {
 		o.keywords.Add(key)
 	}
+}
+
+// Register exposes the online layer's live state on an obs registry as
+// scrape-time gauges (GaugeFuncs — exposition-only, never journaled):
+// exact counters, headline sketch figures, window rates, and the
+// snapshot age (seconds since the last observation, the staleness of
+// everything else). Each func takes o's mutex, so scrapes see a
+// consistent value. A nil registry no-ops.
+func (o *Online) Register(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	locked := func(f func() float64) func() float64 {
+		return func() float64 {
+			o.mu.Lock()
+			defer o.mu.Unlock()
+			return f()
+		}
+	}
+	reg.GaugeFunc("online_sessions", "merged sessions observed by the online layer",
+		locked(func() float64 { return float64(o.sessions) }))
+	reg.GaugeFunc("online_queries", "hop-1 queries observed by the online layer",
+		locked(func() float64 { return float64(o.queries) }))
+	reg.GaugeFunc("online_under64_share", "exact share of sessions shorter than 64s",
+		locked(func() float64 {
+			if o.sessions == 0 {
+				return 0
+			}
+			return float64(o.under64) / float64(o.sessions)
+		}))
+	reg.GaugeFunc("online_duration_p50_seconds", "GK median session duration",
+		locked(func() float64 {
+			if o.dur.N() == 0 {
+				return 0
+			}
+			return o.dur.Query(0.50)
+		}))
+	reg.GaugeFunc("online_distinct_keywords", "distinct keyword sets tracked by Space-Saving",
+		locked(func() float64 { return float64(o.keywords.Distinct()) }))
+	reg.GaugeFunc("online_arrivals_per_hour", "sliding-window arrival rate",
+		locked(func() float64 { return o.arrivals.PerHour() }))
+	reg.GaugeFunc("online_queries_per_hour", "sliding-window query rate",
+		locked(func() float64 { return o.qrate.PerHour() }))
+	reg.GaugeFunc("online_snapshot_age_seconds", "wall seconds since the last observation",
+		locked(func() float64 {
+			if o.lastWall.IsZero() {
+				return 0
+			}
+			return time.Since(o.lastWall).Seconds()
+		}))
 }
 
 // QuantileSnapshot reports one summary's headline quantiles in seconds.

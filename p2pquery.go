@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/stream"
@@ -88,6 +89,11 @@ type RunConfig struct {
 	Online bool
 	// OnlineTopK sizes the online snapshot's keyword ranking (0 = 10).
 	OnlineTopK int
+	// Obs attaches the observability layer (internal/obs): phase spans on
+	// its journal, engine/merge metrics on its registry. nil runs
+	// uninstrumented at effectively zero cost; instrumentation never
+	// perturbs the trace (byte-identical either way).
+	Obs *obs.Observer
 }
 
 // Result is everything a fleet run produces: the merged trace, arrival
@@ -141,6 +147,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		Workers:     cfg.Workers,
 		Lookahead:   cfg.Lookahead,
 		MergeWindow: cfg.MergeWindow,
+		Obs:         cfg.Obs,
 	})
 	res := &Result{}
 	if cfg.Stream {
@@ -148,6 +155,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		var sink stream.Sink
 		if cfg.Online {
 			online = stream.NewOnline(stream.OnlineConfig{})
+			online.Register(cfg.Obs.Reg())
 			sink = online
 		}
 		res.Trace = eng.RunStream(sink)
