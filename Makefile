@@ -94,11 +94,16 @@ speedup-check:
 # mid-run and restarted to prove resume-from-ack, and finally with a
 # vantage killed for good to prove eviction terminates the merge with the
 # losses exactly accounted (dead_inputs/lost_sessions) instead of
-# deadlocking the barrier.
+# deadlocking the barrier. Every vantage ships its journal in-band, so
+# each scenario also yields a merged fleet journal (saved under bin/ for
+# `go run ./cmd/analyze -timeline`): the clean scenario runs twice and
+# the two journals must be obs.Canonical-identical, and the dead-input
+# journal must record heartbeat -> input_stalled -> input_evicted in
+# collector-normalized time order.
 distfleet-smoke:
 	mkdir -p bin
 	$(GO) build -o bin/vantage ./cmd/vantage
-	$(GO) run ./cmd/distfleet -nodes 3 -scale 0.02 -days 2 -seed 2004 -vantage bin/vantage
+	$(GO) run ./cmd/distfleet -nodes 3 -scale 0.02 -days 2 -seed 2004 -vantage bin/vantage -fleet-journal bin/fleet.jsonl
 
 # scenario-suite runs every committed spec under scenarios/ end to end
 # and gates on the headline-metric checks each spec declares (cmd/analyze

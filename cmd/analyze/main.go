@@ -47,6 +47,13 @@
 // serves net/http/pprof plus the Prometheus metric registry on ADDR for
 // live profiling of full-scale runs.
 //
+// -timeline FILE renders a journal — a single-process one, or the
+// merged fleet journal a distfleet collector writes — as a
+// human-readable per-lane timeline (span durations, stall/evict flags,
+// gap annotations, metrics rollups) and exits:
+//
+//	analyze -timeline fleet.jsonl
+//
 // -stream (with -simulate) runs the bounded-memory streaming engine: the
 // bounded-lookahead arrival producer feeds per-node event loops, each
 // vantage emits records into the streaming k-way merge as they finalize,
@@ -114,7 +121,22 @@ func main() {
 	journalPath := flag.String("journal", "", "write the run's observability journal (JSON lines; see internal/obs) to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and the Prometheus metric registry on this address")
 	heartbeat := flag.Duration("heartbeat", 0, "emit a journal heartbeat line at this interval (requires -journal)")
+	timeline := flag.String("timeline", "", "render a journal (single-process or merged fleet) as a per-lane timeline and exit")
 	flag.Parse()
+	if *timeline != "" {
+		f, err := os.Open(*timeline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opening journal: %v\n", err)
+			os.Exit(2)
+		}
+		err = obs.WriteTimeline(os.Stdout, f, obs.TimelineOptions{})
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rendering timeline: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	render, ok := sections[*only]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown section %q\n", *only)

@@ -5,7 +5,9 @@
 // to a single-process engine.RunStream with the same parameters — under
 // three escalating scenarios:
 //
-//	clean          N emitters over loopback TCP, no interference.
+//	clean          N emitters over loopback TCP, no interference. Runs
+//	               twice: the two merged fleet journals must be
+//	               obs.Canonical-identical.
 //	faults+restart every emitter sabotages its own connections with
 //	               faultnet (drops, dup, reorder, delay), and one
 //	               vantage is SIGKILLed mid-run and restarted; the
@@ -14,6 +16,16 @@
 //	dead-input     one vantage is SIGKILLed and never restarted; the
 //	               collector must evict it (no deadlock), finish, and
 //	               account the losses exactly (DeadInputs/LostSessions).
+//
+// Every vantage ships its journal in-band (-ship-journal -heartbeat), so
+// each scenario also produces a merged fleet journal: the collector's
+// own spans and per-input liveness events interleaved, on the
+// collector's clock, with every vantage's spans, heartbeats and
+// snapshots. The harness asserts the journal tells each scenario's
+// story — all processes present in normalized time order for clean
+// runs, and the dead vantage's last heartbeat preceding its
+// input_stalled preceding its input_evicted. -fleet-journal saves the
+// journals for `analyze -timeline`.
 //
 // Exits non-zero on any divergence, lost data, or deadlock.
 package main
@@ -26,6 +38,8 @@ import (
 	"log"
 	"os"
 	"os/exec"
+	"slices"
+	"strings"
 	"time"
 
 	p2pquery "repro"
@@ -43,6 +57,7 @@ type params struct {
 	seed    uint64
 	bin     string
 	timeout time.Duration
+	fleet   string
 }
 
 func main() {
@@ -53,8 +68,9 @@ func main() {
 	seed := flag.Uint64("seed", 2004, "workload seed")
 	bin := flag.String("vantage", "bin/vantage", "path to the vantage binary")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-scenario deadline (a hang past this is a deadlock)")
+	fleet := flag.String("fleet-journal", "", "save each scenario's merged fleet journal to this path (scenario name appended after the first)")
 	flag.Parse()
-	p := params{nodes: *nodes, scale: *scale, days: *days, seed: *seed, bin: *bin, timeout: *timeout}
+	p := params{nodes: *nodes, scale: *scale, days: *days, seed: *seed, bin: *bin, timeout: *timeout, fleet: *fleet}
 
 	if _, err := os.Stat(p.bin); err != nil {
 		log.Fatalf("distfleet: vantage binary %q not found (run `make bin/vantage` first): %v", p.bin, err)
@@ -74,9 +90,26 @@ func main() {
 	}
 	log.Printf("reference: nodes=%d conns=%d sha256=%x", p.nodes, len(ref.Conns), refHash[:8])
 
-	runScenario(p, scenario{name: "clean"}, refHash, len(ref.Conns))
+	cleanA := runScenario(p, scenario{name: "clean"}, refHash, len(ref.Conns))
+	cleanB := runScenario(p, scenario{name: "clean-repeat"}, refHash, len(ref.Conns))
+	ca, err := obs.Canonical(bytes.NewReader(cleanA))
+	if err != nil {
+		log.Fatalf("clean fleet journal: %v", err)
+	}
+	cb, err := obs.Canonical(bytes.NewReader(cleanB))
+	if err != nil {
+		log.Fatalf("clean-repeat fleet journal: %v", err)
+	}
+	if !slices.Equal(ca, cb) {
+		log.Fatalf("two same-spec clean runs produced canonically different fleet journals (%d vs %d lines)", len(ca), len(cb))
+	}
+	log.Printf("clean fleet journals canonical-identical across runs (%d canonical lines)", len(ca))
+
 	runScenario(p, scenario{name: "faults+restart", faults: true, kill: true, restart: true}, refHash, len(ref.Conns))
-	runScenario(p, scenario{name: "dead-input", kill: true, evictAfter: 2 * time.Second}, refHash, len(ref.Conns))
+	// The fast heartbeat makes the victim ship several liveness lines
+	// before the kill even on a short run, so the journal story
+	// (heartbeat -> stalled -> evicted) has material to assert on.
+	runScenario(p, scenario{name: "dead-input", kill: true, evictAfter: 2 * time.Second, heartbeat: 50 * time.Millisecond}, refHash, len(ref.Conns))
 
 	fmt.Println("distfleet-smoke PASS")
 }
@@ -87,21 +120,26 @@ type scenario struct {
 	kill       bool
 	restart    bool
 	evictAfter time.Duration // 0 = generous default (eviction must not fire)
+	heartbeat  time.Duration // 0 = 250ms default journal heartbeat
 }
 
 // runScenario brings up collector + subprocess emitters, applies the
 // scenario's interference, and dies loudly on any broken invariant.
-func runScenario(p params, sc scenario, refHash [32]byte, refConns int) {
+// Returns the scenario's merged fleet journal.
+func runScenario(p params, sc scenario, refHash [32]byte, refConns int) []byte {
 	log.Printf("--- scenario %s", sc.name)
 	evictAfter := sc.evictAfter
 	if evictAfter == 0 {
 		evictAfter = 2 * p.timeout // must never fire in lossless scenarios
 	}
-	// Each scenario gets its own observability capture: the collector's
-	// liveness narrative (input_stalled/input_evicted/...) lands in an
-	// in-memory journal the dead-input scenario asserts on below.
+	// Each scenario gets its own fleet journal: the collector's own lane
+	// plus per-input liveness lanes, with every vantage's shipped lines
+	// merged in on the collector's clock. The scenario assertions below
+	// read it, and -fleet-journal saves it.
 	var journal bytes.Buffer
-	ob := &obs.Observer{Metrics: obs.NewRegistry(), Journal: obs.NewJournal(&journal)}
+	fj := obs.NewJournal(&journal)
+	fj.SetSource("collector")
+	ob := &obs.Observer{Metrics: obs.NewRegistry(), Journal: fj}
 	col, err := ingest.NewCollector(ingest.CollectorConfig{
 		Inputs:     p.nodes,
 		Window:     trace.Time(engine.DefaultMergeWindow),
@@ -130,7 +168,14 @@ func runScenario(p params, sc scenario, refHash [32]byte, refConns int) {
 	victim := -1
 	if sc.kill {
 		victim = (p.nodes - 1) / 2 // an interior input, 0 when nodes==1
-		waitApplied(p, sc, col, victim, 200)
+		// The kill must land after the victim has shipped journal lines
+		// too — its span_start (and, for the eviction story, heartbeats)
+		// must already be applied so the fleet journal can tell the story.
+		minJournal := uint64(1)
+		if !sc.restart {
+			minJournal = 3 // span_start + at least two heartbeats
+		}
+		waitApplied(p, sc, col, victim, 200, minJournal)
 		if err := procs[victim].Process.Kill(); err != nil {
 			log.Fatalf("%s: kill vantage %d: %v", sc.name, victim, err)
 		}
@@ -170,6 +215,10 @@ func runScenario(p params, sc scenario, refHash [32]byte, refConns int) {
 	dead, lost := col.DeadInputs(), col.LostSessions()
 	log.Printf("%s: conns=%d sha256=%x dead_inputs=%d lost_sessions=%d",
 		sc.name, len(res.tr.Conns), gotHash[:8], dead, lost)
+	if err := fj.Err(); err != nil {
+		log.Fatalf("%s: fleet journal: %v", sc.name, err)
+	}
+	saveFleetJournal(p, sc, journal.Bytes())
 
 	if sc.kill && !sc.restart {
 		// Lossy by construction: the victim's unsent tail is gone. The
@@ -184,7 +233,8 @@ func runScenario(p params, sc scenario, refHash [32]byte, refConns int) {
 			log.Fatalf("%s: trace nodes=%d, want %d", sc.name, res.tr.Nodes, p.nodes)
 		}
 		assertStallThenEvict(sc.name, journal.Bytes(), victim)
-		return
+		assertDeadInputStory(sc.name, journal.Bytes(), victim)
+		return journal.Bytes()
 	}
 	if dead != 0 || lost != 0 {
 		log.Fatalf("%s: lossless scenario reported losses: dead=%d lost=%d", sc.name, dead, lost)
@@ -193,6 +243,31 @@ func runScenario(p params, sc scenario, refHash [32]byte, refConns int) {
 		log.Fatalf("%s: trace DIVERGED from single-process reference\n  got  %x\n  want %x",
 			sc.name, gotHash, refHash)
 	}
+	assertFleetJournal(sc.name, journal.Bytes(), p.nodes, sc.restart, victim)
+	return journal.Bytes()
+}
+
+// saveFleetJournal writes the scenario's merged journal when
+// -fleet-journal is set: the first (clean) scenario gets the bare path,
+// later scenarios get the name appended, so every artifact survives for
+// `analyze -timeline`.
+func saveFleetJournal(p params, sc scenario, journal []byte) {
+	if p.fleet == "" {
+		return
+	}
+	path := p.fleet
+	if sc.name != "clean" {
+		path += "." + strings.Map(func(r rune) rune {
+			if r == '+' {
+				return '-'
+			}
+			return r
+		}, sc.name)
+	}
+	if err := os.WriteFile(path, journal, 0o644); err != nil {
+		log.Fatalf("%s: save fleet journal: %v", sc.name, err)
+	}
+	log.Printf("%s: fleet journal saved to %s", sc.name, path)
 }
 
 // startVantage launches one emitter subprocess. life distinguishes a
@@ -207,7 +282,13 @@ func startVantage(p params, sc scenario, addr string, input, life int) *exec.Cmd
 		"-days", fmt.Sprint(p.days),
 		"-nodes", fmt.Sprint(p.nodes),
 		"-keepalive", "250ms",
+		"-ship-journal",
 	}
+	hb := sc.heartbeat
+	if hb == 0 {
+		hb = 250 * time.Millisecond
+	}
+	args = append(args, "-heartbeat", hb.String())
 	if sc.faults {
 		args = append(args,
 			"-fault-seed", fmt.Sprint(p.seed+uint64(input)*31+uint64(life)*1009+1),
@@ -232,22 +313,24 @@ func startVantage(p params, sc scenario, addr string, input, life int) *exec.Cmd
 	return cmd
 }
 
-// waitApplied polls collector health until the input has applied at least
-// min events — the kill must land mid-stream, not before the emitter has
-// proven the resume path has something to resume from.
-func waitApplied(p params, sc scenario, col *ingest.Collector, input int, min uint64) {
+// waitApplied polls collector health until the input has applied at
+// least min events and minJournal shipped journal lines — the kill must
+// land mid-stream, not before the emitter has proven the resume path has
+// something to resume from (and its journal lane has something to show).
+func waitApplied(p params, sc scenario, col *ingest.Collector, input int, min, minJournal uint64) {
 	deadline := time.Now().Add(p.timeout)
 	for {
 		h := col.Health()
 		st := h.Inputs[input]
-		if st.AppliedSeq >= min {
+		if st.AppliedSeq >= min && st.JournalSeq >= minJournal {
 			if st.State == ingest.StateDone {
 				log.Fatalf("%s: vantage %d finished before the kill landed — raise -scale or -days", sc.name, input)
 			}
 			return
 		}
 		if time.Now().After(deadline) {
-			log.Fatalf("%s: vantage %d never reached applied_seq %d (at %d)", sc.name, input, min, st.AppliedSeq)
+			log.Fatalf("%s: vantage %d never reached applied_seq %d / journal_seq %d (at %d / %d)",
+				sc.name, input, min, minJournal, st.AppliedSeq, st.JournalSeq)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -255,6 +338,120 @@ func waitApplied(p params, sc scenario, col *ingest.Collector, input int, min ui
 
 func appliedSeq(col *ingest.Collector, input int) uint64 {
 	return col.Health().Inputs[input].AppliedSeq
+}
+
+// jline is one parsed fleet-journal line, as the assertions read it.
+type jline struct {
+	Kind  string         `json:"kind"`
+	TMs   float64        `json:"t_ms"`
+	Src   string         `json:"src"`
+	Name  string         `json:"name"`
+	Attrs map[string]any `json:"attrs"`
+}
+
+func parseFleet(name string, journal []byte) []jline {
+	var out []jline
+	dec := json.NewDecoder(bytes.NewReader(journal))
+	for i := 0; dec.More(); i++ {
+		var l jline
+		if err := dec.Decode(&l); err != nil {
+			log.Fatalf("%s: fleet journal line %d unparseable: %v", name, i, err)
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// assertFleetJournal checks a lossless scenario's merged journal carries
+// every process's timeline in collector-normalized time: the collector's
+// collect span, a simulate span + final metrics snapshot in every
+// vantage's lane (two simulate starts for a restarted victim — one per
+// life), an input_done liveness event per input, and every line's
+// rebased t_ms inside the collect span's interval.
+func assertFleetJournal(name string, journal []byte, nodes int, restart bool, victim int) {
+	lines := parseFleet(name, journal)
+	var t0, t1 float64
+	haveT0, haveT1 := false, false
+	for _, l := range lines {
+		if l.Src == "collector" && l.Name == "collect" {
+			switch l.Kind {
+			case "span_start":
+				t0, haveT0 = l.TMs, true
+			case "span_end":
+				t1, haveT1 = l.TMs, true
+			}
+		}
+	}
+	if !haveT0 || !haveT1 {
+		log.Fatalf("%s: fleet journal missing the collector's collect span", name)
+	}
+	const slackMs = 250
+	for i := 0; i < nodes; i++ {
+		lane := fmt.Sprintf("vantage%d", i)
+		starts, ends, metrics, done := 0, 0, 0, 0
+		for _, l := range lines {
+			switch {
+			case l.Src == lane && l.Kind == "span_start" && l.Name == "simulate":
+				starts++
+			case l.Src == lane && l.Kind == "span_end" && l.Name == "simulate":
+				ends++
+			case l.Src == lane && l.Kind == "metrics":
+				metrics++
+			case l.Src == "collector/"+lane && l.Kind == "event" && l.Name == "input_done":
+				done++
+			}
+			if l.Src == lane && (l.TMs < t0-slackMs || l.TMs > t1+slackMs) {
+				log.Fatalf("%s: %s line at t_ms=%.1f outside the collect span [%.1f, %.1f] — clock rebase broken",
+					name, lane, l.TMs, t0, t1)
+			}
+		}
+		wantStarts := 1
+		if restart && i == victim {
+			wantStarts = 2 // one per process life
+		}
+		if starts != wantStarts || ends < 1 || metrics < 1 || done < 1 {
+			log.Fatalf("%s: lane %s incomplete: simulate starts=%d (want %d) ends=%d metrics=%d input_done=%d",
+				name, lane, starts, wantStarts, ends, metrics, done)
+		}
+	}
+	log.Printf("%s: fleet journal carries all %d lanes in collector time [%.0f ms, %.0f ms]", name, nodes+1, t0, t1)
+}
+
+// assertDeadInputStory checks the merged journal tells the eviction
+// story end-to-end in collector-normalized time: the victim's own last
+// shipped heartbeat precedes the collector's input_stalled, which
+// precedes input_evicted.
+func assertDeadInputStory(name string, journal []byte, victim int) {
+	lane := fmt.Sprintf("vantage%d", victim)
+	lastHB := -1.0
+	tStalled, tEvicted := -1.0, -1.0
+	for _, l := range parseFleet(name, journal) {
+		switch {
+		case l.Src == lane && l.Kind == "heartbeat":
+			if l.TMs > lastHB {
+				lastHB = l.TMs
+			}
+		case l.Src == "collector/"+lane && l.Kind == "event" && l.Name == "input_stalled":
+			if tStalled < 0 {
+				tStalled = l.TMs
+			}
+		case l.Src == "collector/"+lane && l.Kind == "event" && l.Name == "input_evicted":
+			if tEvicted < 0 {
+				tEvicted = l.TMs
+			}
+		}
+	}
+	if lastHB < 0 {
+		log.Fatalf("%s: victim's lane %s shipped no heartbeat before the kill", name, lane)
+	}
+	if tStalled < 0 || tEvicted < 0 {
+		log.Fatalf("%s: fleet journal missing stalled/evicted for %s (stalled=%.1f evicted=%.1f)", name, lane, tStalled, tEvicted)
+	}
+	if !(lastHB <= tStalled && tStalled <= tEvicted) {
+		log.Fatalf("%s: eviction story out of order: last heartbeat %.1f, input_stalled %.1f, input_evicted %.1f",
+			name, lastHB, tStalled, tEvicted)
+	}
+	log.Printf("%s: journal story in order: heartbeat %.0f ms -> stalled %.0f ms -> evicted %.0f ms", name, lastHB, tStalled, tEvicted)
 }
 
 // assertStallThenEvict checks the collector's journal told the dead

@@ -32,6 +32,8 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -60,6 +62,9 @@ func main() {
 	pprofFlag := flag.Bool("pprof", false, "with -metrics: mount net/http/pprof under /debug/pprof/")
 	emit := flag.String("emit", "", "optional ingest collector address to stream session records to")
 	emitInput := flag.Int("emit-input", 0, "collector input index this daemon feeds")
+	journalPath := flag.String("journal", "", "write this process's run journal (JSONL) to this file")
+	shipJournal := flag.Bool("ship-journal", false, "with -emit: ship journal lines to the collector in-band, merging them into its fleet journal")
+	heartbeat := flag.Duration("heartbeat", 0, "journal heartbeat period (0 = none)")
 	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "reap connections silent for this long (0 disables)")
 	flag.Parse()
 
@@ -101,12 +106,43 @@ func main() {
 		}()
 	}
 
+	// The daemon's run journal: a local JSONL file, the in-band ship to
+	// the collector's fleet journal (lane "gnutellad<input>"), or both.
+	var (
+		jws    []io.Writer
+		jfile  *os.File
+		ship   *ingest.JournalShip
+		jl     *obs.Journal
+		stopHB = func() {}
+	)
+	if *journalPath != "" {
+		f, err := os.Create(*journalPath)
+		if err != nil {
+			log.Fatalf("journal: %v", err)
+		}
+		jfile = f
+		jws = append(jws, f)
+	}
+	if *shipJournal {
+		if *emit == "" {
+			log.Fatal("gnutellad: -ship-journal requires -emit")
+		}
+		ship = ingest.NewJournalShip()
+		jws = append(jws, ship)
+	}
+	if len(jws) > 0 {
+		jl = obs.NewJournal(io.MultiWriter(jws...))
+	}
+
 	var emitDone chan error
 	if *emit != "" {
 		em := ingest.NewEmitter(ingest.EmitterConfig{
-			Addr:  *emit,
-			Input: *emitInput,
-			Obs:   &obs.Observer{Metrics: d.reg},
+			Addr:    *emit,
+			Input:   *emitInput,
+			Obs:     &obs.Observer{Metrics: d.reg, Journal: jl},
+			Ship:    ship,
+			Source:  fmt.Sprintf("gnutellad%d", *emitInput),
+			Journal: jl,
 		})
 		d.emitter = em
 		d.prod = stream.NewProducer(*emitInput, em.Intake())
@@ -114,6 +150,8 @@ func main() {
 		go func() { emitDone <- em.Run() }()
 		log.Printf("emitting session records to %s as input %d", *emit, *emitInput)
 	}
+	serveSpan := jl.Begin("serve", obs.A("input", *emitInput))
+	stopHB = obs.StartHeartbeat(jl, *heartbeat, nil)
 
 	// SIGINT/SIGTERM closes the listener; the accept loop sees the
 	// permanent error and falls through to the drain below.
@@ -148,23 +186,59 @@ func main() {
 		go d.serve(peer, *idleTimeout)
 	}
 
+	d.mu.Lock()
+	serveSpan.End(obs.A("queries", d.counts.Query), obs.A("hop1_queries", d.counts.QueryHop1))
+	d.mu.Unlock()
 	if d.prod != nil {
 		d.mu.Lock()
 		d.prod.Done(time.Since(d.start), &stream.End{Counts: d.counts, Nodes: 1})
 		d.prod.Flush()
 		d.mu.Unlock()
 		close(d.emitter.Intake())
+		// Final journal lines go out after the last event ack (the
+		// deterministic snapshot point), then closing the ship lets the
+		// emitter's Run return once the collector acked the journal too.
+		deadline := time.After(30 * time.Second)
+		var emitErr error
+		gotErr := false
 		select {
-		case err := <-emitDone:
-			if err != nil {
-				log.Printf("emit: %v", err)
-				os.Exit(1)
-			}
-			log.Printf("emit: stream acked, clean shutdown")
-		case <-time.After(30 * time.Second):
+		case emitErr = <-emitDone:
+			gotErr = true
+		case <-d.emitter.EventsDrained():
+		case <-deadline:
 			log.Printf("emit: timed out waiting for final ack")
 			os.Exit(1)
 		}
+		stopHB()
+		ob := &obs.Observer{Metrics: d.reg, Journal: jl}
+		ob.SnapshotMetrics()
+		ob.SnapshotLatency()
+		if ship != nil {
+			_ = ship.Close()
+		}
+		if !gotErr {
+			select {
+			case emitErr = <-emitDone:
+			case <-deadline:
+				log.Printf("emit: timed out waiting for journal drain")
+				os.Exit(1)
+			}
+		}
+		if emitErr != nil {
+			log.Printf("emit: %v", emitErr)
+			os.Exit(1)
+		}
+		log.Printf("emit: stream acked, clean shutdown")
+	} else {
+		stopHB()
+		(&obs.Observer{Metrics: d.reg, Journal: jl}).SnapshotMetrics()
+	}
+	if err := jl.Err(); err != nil {
+		log.Printf("journal: %v", err)
+		os.Exit(1)
+	}
+	if jfile != nil {
+		_ = jfile.Close()
 	}
 }
 

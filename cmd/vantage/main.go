@@ -13,11 +13,19 @@
 // process can sabotage its own connections deterministically; this is
 // how the smoke harness exercises drops, duplication, reordering, and
 // delays without any external tooling.
+//
+// With -journal FILE the process writes its obs run journal (spans,
+// events, heartbeats, final metrics/latency snapshots) as JSONL; with
+// -ship-journal the same lines are additionally shipped to the collector
+// in-band on the ingest connection, where they are merged — clock-rebased
+// onto the collector's time axis — into the fleet journal under this
+// process's "vantage<N>" lane. -heartbeat adds a periodic liveness line.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -61,6 +69,9 @@ func main() {
 	faultDelay := flag.Float64("fault-delay", 0, "probability a write is delayed")
 	faultDelayMax := flag.Duration("fault-delay-max", 50*time.Millisecond, "max injected write delay")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and the process metric registry on this address")
+	journalPath := flag.String("journal", "", "write this process's run journal (JSONL) to this file")
+	shipJournal := flag.Bool("ship-journal", false, "ship journal lines to the collector in-band, merging them into its fleet journal")
+	heartbeat := flag.Duration("heartbeat", 0, "journal heartbeat period (0 = none)")
 	flag.Parse()
 
 	if *collector == "" {
@@ -71,7 +82,32 @@ func main() {
 	// reconnect/ack/backlog gauges, live on -pprof for a stuck fleet.
 	reg := obs.NewRegistry()
 	obs.RegisterProcessMetrics(reg)
-	ob := &obs.Observer{Metrics: reg}
+
+	// The journal tees into a local file and/or the in-band ship; either
+	// alone works, both together give a local copy of exactly what the
+	// collector's fleet journal will hold in this vantage's lane.
+	var (
+		jws   []io.Writer
+		jfile *os.File
+		ship  *ingest.JournalShip
+	)
+	if *journalPath != "" {
+		f, err := os.Create(*journalPath)
+		if err != nil {
+			log.Fatalf("vantage: journal: %v", err)
+		}
+		jfile = f
+		jws = append(jws, f)
+	}
+	if *shipJournal {
+		ship = ingest.NewJournalShip()
+		jws = append(jws, ship)
+	}
+	var jl *obs.Journal
+	if len(jws) > 0 {
+		jl = obs.NewJournal(io.MultiWriter(jws...))
+	}
+	ob := &obs.Observer{Metrics: reg, Journal: jl}
 	if *pprofAddr != "" {
 		ln, err := net.Listen("tcp", *pprofAddr)
 		if err != nil {
@@ -93,6 +129,9 @@ func main() {
 		Addr:           *collector,
 		Input:          *input,
 		Obs:            ob,
+		Ship:           ship,
+		Source:         fmt.Sprintf("vantage%d", *input),
+		Journal:        jl,
 		Retry:          transport.Retry{Max: *retryMax, Base: *retryBase, Cap: *retryCap, Seed: seed + uint64(*input) + 1},
 		AckTimeout:     *ackTimeout,
 		WelcomeTimeout: *welcomeTimeout,
@@ -118,6 +157,15 @@ func main() {
 	go func() { runErr <- em.Run() }()
 
 	start := time.Now()
+	// Begin before the heartbeat starts: the span_start is then always
+	// this process's first journal line, which is what lets the smoke
+	// harness reason about a killed vantage's lane from its JournalSeq.
+	sp := jl.Begin("simulate",
+		obs.A("input", *input),
+		obs.A("seed", seed),
+		obs.A("scale", cfg.Workload.Scale),
+		obs.A("nodes", sc.Nodes))
+	stopHB := obs.StartHeartbeat(jl, *heartbeat, nil)
 	st, err := engine.NodeStream(
 		engine.Config{Fleet: capture.FleetConfig{Node: cfg, Nodes: sc.Nodes}, Lookahead: *lookahead, Obs: ob},
 		*input,
@@ -127,9 +175,39 @@ func main() {
 		em.Stop()
 		log.Fatalf("vantage %d: simulate: %v", *input, err)
 	}
+	sp.End(obs.A("conns", st.Conns), obs.A("rejected", st.Rejected), obs.A("peak_conns", st.PeakConns))
 	close(em.Intake())
-	if err := <-runErr; err != nil {
-		log.Fatalf("vantage %d: emit: %v", *input, err)
+
+	// EventsDrained is the deterministic point for the final journal
+	// lines: every event is acked, the emitter gauges hold their final
+	// values, and Run is still pumping so the trailing lines ship too.
+	// A Run error (retry budget dead, eviction) fires runErr instead.
+	var emitErr error
+	gotErr := false
+	select {
+	case emitErr = <-runErr:
+		gotErr = true
+	case <-em.EventsDrained():
+	}
+	stopHB()
+	ob.SnapshotMetrics()
+	ob.SnapshotLatency()
+	if ship != nil {
+		_ = ship.Close()
+	}
+	if !gotErr {
+		emitErr = <-runErr
+	}
+	if emitErr != nil {
+		log.Fatalf("vantage %d: emit: %v", *input, emitErr)
+	}
+	if err := jl.Err(); err != nil {
+		log.Fatalf("vantage %d: journal: %v", *input, err)
+	}
+	if jfile != nil {
+		if err := jfile.Close(); err != nil {
+			log.Fatalf("vantage %d: journal: %v", *input, err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "vantage %d done: conns=%d rejected=%d peak=%d in %.2fs\n",
 		*input, st.Conns, st.Rejected, st.PeakConns, time.Since(start).Seconds())

@@ -35,6 +35,7 @@ type InputHealth struct {
 	Input      int        `json:"input"`
 	State      InputState `json:"state"`
 	AppliedSeq uint64     `json:"applied_seq"`
+	JournalSeq uint64     `json:"journal_seq"`
 	Conns      int        `json:"conns"`
 	SilentMS   int64      `json:"silent_ms"`
 	Reordered  int        `json:"reordered"`
@@ -152,6 +153,21 @@ type inputTrack struct {
 	stalled bool
 	active  net.Conn
 	conns   int
+
+	// Journal shipping: the exactly-once layer for the sidecar journal
+	// sequence space, mirroring applied/pending, plus the lane name and
+	// the clock offset (collector journal ms minus emitter journal ms;
+	// the minimum over handshake samples, which is the sample with the
+	// least network delay baked in). jShip marks that this input's
+	// emitter ships a journal; jDone that its end-of-journal sentinel
+	// has been applied — what Run's post-merge linger waits for.
+	source    string
+	jApplied  uint64
+	jPending  map[uint64][]byte
+	offset    float64
+	offsetSet bool
+	jShip     bool
+	jDone     bool
 }
 
 // Collector accepts emitter connections, reassembles each input's exact
@@ -163,10 +179,13 @@ type Collector struct {
 	merger *stream.Merger
 	tracks []*inputTrack
 
-	obs        *obs.Observer
-	reg        *obs.Registry
-	mStalls    *obs.Counter
-	mEvictions *obs.Counter
+	obs           *obs.Observer
+	reg           *obs.Registry
+	mStalls       *obs.Counter
+	mEvictions    *obs.Counter
+	mJournalLines *obs.Counter
+	hEncode       *obs.Histogram
+	hDecode       *obs.Histogram
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -208,6 +227,8 @@ func NewCollector(cfg CollectorConfig) (*Collector, error) {
 		c.tracks[i] = &inputTrack{
 			input:        i,
 			pending:      make(map[uint64]stream.Event),
+			jPending:     make(map[uint64][]byte),
+			source:       "input" + strconv.Itoa(i),
 			lastProgress: now, // a vantage that never connects still gets evicted
 		}
 	}
@@ -228,6 +249,9 @@ func (c *Collector) registerMetrics() {
 	}
 	c.mStalls = c.reg.Counter("ingest_stalls_total", "input_stalled transitions observed by the liveness loop")
 	c.mEvictions = c.reg.Counter("ingest_evictions_total", "inputs evicted from the merge after EvictAfter of silence")
+	c.mJournalLines = c.reg.Counter("ingest_journal_lines_total", "shipped journal lines applied into the fleet journal")
+	c.hEncode = c.reg.WallHistogram("ingest_frame_encode_seconds", "gob encode time per outbound frame", latencyBuckets())
+	c.hDecode = c.reg.WallHistogram("ingest_frame_decode_seconds", "gob decode time per inbound frame", latencyBuckets())
 	for _, t := range c.tracks {
 		t := t
 		l := obs.L("input", strconv.Itoa(t.input))
@@ -277,10 +301,12 @@ func (c *Collector) registerMetrics() {
 func (c *Collector) Addr() string { return c.l.Addr().String() }
 
 // Run serves until every input has delivered its trailer or been
-// evicted, then returns the drained merged trace. The accept loop paces
-// transient listener errors and exits on permanent ones, exactly like
-// the daemon's (transport.AcceptBackoff).
+// evicted, then lingers (bounded by EvictAfter) until every shipping
+// input's journal is fully delivered before returning the drained merged
+// trace. The accept loop paces transient listener errors and exits on
+// permanent ones, exactly like the daemon's (transport.AcceptBackoff).
 func (c *Collector) Run() (*trace.Trace, error) {
+	sp := c.obs.Begin("collect", obs.A("inputs", c.cfg.Inputs))
 	merged := make(chan *trace.Trace, 1)
 	go func() { merged <- c.merger.Run() }()
 
@@ -289,8 +315,12 @@ func (c *Collector) Run() (*trace.Trace, error) {
 	go c.liveness()
 
 	tr := <-merged
+	c.drainJournals()
 	c.shutdown()
 	c.wg.Wait()
+	sp.End(
+		obs.A("dead_inputs", c.merger.DeadInputs()),
+		obs.A("lost_sessions", c.merger.LostSessions()))
 	return tr, nil
 }
 
@@ -300,6 +330,36 @@ func (c *Collector) DeadInputs() int { return c.merger.DeadInputs() }
 // LostSessions reports how many sessions evicted inputs left open.
 // Valid after Run.
 func (c *Collector) LostSessions() uint64 { return c.merger.LostSessions() }
+
+// drainJournals lingers after the merge completes so shipping emitters
+// can deliver their trailing journal lines — a process's final
+// metrics/latency snapshots are written after its last event ack, so
+// they are necessarily still in flight when the merge finishes. The
+// listener stays open (an emitter cut mid-ship reconnects and
+// retransmits) until every shipping, non-evicted input has applied its
+// end-of-journal sentinel, bounded by EvictAfter (30 s when eviction is
+// disabled) against an emitter that never closes its ship.
+func (c *Collector) drainJournals() {
+	bound := c.cfg.EvictAfter
+	if bound <= 0 {
+		bound = 30 * time.Second
+	}
+	deadline := time.Now().Add(bound)
+	for {
+		waiting := false
+		for _, t := range c.tracks {
+			t.mu.Lock()
+			if t.jShip && !t.jDone && !t.evicted {
+				waiting = true
+			}
+			t.mu.Unlock()
+		}
+		if !waiting || time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
 
 func (c *Collector) shutdown() {
 	close(c.stop)
@@ -356,15 +416,27 @@ func (c *Collector) serve(conn net.Conn) {
 	}()
 
 	_ = conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
-	f, err := readFrame(conn)
+	f, err := readFrame(conn, c.hDecode)
 	if err != nil || f.Kind != frameHello || f.Hello == nil {
 		return
 	}
 	h := f.Hello
-	if h.Proto != protoVersion || h.Input < 0 || h.Input >= len(c.tracks) {
+	if h.Proto < protoVersionMin || h.Proto > protoVersion || h.Input < 0 || h.Input >= len(c.tracks) {
 		return
 	}
 	t := c.tracks[h.Input]
+
+	// The offset sample: collector journal clock minus the emitter's
+	// clock as stamped into the hello. Both ends pay the network delay
+	// between hello write and here, inflating the sample — so across
+	// reconnects the minimum (least-delay) sample wins.
+	var offSample float64
+	// A version-1 hello has no JournalTMs field; gob leaves it zero, which
+	// must not read as "shipping with clock 0".
+	haveOff := h.Proto >= 2 && h.JournalTMs >= 0
+	if haveOff {
+		offSample = c.obs.Log().Now() - h.JournalTMs
+	}
 
 	t.mu.Lock()
 	if t.active != nil && t.active != conn {
@@ -375,33 +447,53 @@ func (c *Collector) serve(conn net.Conn) {
 	}
 	t.active = conn
 	t.conns++
+	if h.Source != "" {
+		t.source = h.Source
+	}
+	if haveOff {
+		t.jShip = true
+		if !t.offsetSet || offSample < t.offset {
+			t.offset = offSample
+			t.offsetSet = true
+		}
+	}
 	evicted := t.evicted
 	if !evicted {
 		t.lastProgress = time.Now()
 	}
-	welcome := &welcomeFrame{Resume: t.applied, Evicted: evicted}
+	welcome := &welcomeFrame{Resume: t.applied, JournalResume: t.jApplied, Evicted: evicted}
 	t.mu.Unlock()
 
 	_ = conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
-	if err := writeFrame(conn, &frame{Kind: frameWelcome, Welcome: welcome}); err != nil || evicted {
+	if err := writeFrame(conn, &frame{Kind: frameWelcome, Welcome: welcome}, c.hEncode); err != nil || evicted {
 		return
 	}
 
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
-		f, err := readFrame(conn)
+		f, err := readFrame(conn, c.hDecode)
 		if err != nil {
 			return
 		}
-		if f.Kind != frameData || f.Data == nil {
+		var ackf *frame
+		switch {
+		case f.Kind == frameData && f.Data != nil:
+			ack, ok := c.apply(t, f.Data)
+			if !ok {
+				return
+			}
+			ackf = &frame{Kind: frameAck, Ack: &ackFrame{Seq: ack}}
+		case f.Kind == frameJournal && f.Journal != nil:
+			ack, ok := c.applyJournal(t, f.Journal)
+			if !ok {
+				return
+			}
+			ackf = &frame{Kind: frameJournalAck, JAck: &ackFrame{Seq: ack}}
+		default:
 			continue // stray duplicated hello or unknown frame: ignore
 		}
-		ack, ok := c.apply(t, f.Data)
-		if !ok {
-			return
-		}
 		_ = conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
-		if err := writeFrame(conn, &frame{Kind: frameAck, Ack: &ackFrame{Seq: ack}}); err != nil {
+		if err := writeFrame(conn, ackf, c.hEncode); err != nil {
 			return
 		}
 	}
@@ -460,13 +552,19 @@ func (c *Collector) apply(t *inputTrack, df *dataFrame) (ack uint64, ok bool) {
 		}
 	}
 	ack = t.applied
+	src := t.source
 	t.mu.Unlock()
 
+	// Liveness transitions are journaled into the input's own collector
+	// lane ("collector/<source>") rather than the collector's default
+	// lane: each lane's sequence then depends on that one input alone,
+	// which keeps the fleet journal's canonical form stable when inputs'
+	// events race each other across lanes.
 	if recovered {
-		c.obs.Event("input_recovered", obs.A("input", t.input), obs.A("applied_seq", ack))
+		c.obs.EventSrc("collector/"+src, "input_recovered", obs.A("input", t.input), obs.A("applied_seq", ack))
 	}
 	if doneNow {
-		c.obs.Event("input_done", obs.A("input", t.input), obs.A("applied_seq", ack))
+		c.obs.EventSrc("collector/"+src, "input_done", obs.A("input", t.input), obs.A("applied_seq", ack))
 	}
 
 	if len(fwd) > 0 {
@@ -474,6 +572,77 @@ func (c *Collector) apply(t *inputTrack, df *dataFrame) (ack uint64, ok bool) {
 		case c.merger.Intake() <- stream.Batch{Input: t.input, Events: fwd}:
 		case <-c.stop:
 			return 0, false
+		}
+	}
+	return ack, true
+}
+
+// applyJournal is the journal sidecar's exactly-once layer, the exact
+// shape of apply in the journal sequence space: drop duplicates, hold
+// reordered lines, fold the contiguous run into the fleet journal with
+// the input's lane and clock offset, and return the cumulative journal
+// ack. Journal frames count as liveness exactly like data frames — an
+// emitter with nothing to merge but a flowing journal is alive.
+func (c *Collector) applyJournal(t *inputTrack, jf *journalFrame) (ack uint64, ok bool) {
+	t.mu.Lock()
+	if t.evicted {
+		t.mu.Unlock()
+		return 0, false
+	}
+	var fwd [][]byte
+	for i := range jf.Lines {
+		seq := jf.FirstSeq + uint64(i)
+		if seq <= t.jApplied {
+			continue // duplicate of an applied line
+		}
+		if seq != t.jApplied+1 {
+			if len(t.jPending) >= c.cfg.MaxReorder {
+				t.mu.Unlock()
+				return 0, false
+			}
+			t.jPending[seq] = jf.Lines[i]
+			t.reordered++
+			continue
+		}
+		t.jApplied++
+		fwd = append(fwd, jf.Lines[i])
+		for {
+			next, held := t.jPending[t.jApplied+1]
+			if !held {
+				break
+			}
+			delete(t.jPending, t.jApplied+1)
+			t.jApplied++
+			fwd = append(fwd, next)
+		}
+	}
+	t.lastProgress = time.Now()
+	recovered := t.stalled
+	t.stalled = false
+	for _, line := range fwd {
+		if len(line) == 0 {
+			// The emitter's end-of-journal sentinel: this lane is
+			// complete, nothing more ships in this process life.
+			t.jDone = true
+		}
+	}
+	ack = t.jApplied
+	src := t.source
+	offset := t.offset
+	t.mu.Unlock()
+
+	if recovered {
+		c.obs.EventSrc("collector/"+src, "input_recovered", obs.A("input", t.input), obs.A("applied_seq", ack))
+	}
+	for _, line := range fwd {
+		if len(line) == 0 {
+			continue // sentinel, not a journal line
+		}
+		// A malformed line is the shipper's bug, not a connection fault:
+		// skip it rather than tearing the connection into a retransmit
+		// loop of the same bad line.
+		if err := c.obs.Log().IngestLine(line, src, offset); err == nil {
+			c.mJournalLines.Inc()
 		}
 	}
 	return ack, true
@@ -503,7 +672,7 @@ func (c *Collector) liveness() {
 			if !t.done && !t.evicted && !t.stalled && t.conns > 0 && idle >= c.cfg.StallAfter {
 				t.stalled = true
 				c.mStalls.Inc()
-				c.obs.Event("input_stalled",
+				c.obs.EventSrc("collector/"+t.source, "input_stalled",
 					obs.A("input", t.input),
 					obs.A("silent_ms", idle.Milliseconds()))
 			}
@@ -514,12 +683,13 @@ func (c *Collector) liveness() {
 			}
 			t.evicted = true
 			applied := t.applied
+			src := t.source
 			if t.active != nil {
 				t.active.Close()
 			}
 			t.mu.Unlock()
 			c.mEvictions.Inc()
-			c.obs.Event("input_evicted",
+			c.obs.EventSrc("collector/"+src, "input_evicted",
 				obs.A("input", t.input),
 				obs.A("applied_seq", applied),
 				obs.A("silent_ms", idle.Milliseconds()))
@@ -551,6 +721,7 @@ func (c *Collector) Health() Health {
 		ih := InputHealth{
 			Input:      i,
 			AppliedSeq: t.applied,
+			JournalSeq: t.jApplied,
 			Conns:      t.conns,
 			SilentMS:   now.Sub(t.lastProgress).Milliseconds(),
 			Reordered:  t.reordered,

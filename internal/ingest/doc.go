@@ -23,10 +23,12 @@
 //
 // The exchange, per connection:
 //
-//	emitter → collector   hello   {proto, input}
-//	collector → emitter   welcome {resume, evicted}
-//	emitter → collector   data    {firstSeq, events[]}   (repeated)
-//	collector → emitter   ack     {seq}                  (after each data frame)
+//	emitter → collector   hello       {proto, input, source, journalTMs}
+//	collector → emitter   welcome     {resume, journalResume, evicted}
+//	emitter → collector   data        {firstSeq, events[]}   (repeated)
+//	collector → emitter   ack         {seq}                  (after each data frame)
+//	emitter → collector   journal     {firstSeq, lines[][]}  (interleaved with data)
+//	collector → emitter   journalAck  {seq}                  (after each journal frame)
 //
 // # Sequencing and resume
 //
@@ -59,4 +61,45 @@
 // eviction transitions land as journal events and ingest_* counters, the
 // MetricsHandler serves the registry as Prometheus text at /metrics, and
 // the legacy Health JSON lives on at /metrics.json.
+//
+// # Journal sidecar: fleet-wide observability in-band
+//
+// An emitter given a JournalShip ships its own obs run journal to the
+// collector on the same connection as the event stream, as a sidecar
+// that inherits all of the machinery above. Journal lines are
+// sequence-numbered in their own per-input seq space (independent of
+// event seqs), carried in journal frames interleaved with data frames,
+// cumulatively acked by journalAck frames, buffered until acked,
+// retransmitted on reconnect and deduped/reordered at the collector —
+// so every line lands in the collector's fleet journal exactly once, in
+// emission order, across any number of connection losses. A restarted
+// emitter resumes numbering from the welcome's journalResume watermark.
+//
+// The collector merges shipped lines into one fleet journal via
+// obs.Journal.IngestLine, rebasing each line's t_ms onto its own clock:
+// the hello carries the emitter's journal clock reading (journalTMs)
+// at connect time, the collector computes offset = now − journalTMs at
+// receipt, and keeps the minimum offset across reconnects — the sample
+// with the least network delay. Each emitter's lines land in a lane
+// named by the hello's source ("vantage0", …); the collector's own
+// spans and per-input liveness events interleave in collector time.
+//
+// Shutdown is handshaked end to end: when the emitter's JournalShip is
+// closed, the sidecar appends a zero-length sentinel line occupying the
+// next journal seq (JournalShip never emits an empty line, so it is
+// unambiguous); the collector marks the input's journal complete when
+// the sentinel applies and — after the event merge finishes — lingers
+// with the listener open until every shipping input's sentinel has
+// arrived or its eviction bound elapses. That linger is what lets the
+// trailing lines every emitter writes after its events drain (final
+// metrics/latency snapshots) survive a connection cut at exactly the
+// wrong moment. Trace byte-identity is untouched: the sidecar rides the
+// wire but never enters the merge.
+//
+// Wire latency is measured per frame on both ends: gob encode/decode
+// time (ingest_frame_encode_seconds / ingest_frame_decode_seconds) and
+// the emitter's data-send → covering-ack round trip
+// (ingest_ack_rtt_seconds), as wall histograms — Prometheus exposition
+// plus a final journal "latency" snapshot, excluded from deterministic
+// metrics snapshots (see internal/obs).
 package ingest

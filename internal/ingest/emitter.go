@@ -7,6 +7,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -65,9 +66,26 @@ type EmitterConfig struct {
 	KeepAlive time.Duration
 
 	// Obs attaches the observability layer: reconnect counts, the acked
-	// watermark and the retransmit-buffer depth, all labeled by input.
-	// nil runs uninstrumented.
+	// watermark and the retransmit-buffer depth, all labeled by input,
+	// plus the wall-clock latency histograms (frame encode/decode time,
+	// ack round-trip). nil runs uninstrumented.
 	Obs *obs.Observer
+
+	// Ship, when set, streams this process's journal lines to the
+	// collector as sequence-acked journal frames on the same connection
+	// as event data (point the process's obs.Journal at the ship). Run
+	// then returns only after both the event stream and the shipped
+	// journal are fully acknowledged — close the ship (after the final
+	// journal line) the way the intake channel is closed.
+	Ship *JournalShip
+	// Source names this emitter's lane in the collector's fleet journal
+	// (e.g. "vantage0"). Empty lets the collector default to input<N>.
+	Source string
+	// Journal is the process's own journal; its clock (Journal.Now) is
+	// sampled into every hello so the collector can estimate this
+	// input's clock offset and rebase shipped lines onto its own time
+	// axis. nil (with Ship set) ships lines without offset normalization.
+	Journal *obs.Journal
 }
 
 func (c *EmitterConfig) defaults() {
@@ -105,26 +123,57 @@ func (c *EmitterConfig) defaults() {
 // that channel works unchanged), close the channel after the trailer, and
 // Run returns once everything fed has been acknowledged.
 type Emitter struct {
-	cfg      EmitterConfig
-	intake   chan stream.Batch
-	stop     chan struct{}
-	stopOnce sync.Once
+	cfg       EmitterConfig
+	intake    chan stream.Batch
+	stop      chan struct{}
+	stopOnce  sync.Once
+	drained   chan struct{}
+	drainOnce sync.Once
+
+	// jAckedPub mirrors the journal ack watermark for the GaugeFunc
+	// below. Exposition-only (like all GaugeFuncs) because its value at
+	// snapshot time depends on how many wall-clock-driven lines
+	// (heartbeats) happened to be acked — it must stay out of the
+	// deterministic metrics snapshot.
+	jAckedPub atomic.Uint64
 
 	mReconnects *obs.Counter
 	mUnacked    *obs.Gauge
 	mAcked      *obs.Gauge
+	hEncode     *obs.Histogram
+	hDecode     *obs.Histogram
+	hAckRTT     *obs.Histogram
 }
 
 // NewEmitter builds an emitter; Run does the work.
 func NewEmitter(cfg EmitterConfig) *Emitter {
 	cfg.defaults()
-	e := &Emitter{cfg: cfg, intake: make(chan stream.Batch, 4), stop: make(chan struct{})}
+	e := &Emitter{cfg: cfg, intake: make(chan stream.Batch, 4), stop: make(chan struct{}), drained: make(chan struct{})}
 	l := obs.L("input", strconv.Itoa(cfg.Input))
 	e.mReconnects = cfg.Obs.Counter("emitter_reconnects_total", "successful collector connections beyond the first", l)
 	e.mUnacked = cfg.Obs.Gauge("emitter_unacked_events", "events in the retransmit buffer awaiting a cumulative ack", l)
 	e.mAcked = cfg.Obs.Gauge("emitter_acked_seq", "highest cumulative ack received from the collector", l)
+	if cfg.Ship != nil {
+		cfg.Obs.GaugeFunc("emitter_journal_acked_seq", "highest cumulative journal-line ack received from the collector", func() float64 {
+			return float64(e.jAckedPub.Load())
+		}, l)
+	}
+	// Wall-clock histograms: exposition-only (excluded from journal
+	// metrics snapshots — see obs.Registry.WallHistogram), surfaced in
+	// Prometheus text and the journal's latency line.
+	e.hEncode = cfg.Obs.Reg().WallHistogram("ingest_frame_encode_seconds", "gob encode time per outbound frame", latencyBuckets(), l)
+	e.hDecode = cfg.Obs.Reg().WallHistogram("ingest_frame_decode_seconds", "gob decode time per inbound frame", latencyBuckets(), l)
+	e.hAckRTT = cfg.Obs.Reg().WallHistogram("ingest_ack_rtt_seconds", "data-frame send to covering cumulative ack", latencyBuckets(), l)
 	return e
 }
+
+// EventsDrained returns a channel closed once the intake has been
+// closed and every fed event acknowledged by the collector. With
+// journal shipping this is the deterministic point to write the final
+// journal lines (metrics snapshot, latency rollup) before closing the
+// ship: the emitter's own acked/unacked gauges have reached their final
+// values, and Run is still pumping so the trailing lines ship too.
+func (e *Emitter) EventsDrained() <-chan struct{} { return e.drained }
 
 // Stop aborts Run immediately — nothing is flushed, exactly like the
 // process dying. Unacked events stay unacked; a restarted emitter (or
@@ -143,15 +192,31 @@ type pendingEv struct {
 	ev  stream.Event
 }
 
-// ackMsg is what the per-connection reader goroutine reports: an ack seq
-// or the read error that ended the connection.
-type ackMsg struct {
-	seq uint64
-	err error
+// pendingLine is one unacknowledged shipped journal line.
+type pendingLine struct {
+	seq  uint64
+	line []byte
 }
 
-// Run pumps the intake to the collector until everything is acked or the
-// retry budget dies. Safe to call exactly once.
+// rttMark remembers when the data frame ending at seq was written, so
+// the covering cumulative ack can be timed.
+type rttMark struct {
+	seq uint64
+	at  time.Time
+}
+
+// ackMsg is what the per-connection reader goroutine reports: an ack seq
+// (journal marks the journal sequence space) or the read error that
+// ended the connection.
+type ackMsg struct {
+	seq     uint64
+	journal bool
+	err     error
+}
+
+// Run pumps the intake (and, with a Ship, the process's journal lines)
+// to the collector until everything is acked or the retry budget dies.
+// Safe to call exactly once.
 func (e *Emitter) Run() error {
 	var (
 		conn     net.Conn
@@ -161,6 +226,19 @@ func (e *Emitter) Run() error {
 		unacked  []pendingEv
 		nextSeq  uint64 = 1
 		ackedSeq uint64
+		inflight []rttMark
+
+		// Journal shipping state. Lines from the ship queue un-numbered
+		// in jQueued until the first welcome reveals JournalResume —
+		// that is where this process's numbering starts, so a restarted
+		// emitter's lane continues after its previous life's acked
+		// prefix instead of colliding with it.
+		jQueued    [][]byte
+		jUnacked   []pendingLine
+		jNext      uint64
+		jNumbered  bool
+		jAcked     uint64
+		shipClosed bool
 
 		intakeCh     = e.intake
 		intakeClosed bool
@@ -168,6 +246,39 @@ func (e *Emitter) Run() error {
 		lastSend     time.Time
 		connects     int
 	)
+	var shipCh <-chan struct{}
+	if e.cfg.Ship != nil {
+		shipCh = e.cfg.Ship.Ready()
+	}
+	// finished reports whether Run may return: events drained (closing
+	// the EventsDrained latch on the way) and, when shipping, the
+	// journal drained too. The EventsDrained signal is what lets the
+	// process write its final journal lines between the last event ack
+	// and the ship's close.
+	finished := func() bool {
+		if !intakeClosed || len(unacked) != 0 {
+			return false
+		}
+		e.drainOnce.Do(func() { close(e.drained) })
+		if e.cfg.Ship == nil {
+			return true
+		}
+		return shipClosed && len(jQueued) == 0 && len(jUnacked) == 0
+	}
+	// flushQueued numbers queued journal lines and sends them. Only
+	// callable once numbered (first welcome seen).
+	flushQueued := func(c net.Conn) error {
+		if !jNumbered || len(jQueued) == 0 {
+			return nil
+		}
+		start := len(jUnacked)
+		for _, line := range jQueued {
+			jUnacked = append(jUnacked, pendingLine{seq: jNext, line: line})
+			jNext++
+		}
+		jQueued = nil
+		return e.sendJournal(c, jUnacked[start:])
+	}
 	tick := e.cfg.AckTimeout / 4
 	if k := e.cfg.KeepAlive / 2; k < tick {
 		tick = k
@@ -184,6 +295,7 @@ func (e *Emitter) Run() error {
 			close(connDone)
 			conn.Close()
 			conn = nil
+			inflight = nil // retransmits restart the RTT clock
 		}
 	}
 	defer teardown()
@@ -200,7 +312,7 @@ func (e *Emitter) Run() error {
 	}()
 
 	for {
-		if intakeClosed && len(unacked) == 0 {
+		if finished() {
 			return nil
 		}
 		if conn == nil {
@@ -221,7 +333,18 @@ func (e *Emitter) Run() error {
 				e.mAcked.SetInt(int64(ackedSeq))
 				e.mUnacked.SetInt(int64(len(unacked)))
 			}
-			if intakeClosed && len(unacked) == 0 {
+			if e.cfg.Ship != nil {
+				if !jNumbered {
+					jNext = welcome.JournalResume + 1
+					jNumbered = true
+				}
+				if welcome.JournalResume > jAcked {
+					jAcked = welcome.JournalResume
+					jUnacked = dropAckedLines(jUnacked, jAcked)
+					e.jAckedPub.Store(jAcked)
+				}
+			}
+			if finished() {
 				c.Close()
 				return nil
 			}
@@ -229,9 +352,17 @@ func (e *Emitter) Run() error {
 				c.Close()
 				continue
 			}
+			if err := e.sendJournal(c, jUnacked); err != nil {
+				c.Close()
+				continue
+			}
+			if err := flushQueued(c); err != nil {
+				c.Close()
+				continue
+			}
 			acks = make(chan ackMsg, 64)
 			connDone = make(chan struct{})
-			go readAcks(c, acks, connDone)
+			go readAcks(c, acks, connDone, e.hDecode)
 			conn = c
 			lastProgress = time.Now()
 			lastSend = time.Now()
@@ -267,6 +398,28 @@ func (e *Emitter) Run() error {
 				if err := e.send(conn, fresh); err != nil {
 					teardown()
 				} else {
+					inflight = append(inflight, rttMark{seq: fresh[len(fresh)-1].seq, at: time.Now()})
+					lastSend = time.Now()
+				}
+			}
+		case <-shipCh:
+			lines, closed := e.cfg.Ship.Take()
+			jQueued = append(jQueued, lines...)
+			if closed && !shipClosed {
+				shipClosed = true
+				// End-of-journal sentinel: a zero-length line occupying
+				// the next seq, so "this lane is complete" rides the same
+				// at-least-once-send / exactly-once-apply machinery as the
+				// lines themselves. The collector lingers after the merge
+				// until every shipping input's sentinel has been applied
+				// (JournalShip never emits an empty line, so the sentinel
+				// is unambiguous).
+				jQueued = append(jQueued, []byte{})
+			}
+			if conn != nil {
+				if err := flushQueued(conn); err != nil {
+					teardown()
+				} else if jNumbered {
 					lastSend = time.Now()
 				}
 			}
@@ -275,17 +428,31 @@ func (e *Emitter) Run() error {
 				teardown()
 				continue
 			}
+			if a.journal {
+				if a.seq > jAcked {
+					jAcked = a.seq
+					jUnacked = dropAckedLines(jUnacked, jAcked)
+					lastProgress = time.Now()
+					e.jAckedPub.Store(jAcked)
+				}
+				continue
+			}
 			if a.seq > ackedSeq {
 				ackedSeq = a.seq
 				unacked = dropAcked(unacked, ackedSeq)
 				lastProgress = time.Now()
+				for len(inflight) > 0 && inflight[0].seq <= a.seq {
+					e.hAckRTT.Observe(time.Since(inflight[0].at).Seconds())
+					inflight = inflight[1:]
+				}
 				e.mAcked.SetInt(int64(ackedSeq))
 				e.mUnacked.SetInt(int64(len(unacked)))
 			}
 		case <-time.After(tick):
-			if len(unacked) > 0 && time.Since(lastProgress) > e.cfg.AckTimeout {
-				// Outstanding events, no ack progress: the connection is
-				// wedged (or a fault ate the frames). Start over.
+			if (len(unacked) > 0 || len(jUnacked) > 0) && time.Since(lastProgress) > e.cfg.AckTimeout {
+				// Outstanding events or journal lines, no ack progress:
+				// the connection is wedged (or a fault ate the frames).
+				// Start over.
 				teardown()
 				continue
 			}
@@ -294,7 +461,7 @@ func (e *Emitter) Run() error {
 				// liveness layer can tell quiet from dead.
 				_ = conn.SetWriteDeadline(time.Now().Add(e.cfg.WriteTimeout))
 				ka := &frame{Kind: frameData, Data: &dataFrame{FirstSeq: nextSeq}}
-				if err := writeFrame(conn, ka); err != nil {
+				if err := writeFrame(conn, ka, e.hEncode); err != nil {
 					teardown()
 				} else {
 					_ = conn.SetWriteDeadline(time.Time{})
@@ -337,11 +504,23 @@ func (e *Emitter) connect(rng *rand.Rand) (net.Conn, *welcomeFrame, error) {
 func (e *Emitter) handshake(c net.Conn) (*welcomeFrame, error) {
 	_ = c.SetDeadline(time.Now().Add(e.cfg.WelcomeTimeout))
 	defer c.SetDeadline(time.Time{})
-	hello := &frame{Kind: frameHello, Hello: &helloFrame{Proto: protoVersion, Input: e.cfg.Input}}
-	if err := writeFrame(c, hello); err != nil {
+	// JournalTMs carries the emitter's journal clock at hello time — the
+	// collector's half of the clock-offset estimate. Negative = not
+	// shipping.
+	jtms := -1.0
+	if e.cfg.Ship != nil {
+		jtms = e.cfg.Journal.Now()
+	}
+	hello := &frame{Kind: frameHello, Hello: &helloFrame{
+		Proto:      protoVersion,
+		Input:      e.cfg.Input,
+		Source:     e.cfg.Source,
+		JournalTMs: jtms,
+	}}
+	if err := writeFrame(c, hello, e.hEncode); err != nil {
 		return nil, err
 	}
-	f, err := readFrame(c)
+	f, err := readFrame(c, e.hDecode)
 	if err != nil {
 		return nil, err
 	}
@@ -371,7 +550,7 @@ func (e *Emitter) send(c net.Conn, evs []pendingEv) error {
 			df.Events[i] = pe.ev
 		}
 		_ = c.SetWriteDeadline(time.Now().Add(e.cfg.WriteTimeout))
-		if err := writeFrame(c, &frame{Kind: frameData, Data: df}); err != nil {
+		if err := writeFrame(c, &frame{Kind: frameData, Data: df}, e.hEncode); err != nil {
 			return err
 		}
 	}
@@ -379,18 +558,45 @@ func (e *Emitter) send(c net.Conn, evs []pendingEv) error {
 	return nil
 }
 
-// readAcks is the per-connection reader: it forwards ack seqs until the
-// connection dies, then reports the error and exits. connDone unblocks it
-// when the main loop has already moved on to a new connection.
-func readAcks(c net.Conn, out chan<- ackMsg, connDone <-chan struct{}) {
+// sendJournal writes journal lines as journal frames of at most
+// maxFrameEvents lines each, mirroring send's contiguity contract in
+// the journal sequence space.
+func (e *Emitter) sendJournal(c net.Conn, pls []pendingLine) error {
+	for len(pls) > 0 {
+		n := len(pls)
+		if n > maxFrameEvents {
+			n = maxFrameEvents
+		}
+		chunk := pls[:n]
+		pls = pls[n:]
+		jf := &journalFrame{FirstSeq: chunk[0].seq, Lines: make([][]byte, n)}
+		for i, pl := range chunk {
+			jf.Lines[i] = pl.line
+		}
+		_ = c.SetWriteDeadline(time.Now().Add(e.cfg.WriteTimeout))
+		if err := writeFrame(c, &frame{Kind: frameJournal, Journal: jf}, e.hEncode); err != nil {
+			return err
+		}
+	}
+	_ = c.SetWriteDeadline(time.Time{})
+	return nil
+}
+
+// readAcks is the per-connection reader: it forwards event and journal
+// ack seqs until the connection dies, then reports the error and exits.
+// connDone unblocks it when the main loop has already moved on to a new
+// connection.
+func readAcks(c net.Conn, out chan<- ackMsg, connDone <-chan struct{}, dec *obs.Histogram) {
 	for {
-		f, err := readFrame(c)
+		f, err := readFrame(c, dec)
 		var msg ackMsg
 		switch {
 		case err != nil:
 			msg = ackMsg{err: err}
 		case f.Kind == frameAck && f.Ack != nil:
 			msg = ackMsg{seq: f.Ack.Seq}
+		case f.Kind == frameJournalAck && f.JAck != nil:
+			msg = ackMsg{seq: f.JAck.Seq, journal: true}
 		default:
 			// A duplicated welcome or other stray frame: ignore.
 			continue
@@ -408,6 +614,18 @@ func readAcks(c net.Conn, out chan<- ackMsg, connDone <-chan struct{}) {
 
 // dropAcked removes the acknowledged prefix.
 func dropAcked(unacked []pendingEv, acked uint64) []pendingEv {
+	i := 0
+	for i < len(unacked) && unacked[i].seq <= acked {
+		i++
+	}
+	if i == 0 {
+		return unacked
+	}
+	return append(unacked[:0:0], unacked[i:]...)
+}
+
+// dropAckedLines removes the acknowledged journal-line prefix.
+func dropAckedLines(unacked []pendingLine, acked uint64) []pendingLine {
 	i := 0
 	for i < len(unacked) && unacked[i].seq <= acked {
 		i++

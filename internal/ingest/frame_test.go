@@ -15,10 +15,10 @@ import (
 func roundTrip(t *testing.T, f *frame) *frame {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, f); err != nil {
+	if err := writeFrame(&buf, f, nil); err != nil {
 		t.Fatalf("write: %v", err)
 	}
-	got, err := readFrame(&buf)
+	got, err := readFrame(&buf, nil)
 	if err != nil {
 		t.Fatalf("read: %v", err)
 	}
@@ -34,8 +34,14 @@ func TestFrameRoundTrip(t *testing.T) {
 		Queries: []trace.Query{{At: 2 * time.Second, Text: "free mp3", TTL: 7, Hops: 1, Hits: 3}},
 	}
 	frames := []*frame{
-		{Kind: frameHello, Hello: &helloFrame{Proto: protoVersion, Input: 2}},
-		{Kind: frameWelcome, Welcome: &welcomeFrame{Resume: 77, Evicted: true}},
+		{Kind: frameHello, Hello: &helloFrame{Proto: protoVersion, Input: 2, Source: "vantage2", JournalTMs: 123.5}},
+		{Kind: frameHello, Hello: &helloFrame{Proto: protoVersion, Input: 0, JournalTMs: -1}},
+		{Kind: frameWelcome, Welcome: &welcomeFrame{Resume: 77, JournalResume: 12, Evicted: true}},
+		{Kind: frameJournal, Journal: &journalFrame{FirstSeq: 13, Lines: [][]byte{
+			[]byte(`{"kind":"event","t_ms":1,"name":"x"}`),
+			[]byte(`{"kind":"heartbeat","t_ms":2}`),
+		}}},
+		{Kind: frameJournalAck, JAck: &ackFrame{Seq: 14}},
 		{Kind: frameData, Data: &dataFrame{FirstSeq: 9, Events: []stream.Event{
 			{Kind: stream.EvOpen, ID: 4, Time: time.Second},
 			{Kind: stream.EvClose, ID: 4, Time: time.Minute, Sess: rec},
@@ -57,7 +63,7 @@ func TestFrameRoundTrip(t *testing.T) {
 // Write calls can never tear a frame.
 func TestFrameSingleWrite(t *testing.T) {
 	var w countingWriter
-	if err := writeFrame(&w, &frame{Kind: frameAck, Ack: &ackFrame{Seq: 5}}); err != nil {
+	if err := writeFrame(&w, &frame{Kind: frameAck, Ack: &ackFrame{Seq: 5}}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if w.calls != 1 {
@@ -77,22 +83,22 @@ func (w *countingWriter) Write(p []byte) (int, error) {
 func TestFrameRejectsBadLength(t *testing.T) {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], maxFrameLen+1)
-	if _, err := readFrame(bytes.NewReader(hdr[:])); err == nil {
+	if _, err := readFrame(bytes.NewReader(hdr[:]), nil); err == nil {
 		t.Fatal("oversized length accepted")
 	}
 	binary.BigEndian.PutUint32(hdr[:], 0)
-	if _, err := readFrame(bytes.NewReader(hdr[:])); err == nil {
+	if _, err := readFrame(bytes.NewReader(hdr[:]), nil); err == nil {
 		t.Fatal("zero length accepted")
 	}
 }
 
 func TestFrameTornPayload(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, &frame{Kind: frameAck, Ack: &ackFrame{Seq: 5}}); err != nil {
+	if err := writeFrame(&buf, &frame{Kind: frameAck, Ack: &ackFrame{Seq: 5}}, nil); err != nil {
 		t.Fatal(err)
 	}
 	torn := buf.Bytes()[:buf.Len()-3]
-	if _, err := readFrame(bytes.NewReader(torn)); err == nil {
+	if _, err := readFrame(bytes.NewReader(torn), nil); err == nil {
 		t.Fatal("torn frame accepted")
 	}
 }

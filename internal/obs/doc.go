@@ -34,29 +34,57 @@
 // snapshot ages, liveness states — are GaugeFuncs: they appear in the
 // Prometheus exposition but are excluded from Registry.Samples and
 // therefore from journal metric snapshots, which keeps the journal a
-// deterministic function of the run.
+// deterministic function of the run. Wall-clock histograms (per-frame
+// codec time, ack RTTs — Registry.WallHistogram) get the same split:
+// exposition and the journal's "latency" snapshot carry them, the
+// deterministic metrics snapshot does not.
+//
+// dashboards/p2pquery.json charts every family across these
+// subsystems; dashboard_test.go at the repo root pins its panel exprs
+// against a live registry's FamilyNames in both directions, so a
+// rename or an uncharted new family fails `go test .`.
 //
 // # Journal schema
 //
 // A Journal is JSONL, one self-contained object per line, ordered by
-// emission under one mutex. Common fields: "kind" and "t_ms"
-// (monotonic-clock milliseconds since the journal opened). Kinds:
+// emission under one mutex. Common fields: "kind", "t_ms"
+// (monotonic-clock milliseconds since the journal opened) and an
+// optional "src" lane (see below). Kinds:
 //
-//	span_start  {kind,t_ms,id,parent?,name,attrs?}
-//	span_end    {kind,t_ms,id,name,dur_ms,attrs?}
-//	event       {kind,t_ms,name,attrs?}        discrete transitions
-//	                                           (input_stalled, input_evicted,
-//	                                           input_recovered, scenario_check…)
-//	heartbeat   {kind,t_ms,attrs?}             periodic progress
-//	metrics     {kind,t_ms,samples{name:val}}  registry snapshot
+//	span_start  {kind,t_ms,src?,id,parent?,name,attrs?}
+//	span_end    {kind,t_ms,src?,id,name,dur_ms,attrs?}
+//	event       {kind,t_ms,src?,name,attrs?}        discrete transitions
+//	                                                (input_stalled, input_evicted,
+//	                                                input_recovered, scenario_check…)
+//	heartbeat   {kind,t_ms,src?,attrs?}             periodic progress
+//	metrics     {kind,t_ms,src?,samples{name:val}}  registry snapshot
+//	latency     {kind,t_ms,src?,samples{name:val}}  wall-histogram snapshot
 //
 // Span ids are sequential and parent links give the phase tree
 // (partition → simulate → merge → characterize on the batch path).
-// Canonical(r) normalizes a journal for determinism comparison: it drops
-// heartbeat lines and strips t_ms/dur_ms, leaving span structure,
-// ordering, attributes and metric values — two runs of the same spec
-// must compare equal (pinned by TestJournalDeterminism… at paper40d
-// smoke scale).
+// Canonical(r) normalizes a journal for determinism comparison: it
+// drops heartbeat and latency lines, strips t_ms/dur_ms, and
+// stable-sorts the survivors by src lane, leaving span structure,
+// per-lane ordering, attributes and metric values — two runs of the
+// same spec must compare equal (pinned by TestJournalDeterminism… at
+// paper40d smoke scale, and fleet-wide by `make distfleet-smoke`).
+//
+// # Fleet journals and lanes
+//
+// One journal can hold many processes' records. SetSource stamps every
+// locally written line with a lane name; IngestLine appends a line
+// produced by another process's journal, stamping its lane and
+// rebasing its t_ms by a clock offset the caller derived (internal/
+// ingest does this for shipped emitter journals, offset-sampled from
+// the connection handshake). The result is a single time-ordered fleet
+// journal where the collector's "collector" lane, its per-input
+// "collector/<source>" liveness lanes, and each emitter's own
+// "vantage<N>" lane interleave on one clock. Render it with
+//
+//	go run ./cmd/analyze -timeline fleet.jsonl
+//
+// which prints per-lane span/event timelines with durations, heartbeat
+// compression, gap markers and final metric/latency rollups.
 //
 // # HTTP surface
 //

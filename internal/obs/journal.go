@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 )
@@ -15,11 +16,20 @@ import (
 // so journals from different hosts and runs line up structurally; the
 // Canonical helper strips them for determinism comparisons. All methods
 // are safe for concurrent use and no-ops on a nil *Journal.
+//
+// A journal that aggregates lines from several processes (the fleet
+// journal the ingest collector writes) distinguishes them by the src
+// field: SetSource stamps the journal's own lines, EventSrc writes a
+// single event into an explicit lane, and IngestLine folds a line
+// shipped from another process in — with its t_ms rebased onto this
+// journal's clock — so one file carries every process's timeline on one
+// time axis.
 type Journal struct {
 	mu    sync.Mutex
 	w     io.Writer
 	start time.Time
 	ids   uint64
+	src   string
 	err   error
 }
 
@@ -38,6 +48,31 @@ func (j *Journal) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
+}
+
+// SetSource sets the src lane stamped on every subsequent line. A
+// single-process journal leaves it empty (the field is omitted); a
+// journal that also ingests shipped lines from other processes names its
+// own lane — "collector" — so the fleet journal keeps every process's
+// lines attributable.
+func (j *Journal) SetSource(src string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.src = src
+	j.mu.Unlock()
+}
+
+// Now returns the journal's monotonic clock: milliseconds since the
+// journal was created, the same value stamped as t_ms on its lines. The
+// ingest handshake samples it on both ends to compute the per-input
+// clock offset that rebases shipped lines onto the collector's axis.
+func (j *Journal) Now() float64 {
+	if j == nil {
+		return 0
+	}
+	return j.since()
 }
 
 // Attr is one key/value attribute attached to a journal line.
@@ -66,6 +101,7 @@ func attrMap(attrs []Attr) map[string]any {
 type record struct {
 	Kind    string             `json:"kind"`
 	TMs     float64            `json:"t_ms"`
+	Src     string             `json:"src,omitempty"`
 	ID      uint64             `json:"id,omitempty"`
 	Parent  uint64             `json:"parent,omitempty"`
 	Name    string             `json:"name,omitempty"`
@@ -77,6 +113,13 @@ type record struct {
 func (j *Journal) write(rec record) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if rec.Src == "" {
+		rec.Src = j.src
+	}
+	j.writeLocked(rec)
+}
+
+func (j *Journal) writeLocked(rec record) {
 	if j.err != nil {
 		return
 	}
@@ -86,7 +129,15 @@ func (j *Journal) write(rec record) {
 		return
 	}
 	b = append(b, '\n')
-	if _, err := j.w.Write(b); err != nil {
+	n, err := j.w.Write(b)
+	if err == nil && n < len(b) {
+		// A short write without an error violates the io.Writer contract;
+		// latch it anyway — a truncated line would corrupt the JSONL
+		// stream, so the journal must stop rather than keep appending
+		// after a torn record.
+		err = io.ErrShortWrite
+	}
+	if err != nil {
 		j.err = err
 	}
 }
@@ -153,6 +204,59 @@ func (j *Journal) Event(name string, attrs ...Attr) {
 	j.write(record{Kind: "event", TMs: j.since(), Name: name, Attrs: attrMap(attrs)})
 }
 
+// EventSrc writes a discrete event into an explicit src lane, overriding
+// the journal's default source. The ingest collector uses it to file
+// per-input liveness transitions (input_stalled, input_evicted, …) under
+// a per-input lane — "collector/<source>" — so each lane's line sequence
+// stays a deterministic function of that one input's run, which is what
+// makes the fleet journal's canonical form comparable across runs.
+func (j *Journal) EventSrc(src, name string, attrs ...Attr) {
+	if j == nil {
+		return
+	}
+	j.write(record{Kind: "event", TMs: j.since(), Src: src, Name: name, Attrs: attrMap(attrs)})
+}
+
+// IngestLine folds one JSONL line shipped from another process's journal
+// into this one: the line's t_ms (and nothing else time-like — dur_ms is
+// a duration, not an instant) is rebased by offsetMs onto this journal's
+// clock, its src is set to the shipper's lane, and the result is
+// appended under the same mutex as local lines. The rebased line
+// round-trips through a map, so its keys render in sorted order; the
+// Canonical and timeline readers normalize the same way, making the two
+// layouts compare equal.
+func (j *Journal) IngestLine(line []byte, src string, offsetMs float64) error {
+	if j == nil {
+		return nil
+	}
+	var m map[string]any
+	if err := json.Unmarshal(line, &m); err != nil {
+		return fmt.Errorf("obs: ingest journal line: %w", err)
+	}
+	if t, ok := m["t_ms"].(float64); ok {
+		m["t_ms"] = t + offsetMs
+	}
+	m["src"] = src
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	n, err := j.w.Write(b)
+	if err == nil && n < len(b) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		j.err = err
+	}
+	return err
+}
+
 // Heartbeat writes a periodic progress line.
 func (j *Journal) Heartbeat(attrs ...Attr) {
 	if j == nil {
@@ -174,6 +278,28 @@ func (j *Journal) Metrics(r *Registry) {
 		m[s.Name] = s.Value
 	}
 	j.write(record{Kind: "metrics", TMs: j.since(), Samples: m})
+}
+
+// Latency snapshots the wall-clock histogram state of r (the families
+// registered via Registry.WallHistogram: per-frame encode/decode time,
+// ack round-trips) as one latency line. Wall histograms measure real
+// elapsed time, so their values differ run to run; keeping them on a
+// dedicated line kind — dropped by Canonical alongside heartbeats —
+// lets the deterministic metrics snapshot stay byte-comparable while
+// the journal still carries the measured latency distribution.
+func (j *Journal) Latency(r *Registry) {
+	if j == nil || r == nil {
+		return
+	}
+	samples := r.WallSamples()
+	if len(samples) == 0 {
+		return
+	}
+	m := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		m[s.Name] = s.Value
+	}
+	j.write(record{Kind: "latency", TMs: j.since(), Samples: m})
 }
 
 // StartHeartbeat emits a heartbeat line (and calls fn for its attributes)
@@ -205,15 +331,26 @@ func StartHeartbeat(j *Journal, interval time.Duration, fn func() []Attr) (stop 
 }
 
 // Canonical reads a JSONL journal and returns its lines normalized for
-// determinism comparison: heartbeat lines (wall-clock driven, count
-// varies run to run) are dropped, and the t_ms / dur_ms timestamps are
-// stripped from the rest. Span structure, ordering, ids, names,
-// attributes and metric snapshot values all survive, so two Canonical
-// journals of the same deterministic run compare equal line for line.
+// determinism comparison: heartbeat and latency lines (wall-clock
+// driven, their count and values vary run to run) are dropped, and the
+// t_ms / dur_ms timestamps are stripped from the rest. For a fleet
+// journal — lines carrying src lanes — the surviving lines are then
+// stable-sorted by lane: within one lane the order is the producing
+// process's own deterministic sequence, but the interleaving *across*
+// lanes depends on wall-clock arrival, so per-lane grouping is the
+// strongest canonical form a multi-process journal supports. A
+// single-source journal (every src empty) is untouched by the sort.
+// Span structure, per-lane ordering, ids, names, attributes and metric
+// snapshot values all survive, so two Canonical journals of the same
+// deterministic run compare equal line for line.
 func Canonical(r io.Reader) ([]string, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	var out []string
+	type laneLine struct {
+		src  string
+		line string
+	}
+	var lines []laneLine
 	ln := 0
 	for sc.Scan() {
 		ln++
@@ -225,19 +362,25 @@ func Canonical(r io.Reader) ([]string, error) {
 		if err := json.Unmarshal(line, &m); err != nil {
 			return nil, fmt.Errorf("journal line %d: %w", ln, err)
 		}
-		if m["kind"] == "heartbeat" {
+		if m["kind"] == "heartbeat" || m["kind"] == "latency" {
 			continue
 		}
 		delete(m, "t_ms")
 		delete(m, "dur_ms")
+		src, _ := m["src"].(string)
 		b, err := json.Marshal(m)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, string(b))
+		lines = append(lines, laneLine{src: src, line: string(b)})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	sort.SliceStable(lines, func(i, k int) bool { return lines[i].src < lines[k].src })
+	out := make([]string, len(lines))
+	for i, l := range lines {
+		out[i] = l.line
 	}
 	return out, nil
 }

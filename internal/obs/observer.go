@@ -42,6 +42,12 @@ func (o *Observer) Histogram(name, help string, buckets []float64, labels ...Lab
 	return o.Reg().Histogram(name, help, buckets, labels...)
 }
 
+// WallHistogram registers an exposition-only wall-clock histogram on
+// the observer's registry (see Registry.WallHistogram).
+func (o *Observer) WallHistogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	return o.Reg().WallHistogram(name, help, buckets, labels...)
+}
+
 // GaugeFunc registers a scrape-time gauge on the observer's registry.
 func (o *Observer) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
 	o.Reg().GaugeFunc(name, help, fn, labels...)
@@ -57,6 +63,12 @@ func (o *Observer) Event(name string, attrs ...Attr) {
 	o.Log().Event(name, attrs...)
 }
 
+// EventSrc writes a discrete event into an explicit src lane on the
+// observer's journal (see Journal.EventSrc).
+func (o *Observer) EventSrc(src, name string, attrs ...Attr) {
+	o.Log().EventSrc(src, name, attrs...)
+}
+
 // SnapshotMetrics writes the registry's deterministic state as one
 // journal metrics line.
 func (o *Observer) SnapshotMetrics() {
@@ -64,4 +76,13 @@ func (o *Observer) SnapshotMetrics() {
 		return
 	}
 	o.Journal.Metrics(o.Metrics)
+}
+
+// SnapshotLatency writes the registry's wall-clock histogram state as
+// one journal latency line (see Journal.Latency).
+func (o *Observer) SnapshotLatency() {
+	if o == nil {
+		return
+	}
+	o.Journal.Latency(o.Metrics)
 }

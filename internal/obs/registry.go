@@ -177,6 +177,7 @@ type family struct {
 	help    string
 	kind    metricKind
 	buckets []float64
+	wall    bool // wall-clock histogram: exposition-only, see WallHistogram
 	series  map[string]*series
 }
 
@@ -282,6 +283,32 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 	return r.lookup(name, help, kindHistogram, up, labels).hist
 }
 
+// WallHistogram registers (or re-finds) a histogram whose observations
+// are wall-clock measurements — per-frame encode/decode time, ack
+// round-trips, anything timed with a real clock. Like GaugeFuncs, wall
+// histograms are exposition-only: they appear in WritePrometheus but
+// are excluded from Samples (and therefore from journal metric
+// snapshots), because their sums and counts differ run to run and
+// would break the journal's canonical determinism. Journal.Latency
+// snapshots them onto a dedicated latency line instead (itself dropped
+// by Canonical). The wall/deterministic split is fixed by the first
+// registration of the family. Nil registries return nil.
+func (r *Registry) WallHistogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	up := make([]float64, len(buckets))
+	copy(up, buckets)
+	sort.Float64s(up)
+	r.mu.Lock()
+	if f := r.families[name]; f == nil {
+		f = &family{name: name, help: help, kind: kindHistogram, buckets: up, wall: true, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	r.mu.Unlock()
+	return r.lookup(name, help, kindHistogram, up, labels).hist
+}
+
 // GaugeFunc registers a gauge whose value is computed by fn at scrape
 // time. Funcs are exposition-only: they appear in WritePrometheus but are
 // excluded from Samples (and therefore from journal metric snapshots),
@@ -313,6 +340,7 @@ type famView struct {
 	name   string
 	help   string
 	kind   metricKind
+	wall   bool
 	series []seriesView
 }
 
@@ -335,20 +363,24 @@ func (r *Registry) view() []famView {
 		for j, s := range ss {
 			sv[j] = seriesView{labelStr: s.labelStr, counter: s.counter, gauge: s.gauge, hist: s.hist, fn: s.fn}
 		}
-		out[i] = famView{name: f.name, help: f.help, kind: f.kind, series: sv}
+		out[i] = famView{name: f.name, help: f.help, kind: f.kind, wall: f.wall, series: sv}
 	}
 	return out
 }
 
 // Samples flattens the deterministic metric state — counters, gauges and
-// histograms (as name_sum / name_count), not GaugeFuncs — sorted by name
-// then label set. Labeled series render as name{k="v"}.
+// histograms (as name_sum / name_count), not GaugeFuncs and not wall
+// histograms — sorted by name then label set. Labeled series render as
+// name{k="v"}.
 func (r *Registry) Samples() []Sample {
 	if r == nil {
 		return nil
 	}
 	var out []Sample
 	for _, f := range r.view() {
+		if f.wall {
+			continue
+		}
 		for _, s := range f.series {
 			full := f.name
 			if s.labelStr != "" {
@@ -372,6 +404,50 @@ func (r *Registry) Samples() []Sample {
 		}
 	}
 	return out
+}
+
+// WallSamples flattens the wall-clock histogram families (registered
+// via WallHistogram) as name_sum / name_count pairs, sorted by name
+// then label set — the complement of Samples. Journal.Latency snapshots
+// these onto the journal's latency line.
+func (r *Registry) WallSamples() []Sample {
+	if r == nil {
+		return nil
+	}
+	var out []Sample
+	for _, f := range r.view() {
+		if !f.wall {
+			continue
+		}
+		for _, s := range f.series {
+			sumName, cntName := f.name+"_sum", f.name+"_count"
+			if s.labelStr != "" {
+				sumName += "{" + s.labelStr + "}"
+				cntName += "{" + s.labelStr + "}"
+			}
+			out = append(out,
+				Sample{sumName, s.hist.Sum()},
+				Sample{cntName, float64(s.hist.Count())})
+		}
+	}
+	return out
+}
+
+// FamilyNames returns every registered family name, sorted. Dashboards
+// pin their panel queries against this set so a metric rename cannot
+// silently orphan a panel.
+func (r *Registry) FamilyNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
 }
 
 // Value returns the current value of the (unlabeled) series of the named
